@@ -1,0 +1,281 @@
+//! A concrete eBGP-style algebra: local preference, path length and community
+//! tags, with per-edge import/export policies.
+//!
+//! This is the concrete counterpart of the paper's running example (§2) and of
+//! the fattree policies: the `timepiece-nets` crate defines the same
+//! semantics at the expression level and differentially tests against this
+//! implementation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use timepiece_topology::NodeId;
+
+use crate::traits::RoutingAlgebra;
+
+/// A concrete BGP-style route announcement.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BgpRoute {
+    /// Local preference — higher is better.
+    pub lp: u64,
+    /// AS-path length — shorter is better.
+    pub len: u64,
+    /// Community tags.
+    pub tags: BTreeSet<String>,
+}
+
+impl BgpRoute {
+    /// A fresh route with default preference 100, zero length, no tags.
+    pub fn originate() -> BgpRoute {
+        BgpRoute { lp: 100, len: 0, tags: BTreeSet::new() }
+    }
+
+    /// Does the route carry a tag?
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.contains(tag)
+    }
+
+    /// Adds a tag (builder style).
+    pub fn with_tag(mut self, tag: impl Into<String>) -> BgpRoute {
+        self.tags.insert(tag.into());
+        self
+    }
+}
+
+/// A per-edge routing policy, applied by [`Bgp::transfer`].
+///
+/// Fields apply in order: drop checks first, then modifications. Path length
+/// increments unless `increment_len` is disabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgePolicy {
+    /// Drop every route (the running example's `filter`).
+    pub drop_all: bool,
+    /// Drop routes carrying this tag (e.g. valley-freedom's `down`).
+    pub drop_if_tag: Option<String>,
+    /// Drop routes *not* carrying this tag (the running example's `allow`).
+    pub drop_unless_tag: Option<String>,
+    /// Tags to add on import (the running example's `tag`).
+    pub add_tags: Vec<String>,
+    /// Tags to strip on import.
+    pub remove_tags: Vec<String>,
+    /// Overwrite local preference.
+    pub set_lp: Option<u64>,
+    /// Skip the default path length increment.
+    pub no_len_increment: bool,
+}
+
+impl EdgePolicy {
+    /// The identity policy: increment length, change nothing else.
+    pub fn passthrough() -> EdgePolicy {
+        EdgePolicy::default()
+    }
+
+    /// A policy that drops everything.
+    pub fn deny() -> EdgePolicy {
+        EdgePolicy { drop_all: true, ..EdgePolicy::default() }
+    }
+}
+
+/// The BGP-style algebra: initial routes per node plus per-edge policies.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_algebra::{Bgp, BgpRoute, EdgePolicy, RoutingAlgebra};
+/// use timepiece_topology::NodeId;
+///
+/// let (w, v) = (NodeId::new(0), NodeId::new(1));
+/// let mut bgp = Bgp::new();
+/// bgp.set_initial(w, BgpRoute::originate());
+/// bgp.set_policy((w, v), EdgePolicy { add_tags: vec!["internal".into()], ..Default::default() });
+/// let sent = bgp.transfer((w, v), &bgp.initial(w));
+/// assert!(sent.unwrap().has_tag("internal"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Bgp {
+    initials: HashMap<NodeId, BgpRoute>,
+    policies: HashMap<(NodeId, NodeId), EdgePolicy>,
+}
+
+impl Bgp {
+    /// Creates an algebra with no initial routes and passthrough policies.
+    pub fn new() -> Bgp {
+        Bgp::default()
+    }
+
+    /// Gives `v` an initial route.
+    pub fn set_initial(&mut self, v: NodeId, route: BgpRoute) -> &mut Bgp {
+        self.initials.insert(v, route);
+        self
+    }
+
+    /// Installs a policy on an edge.
+    pub fn set_policy(&mut self, edge: (NodeId, NodeId), policy: EdgePolicy) -> &mut Bgp {
+        self.policies.insert(edge, policy);
+        self
+    }
+
+    /// The policy of an edge (passthrough if unset).
+    pub fn policy(&self, edge: (NodeId, NodeId)) -> EdgePolicy {
+        self.policies.get(&edge).cloned().unwrap_or_default()
+    }
+
+    /// Compares two present routes: higher lp wins, then shorter length, then
+    /// (for determinism and commutativity) lexicographically smaller tags.
+    fn better(a: &BgpRoute, b: &BgpRoute) -> bool {
+        (std::cmp::Reverse(a.lp), a.len, &a.tags) < (std::cmp::Reverse(b.lp), b.len, &b.tags)
+    }
+}
+
+impl RoutingAlgebra for Bgp {
+    type Route = Option<BgpRoute>;
+
+    fn initial(&self, v: NodeId) -> Option<BgpRoute> {
+        self.initials.get(&v).cloned()
+    }
+
+    fn transfer(&self, edge: (NodeId, NodeId), route: &Option<BgpRoute>) -> Option<BgpRoute> {
+        let route = route.as_ref()?;
+        let policy = self.policies.get(&edge);
+        if let Some(p) = policy {
+            if p.drop_all {
+                return None;
+            }
+            if p.drop_if_tag.as_deref().is_some_and(|t| route.has_tag(t)) {
+                return None;
+            }
+            if p.drop_unless_tag.as_deref().is_some_and(|t| !route.has_tag(t)) {
+                return None;
+            }
+        }
+        let mut out = route.clone();
+        if let Some(p) = policy {
+            for t in &p.add_tags {
+                out.tags.insert(t.clone());
+            }
+            for t in &p.remove_tags {
+                out.tags.remove(t);
+            }
+            if let Some(lp) = p.set_lp {
+                out.lp = lp;
+            }
+            if !p.no_len_increment {
+                out.len = out.len.saturating_add(1);
+            }
+        } else {
+            out.len = out.len.saturating_add(1);
+        }
+        Some(out)
+    }
+
+    fn merge(&self, a: &Option<BgpRoute>, b: &Option<BgpRoute>) -> Option<BgpRoute> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if Bgp::better(x, y) { x.clone() } else { y.clone() }),
+            (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> (NodeId, NodeId) {
+        (NodeId::new(0), NodeId::new(1))
+    }
+
+    #[test]
+    fn merge_prefers_lp_then_len() {
+        let bgp = Bgp::new();
+        let low = BgpRoute { lp: 100, len: 2, tags: BTreeSet::new() };
+        let high = BgpRoute { lp: 200, len: 5, tags: BTreeSet::new() };
+        assert_eq!(bgp.merge(&Some(low.clone()), &Some(high.clone())), Some(high.clone()));
+        let short = BgpRoute { lp: 200, len: 2, tags: BTreeSet::new() };
+        assert_eq!(bgp.merge(&Some(short.clone()), &Some(high)), Some(short));
+        assert_eq!(bgp.merge(&Some(low.clone()), &None), Some(low));
+    }
+
+    #[test]
+    fn merge_examples_from_paper() {
+        // the three ⊕ examples of §2.1
+        let bgp = Bgp::new();
+        let r1 = BgpRoute { lp: 100, len: 2, tags: BTreeSet::new() };
+        let r2 = BgpRoute { lp: 200, len: 5, tags: ["internal".to_owned()].into() };
+        assert_eq!(bgp.merge(&Some(r1.clone()), &None), Some(r1.clone()));
+        assert_eq!(bgp.merge(&Some(r1.clone()), &Some(r2.clone())), Some(r2.clone()));
+        let r3 = BgpRoute { lp: 200, len: 2, tags: BTreeSet::new() };
+        assert_eq!(bgp.merge(&Some(r3.clone()), &Some(r2)), Some(r3));
+    }
+
+    #[test]
+    fn transfer_increments_length() {
+        let bgp = Bgp::new();
+        let out = bgp.transfer(edge(), &Some(BgpRoute::originate())).unwrap();
+        assert_eq!(out.len, 1);
+    }
+
+    #[test]
+    fn policy_drop_all() {
+        let mut bgp = Bgp::new();
+        bgp.set_policy(edge(), EdgePolicy::deny());
+        assert_eq!(bgp.transfer(edge(), &Some(BgpRoute::originate())), None);
+        assert_eq!(bgp.transfer(edge(), &None), None);
+    }
+
+    #[test]
+    fn policy_tag_filters() {
+        let mut bgp = Bgp::new();
+        bgp.set_policy(
+            edge(),
+            EdgePolicy { drop_unless_tag: Some("internal".into()), ..Default::default() },
+        );
+        assert_eq!(bgp.transfer(edge(), &Some(BgpRoute::originate())), None);
+        let tagged = BgpRoute::originate().with_tag("internal");
+        assert!(bgp.transfer(edge(), &Some(tagged)).is_some());
+
+        let mut bgp2 = Bgp::new();
+        bgp2.set_policy(
+            edge(),
+            EdgePolicy { drop_if_tag: Some("down".into()), ..Default::default() },
+        );
+        assert!(bgp2.transfer(edge(), &Some(BgpRoute::originate())).is_some());
+        assert_eq!(bgp2.transfer(edge(), &Some(BgpRoute::originate().with_tag("down"))), None);
+    }
+
+    #[test]
+    fn policy_modifications() {
+        let mut bgp = Bgp::new();
+        bgp.set_policy(
+            edge(),
+            EdgePolicy {
+                add_tags: vec!["internal".into()],
+                remove_tags: vec!["stale".into()],
+                set_lp: Some(200),
+                ..Default::default()
+            },
+        );
+        let out = bgp
+            .transfer(edge(), &Some(BgpRoute::originate().with_tag("stale")))
+            .unwrap();
+        assert!(out.has_tag("internal"));
+        assert!(!out.has_tag("stale"));
+        assert_eq!(out.lp, 200);
+        assert_eq!(out.len, 1);
+    }
+
+    #[test]
+    fn no_len_increment_respected() {
+        let mut bgp = Bgp::new();
+        bgp.set_policy(edge(), EdgePolicy { no_len_increment: true, ..Default::default() });
+        let out = bgp.transfer(edge(), &Some(BgpRoute::originate())).unwrap();
+        assert_eq!(out.len, 0);
+    }
+
+    #[test]
+    fn initial_routes() {
+        let mut bgp = Bgp::new();
+        bgp.set_initial(NodeId::new(3), BgpRoute::originate());
+        assert_eq!(bgp.initial(NodeId::new(3)), Some(BgpRoute::originate()));
+        assert_eq!(bgp.initial(NodeId::new(0)), None);
+    }
+}

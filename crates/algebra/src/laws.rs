@@ -1,0 +1,94 @@
+//! Checkable algebraic laws for routing algebras.
+//!
+//! Well-behaved routing protocols need their merge to be associative,
+//! commutative, idempotent and *selective* (the result is always one of its
+//! arguments), and converge fastest when the algebra is *strictly monotonic*:
+//! merge prefers a route over any transferred copy of it (§4, "Incorporating
+//! delay"). These helpers phrase each law as a boolean check over sample
+//! routes so unit tests and property tests can share them.
+
+use crate::traits::RoutingAlgebra;
+use timepiece_topology::NodeId;
+
+/// `a ⊕ b = b ⊕ a`.
+pub fn commutative<A: RoutingAlgebra>(alg: &A, a: &A::Route, b: &A::Route) -> bool {
+    alg.merge(a, b) == alg.merge(b, a)
+}
+
+/// `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`.
+pub fn associative<A: RoutingAlgebra>(alg: &A, a: &A::Route, b: &A::Route, c: &A::Route) -> bool {
+    alg.merge(&alg.merge(a, b), c) == alg.merge(a, &alg.merge(b, c))
+}
+
+/// `a ⊕ a = a`.
+pub fn idempotent<A: RoutingAlgebra>(alg: &A, a: &A::Route) -> bool {
+    alg.merge(a, a) == *a
+}
+
+/// `a ⊕ b ∈ {a, b}`.
+pub fn selective<A: RoutingAlgebra>(alg: &A, a: &A::Route, b: &A::Route) -> bool {
+    let m = alg.merge(a, b);
+    m == *a || m == *b
+}
+
+/// Strict monotonicity at an edge: `r ⊕ f_e(r) = r` — a node never prefers a
+/// route that has been transferred back to it over the original.
+pub fn prefers_original<A: RoutingAlgebra>(alg: &A, edge: (NodeId, NodeId), r: &A::Route) -> bool {
+    alg.merge(r, &alg.transfer(edge, r)) == *r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bgp, BgpRoute, ShortestPath};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn shortest_path_laws_on_samples() {
+        let alg = ShortestPath::new(NodeId::new(0));
+        let samples = [None, Some(0u64), Some(1), Some(7), Some(u64::MAX)];
+        let e = (NodeId::new(0), NodeId::new(1));
+        for a in &samples {
+            assert!(idempotent(&alg, a));
+            assert!(prefers_original(&alg, e, a));
+            for b in &samples {
+                assert!(commutative(&alg, a, b));
+                assert!(selective(&alg, a, b));
+                for c in &samples {
+                    assert!(associative(&alg, a, b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bgp_laws_on_samples() {
+        let alg = Bgp::new();
+        let mk = |lp: u64, len: u64, tag: Option<&str>| {
+            let mut tags = BTreeSet::new();
+            if let Some(t) = tag {
+                tags.insert(t.to_owned());
+            }
+            Some(BgpRoute { lp, len, tags })
+        };
+        let samples = [
+            None,
+            mk(100, 0, None),
+            mk(100, 2, Some("internal")),
+            mk(200, 5, None),
+            mk(200, 5, Some("down")),
+        ];
+        let e = (NodeId::new(0), NodeId::new(1));
+        for a in &samples {
+            assert!(idempotent(&alg, a));
+            assert!(prefers_original(&alg, e, a));
+            for b in &samples {
+                assert!(commutative(&alg, a, b), "commutativity on {a:?} {b:?}");
+                assert!(selective(&alg, a, b));
+                for c in &samples {
+                    assert!(associative(&alg, a, b, c));
+                }
+            }
+        }
+    }
+}

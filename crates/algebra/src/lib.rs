@@ -1,0 +1,44 @@
+//! Routing algebras for the Timepiece reproduction.
+//!
+//! A routing algebra (Griffin & Sobrinho's metarouting, as used by the paper's
+//! §2.1 model) is a tuple `(S, I, F, ⊕)`: a set of routes, initial routes per
+//! node, per-edge transfer functions, and a merge (selection) function.
+//!
+//! This crate provides the algebra abstraction at two levels:
+//!
+//! * **Concrete** ([`RoutingAlgebra`]): Rust values and functions, used by the
+//!   fast simulator and for checking algebraic laws ([`laws`]) with property
+//!   tests. Instances: [`ShortestPath`], [`WidestPath`], [`Bgp`].
+//! * **Symbolic** ([`Network`]): routes are terms of the `timepiece-expr` IR
+//!   and the functions build terms, so one definition drives both the
+//!   reference simulator (by interpretation) and the SMT verifier (by
+//!   compilation).
+//!
+//! # Example
+//!
+//! ```
+//! use timepiece_algebra::{RoutingAlgebra, ShortestPath};
+//! use timepiece_topology::gen;
+//!
+//! let g = gen::path(3);
+//! let dest = g.node_by_name("v0").unwrap();
+//! let alg = ShortestPath::new(dest);
+//! let r = alg.transfer((dest, g.node_by_name("v1").unwrap()), &alg.initial(dest));
+//! assert_eq!(r, Some(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bgp;
+pub mod laws;
+pub mod network;
+pub mod shortest_path;
+pub mod traits;
+pub mod widest_path;
+
+pub use bgp::{Bgp, BgpRoute, EdgePolicy};
+pub use network::{Network, NetworkBuilder, Symbolic};
+pub use shortest_path::ShortestPath;
+pub use traits::RoutingAlgebra;
+pub use widest_path::WidestPath;

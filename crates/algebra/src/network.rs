@@ -1,0 +1,547 @@
+//! The expression-level network model.
+//!
+//! A [`Network`] is a routing algebra whose routes are terms of the
+//! `timepiece-expr` IR: the initial routes are expressions (possibly over
+//! symbolic variables), and transfer/merge are functions from terms to terms.
+//! One definition therefore drives both concrete simulation (interpret the
+//! terms) and SMT verification (compile the terms) — the sim/verifier
+//! agreement the paper gets from using Zen for both.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use timepiece_expr::{Expr, Type, TypeError, Value};
+use timepiece_topology::{NodeId, Topology};
+
+/// A transfer function `f_e`, building the route sent across an edge.
+pub type TransferFn = Arc<dyn Fn(&Expr) -> Expr + Send + Sync>;
+
+/// The merge function `⊕`, building the better of two routes.
+pub type MergeFn = Arc<dyn Fn(&Expr, &Expr) -> Expr + Send + Sync>;
+
+/// A symbolic input to the network: an unconstrained value chosen by the
+/// adversary/environment, optionally restricted by a precondition.
+///
+/// Examples from the paper: the arbitrary route announced by an external
+/// peer, or the symbolic destination prefix of the `Hijack` benchmark.
+#[derive(Clone)]
+pub struct Symbolic {
+    name: String,
+    ty: Type,
+    constraint: Option<Expr>,
+}
+
+impl Symbolic {
+    /// Creates a symbolic value, optionally constrained.
+    ///
+    /// The constraint may mention the symbolic variable itself (via
+    /// [`Symbolic::var`]) and any other symbolic of the same network.
+    pub fn new(name: impl Into<String>, ty: Type, constraint: Option<Expr>) -> Symbolic {
+        Symbolic { name: name.into(), ty, constraint }
+    }
+
+    /// The symbolic variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The symbolic variable's type.
+    pub fn ty(&self) -> &Type {
+        &self.ty
+    }
+
+    /// The precondition, if any.
+    pub fn constraint(&self) -> Option<&Expr> {
+        self.constraint.as_ref()
+    }
+
+    /// The variable term referring to this symbolic.
+    pub fn var(&self) -> Expr {
+        Expr::var(self.name.clone(), self.ty.clone())
+    }
+}
+
+impl fmt::Debug for Symbolic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Symbolic")
+            .field("name", &self.name)
+            .field("ty", &self.ty.to_string())
+            .field("constrained", &self.constraint.is_some())
+            .finish()
+    }
+}
+
+/// An error found while assembling or validating a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// An edge has no transfer function and no default was provided.
+    MissingTransfer {
+        /// The edge without a transfer function.
+        edge: (NodeId, NodeId),
+    },
+    /// Two symbolics share a name.
+    DuplicateSymbolic(String),
+    /// An initial route, transfer result, merge result or constraint had the
+    /// wrong type.
+    BadType {
+        /// Which component was ill-typed.
+        what: String,
+        /// The underlying type error.
+        source: TypeError,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::MissingTransfer { edge } => {
+                write!(f, "edge {} -> {} has no transfer function", edge.0, edge.1)
+            }
+            NetworkError::DuplicateSymbolic(name) => {
+                write!(f, "duplicate symbolic value {name:?}")
+            }
+            NetworkError::BadType { what, source } => write!(f, "ill-typed {what}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::BadType { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A complete network instance `N = (G, S, I, F, ⊕)` at the expression level.
+///
+/// Build one with [`NetworkBuilder`]; the builder validates the types of
+/// every component against the declared route type.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_algebra::NetworkBuilder;
+/// use timepiece_expr::{Expr, Type};
+/// use timepiece_topology::gen;
+///
+/// // hop-count routing to v0 on a 3-node path
+/// let g = gen::path(3);
+/// let dest = g.node_by_name("v0").unwrap();
+/// let route_ty = Type::option(Type::Int);
+/// let net = NetworkBuilder::new(g, route_ty.clone())
+///     .merge(|a, b| {
+///         let better = a.clone().get_some().le(b.clone().get_some());
+///         b.clone().is_none().or(a.clone().is_some().and(better)).ite(a.clone(), b.clone())
+///     })
+///     .default_transfer(|r| {
+///         r.clone().match_option(Expr::none(Type::Int), |hops| hops.add(Expr::int(1)).some())
+///     })
+///     .init(dest, Expr::int(0).some())
+///     .build()?;
+/// assert_eq!(net.route_type(), &route_ty);
+/// # Ok::<(), timepiece_algebra::network::NetworkError>(())
+/// ```
+#[derive(Clone)]
+pub struct Network {
+    topology: Arc<Topology>,
+    route_type: Type,
+    init: Vec<Expr>,
+    transfers: HashMap<(NodeId, NodeId), TransferFn>,
+    merge: MergeFn,
+    symbolics: Vec<Symbolic>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.topology.node_count())
+            .field("edges", &self.topology.edge_count())
+            .field("route_type", &self.route_type.to_string())
+            .field("symbolics", &self.symbolics)
+            .finish()
+    }
+}
+
+impl Network {
+    /// The topology `G`.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// A shared handle to the topology.
+    pub fn topology_arc(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology)
+    }
+
+    /// The route type `S`.
+    pub fn route_type(&self) -> &Type {
+        &self.route_type
+    }
+
+    /// The initial route term `I(v)`.
+    pub fn init(&self, v: NodeId) -> &Expr {
+        &self.init[v.index()]
+    }
+
+    /// Applies the transfer function of an edge to a route term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge has no transfer function (prevented by the builder
+    /// for edges of the topology).
+    pub fn transfer(&self, edge: (NodeId, NodeId), route: &Expr) -> Expr {
+        (self.transfers.get(&edge).unwrap_or_else(|| {
+            panic!("no transfer function for edge {} -> {}", edge.0, edge.1)
+        }))(route)
+    }
+
+    /// Applies the merge function to two route terms.
+    pub fn merge(&self, a: &Expr, b: &Expr) -> Expr {
+        (self.merge)(a, b)
+    }
+
+    /// The symbolic inputs.
+    pub fn symbolics(&self) -> &[Symbolic] {
+        &self.symbolics
+    }
+
+    /// The preconditions of all symbolics, as boolean terms.
+    pub fn symbolic_constraints(&self) -> Vec<Expr> {
+        self.symbolics.iter().filter_map(|s| s.constraint().cloned()).collect()
+    }
+
+    /// A fresh variable denoting the route of node `u` (used as a neighbor
+    /// input when building verification conditions).
+    pub fn route_var(&self, u: NodeId) -> Expr {
+        Expr::var(format!("route-{}", self.topology.name(u)), self.route_type.clone())
+    }
+
+    /// The one-step update `I(v) ⊕ ⨁_u f_{uv}(r_u)` of equation (4), given a
+    /// route term for each in-neighbor (in `preds(v)` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbor_routes` does not match `preds(v)` in length.
+    pub fn step(&self, v: NodeId, neighbor_routes: &[Expr]) -> Expr {
+        let preds = self.topology.preds(v);
+        assert_eq!(
+            preds.len(),
+            neighbor_routes.len(),
+            "step at {} expects one route per in-neighbor",
+            self.topology.name(v)
+        );
+        let mut acc = self.init(v).clone();
+        for (&u, r) in preds.iter().zip(neighbor_routes) {
+            let transferred = self.transfer((u, v), r);
+            acc = self.merge(&acc, &transferred);
+        }
+        acc
+    }
+}
+
+/// Builder for [`Network`], validating component types at [`build`].
+///
+/// [`build`]: NetworkBuilder::build
+pub struct NetworkBuilder {
+    topology: Topology,
+    route_type: Type,
+    init: Vec<Option<Expr>>,
+    transfers: HashMap<(NodeId, NodeId), TransferFn>,
+    default_transfer: Option<TransferFn>,
+    merge: Option<MergeFn>,
+    symbolics: Vec<Symbolic>,
+}
+
+impl fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetworkBuilder")
+            .field("nodes", &self.topology.node_count())
+            .field("route_type", &self.route_type.to_string())
+            .finish()
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a topology and route type.
+    pub fn new(topology: Topology, route_type: Type) -> NetworkBuilder {
+        let n = topology.node_count();
+        NetworkBuilder {
+            topology,
+            route_type,
+            init: vec![None; n],
+            transfers: HashMap::new(),
+            default_transfer: None,
+            merge: None,
+            symbolics: Vec::new(),
+        }
+    }
+
+    /// Sets the merge function `⊕`.
+    pub fn merge(mut self, f: impl Fn(&Expr, &Expr) -> Expr + Send + Sync + 'static) -> Self {
+        self.merge = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets the initial route of a node (default: the route type's default
+    /// value — `None` for option route types, matching the paper's `∞`).
+    pub fn init(mut self, v: NodeId, route: Expr) -> Self {
+        self.init[v.index()] = Some(route);
+        self
+    }
+
+    /// Sets the transfer function of one edge.
+    pub fn transfer(
+        mut self,
+        edge: (NodeId, NodeId),
+        f: impl Fn(&Expr) -> Expr + Send + Sync + 'static,
+    ) -> Self {
+        self.transfers.insert(edge, Arc::new(f));
+        self
+    }
+
+    /// Sets the transfer function used by edges without a specific one.
+    pub fn default_transfer(mut self, f: impl Fn(&Expr) -> Expr + Send + Sync + 'static) -> Self {
+        self.default_transfer = Some(Arc::new(f));
+        self
+    }
+
+    /// Declares a symbolic input.
+    pub fn symbolic(mut self, s: Symbolic) -> Self {
+        self.symbolics.push(s);
+        self
+    }
+
+    /// Validates and assembles the network.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::MissingTransfer`] if an edge lacks a transfer
+    ///   function and no default was set;
+    /// * [`NetworkError::DuplicateSymbolic`] for name collisions;
+    /// * [`NetworkError::BadType`] if any initial route, transfer output,
+    ///   merge output or symbolic constraint does not type check against the
+    ///   route type.
+    pub fn build(self) -> Result<Network, NetworkError> {
+        let NetworkBuilder {
+            topology,
+            route_type,
+            init,
+            mut transfers,
+            default_transfer,
+            merge,
+            symbolics,
+        } = self;
+
+        for (i, s) in symbolics.iter().enumerate() {
+            if symbolics[..i].iter().any(|t| t.name() == s.name()) {
+                return Err(NetworkError::DuplicateSymbolic(s.name().to_owned()));
+            }
+            if let Some(c) = s.constraint() {
+                expect_type(c, &Type::Bool, &format!("constraint of symbolic {}", s.name()))?;
+            }
+        }
+
+        // fill in defaults and check edges
+        for (u, v) in topology.edges() {
+            if let std::collections::hash_map::Entry::Vacant(e) = transfers.entry((u, v)) {
+                match &default_transfer {
+                    Some(f) => {
+                        e.insert(Arc::clone(f));
+                    }
+                    None => return Err(NetworkError::MissingTransfer { edge: (u, v) }),
+                }
+            }
+        }
+
+        let merge = merge.unwrap_or_else(|| {
+            // a network with no merge cannot select among neighbors; default to
+            // first-argument selection only for single-predecessor graphs, but
+            // requiring an explicit merge is clearer — keep a panicking stub.
+            Arc::new(|_: &Expr, _: &Expr| panic!("network merge function was not set"))
+        });
+
+        let default_init = Expr::constant(Value::default_of(&route_type));
+        let init: Vec<Expr> =
+            init.into_iter().map(|e| e.unwrap_or_else(|| default_init.clone())).collect();
+
+        // type check every component against the route type
+        let probe_a = Expr::var("probe-a", route_type.clone());
+        let probe_b = Expr::var("probe-b", route_type.clone());
+        expect_type(&merge(&probe_a, &probe_b), &route_type, "merge result")?;
+        for (v, e) in init.iter().enumerate() {
+            expect_type(e, &route_type, &format!("initial route of {}", topology.name(NodeId::new(v as u32))))?;
+        }
+        for ((u, v), f) in &transfers {
+            expect_type(
+                &f(&probe_a),
+                &route_type,
+                &format!("transfer result of {} -> {}", topology.name(*u), topology.name(*v)),
+            )?;
+        }
+
+        Ok(Network {
+            topology: Arc::new(topology),
+            route_type,
+            init,
+            transfers,
+            merge,
+            symbolics,
+        })
+    }
+}
+
+fn expect_type(e: &Expr, expected: &Type, what: &str) -> Result<(), NetworkError> {
+    match e.type_of() {
+        Ok(t) if &t == expected => Ok(()),
+        Ok(t) => Err(NetworkError::BadType {
+            what: what.to_owned(),
+            source: TypeError::Mismatch {
+                context: "network component",
+                expected: expected.clone(),
+                found: t,
+            },
+        }),
+        Err(source) => Err(NetworkError::BadType { what: what.to_owned(), source }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_expr::Env;
+    use timepiece_topology::gen;
+
+    fn hoplimit_net() -> Network {
+        let g = gen::path(3);
+        let dest = g.node_by_name("v0").unwrap();
+        NetworkBuilder::new(g, Type::option(Type::Int))
+            .merge(|a, b| {
+                let a_better = a.clone().get_some().le(b.clone().get_some());
+                b.clone()
+                    .is_none()
+                    .or(a.clone().is_some().and(a_better))
+                    .ite(a.clone(), b.clone())
+            })
+            .default_transfer(|r| {
+                r.clone().match_option(Expr::none(Type::Int), |h| h.add(Expr::int(1)).some())
+            })
+            .init(dest, Expr::int(0).some())
+            .build()
+            .expect("valid network")
+    }
+
+    #[test]
+    fn build_validates_and_steps() {
+        let net = hoplimit_net();
+        let g = net.topology();
+        let v1 = g.node_by_name("v1").unwrap();
+        // v1's only pred is v0 with route Some(0): one step gives Some(1)
+        let stepped = net.step(v1, &[Expr::int(0).some()]);
+        let v = stepped.eval(&Env::new()).unwrap();
+        assert_eq!(v, Value::some(Value::int(1)));
+    }
+
+    #[test]
+    fn default_init_is_type_default() {
+        let net = hoplimit_net();
+        let g = net.topology();
+        let v2 = g.node_by_name("v2").unwrap();
+        let v = net.init(v2).eval(&Env::new()).unwrap();
+        assert_eq!(v, Value::none(Type::Int));
+    }
+
+    #[test]
+    fn missing_transfer_reported() {
+        let g = gen::path(2);
+        let err = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::MissingTransfer { .. }));
+    }
+
+    #[test]
+    fn ill_typed_merge_reported() {
+        let g = gen::path(2);
+        let err = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().and(b.clone()).some()) // option<bool>, not bool
+            .default_transfer(|r| r.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::BadType { .. }));
+    }
+
+    #[test]
+    fn ill_typed_init_reported() {
+        let g = gen::path(2);
+        let v0 = g.node_by_name("v0").unwrap();
+        let err = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(v0, Expr::int(3))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::BadType { .. }));
+    }
+
+    #[test]
+    fn duplicate_symbolic_reported() {
+        let g = gen::path(2);
+        let err = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .symbolic(Symbolic::new("s", Type::Bool, None))
+            .symbolic(Symbolic::new("s", Type::Int, None))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetworkError::DuplicateSymbolic("s".into()));
+    }
+
+    #[test]
+    fn symbolic_constraints_collected() {
+        let g = gen::path(2);
+        let s = Symbolic::new("x", Type::Int, None);
+        let c = s.var().ge(Expr::int(0));
+        let net = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .symbolic(Symbolic::new("x", Type::Int, Some(c)))
+            .build()
+            .unwrap();
+        assert_eq!(net.symbolics().len(), 1);
+        assert_eq!(net.symbolic_constraints().len(), 1);
+        let _ = s;
+    }
+
+    #[test]
+    fn network_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Network>();
+    }
+
+    #[test]
+    fn per_edge_transfer_overrides_default() {
+        let g = gen::path(2);
+        let v0 = g.node_by_name("v0").unwrap();
+        let v1 = g.node_by_name("v1").unwrap();
+        let net = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .transfer((v0, v1), |_| Expr::bool(false))
+            .build()
+            .unwrap();
+        let out = net.transfer((v0, v1), &Expr::bool(true));
+        assert_eq!(out.eval(&Env::new()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn step_length_mismatch_panics() {
+        let net = hoplimit_net();
+        let v1 = net.topology().node_by_name("v1").unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.step(v1, &[])));
+        assert!(result.is_err());
+    }
+}

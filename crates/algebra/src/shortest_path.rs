@@ -1,0 +1,92 @@
+//! The shortest-path (hop count) algebra — RIP-like routing to one
+//! destination.
+
+use timepiece_topology::NodeId;
+
+use crate::traits::RoutingAlgebra;
+
+/// Hop-count routing to a single destination; `None` is the absent route.
+///
+/// This is the concrete counterpart of the paper's `Reach` policy: transfer
+/// increments the hop count, merge prefers the shorter route.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_algebra::{RoutingAlgebra, ShortestPath};
+/// use timepiece_topology::NodeId;
+///
+/// let alg = ShortestPath::new(NodeId::new(0));
+/// assert_eq!(alg.merge(&Some(3), &Some(1)), Some(1));
+/// assert_eq!(alg.merge(&None, &Some(9)), Some(9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShortestPath {
+    dest: NodeId,
+}
+
+impl ShortestPath {
+    /// Creates the algebra with the given destination.
+    pub fn new(dest: NodeId) -> ShortestPath {
+        ShortestPath { dest }
+    }
+
+    /// The destination node.
+    pub fn dest(&self) -> NodeId {
+        self.dest
+    }
+}
+
+impl RoutingAlgebra for ShortestPath {
+    type Route = Option<u64>;
+
+    fn initial(&self, v: NodeId) -> Option<u64> {
+        if v == self.dest {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    fn transfer(&self, _edge: (NodeId, NodeId), route: &Option<u64>) -> Option<u64> {
+        route.map(|hops| hops.saturating_add(1))
+    }
+
+    fn merge(&self, a: &Option<u64>, b: &Option<u64>) -> Option<u64> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(*x.min(y)),
+            (Some(x), None) | (None, Some(x)) => Some(*x),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_only_at_dest() {
+        let alg = ShortestPath::new(NodeId::new(2));
+        assert_eq!(alg.initial(NodeId::new(2)), Some(0));
+        assert_eq!(alg.initial(NodeId::new(0)), None);
+        assert_eq!(alg.dest(), NodeId::new(2));
+    }
+
+    #[test]
+    fn transfer_increments_and_preserves_none() {
+        let alg = ShortestPath::new(NodeId::new(0));
+        let e = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(alg.transfer(e, &Some(4)), Some(5));
+        assert_eq!(alg.transfer(e, &None), None);
+        assert_eq!(alg.transfer(e, &Some(u64::MAX)), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_prefers_present_then_shorter() {
+        let alg = ShortestPath::new(NodeId::new(0));
+        assert_eq!(alg.merge(&None, &None), None);
+        assert_eq!(alg.merge(&Some(2), &Some(2)), Some(2));
+        assert_eq!(alg.merge(&Some(1), &Some(5)), Some(1));
+    }
+}

@@ -1,0 +1,77 @@
+//! The routing algebra abstraction.
+
+use std::fmt::Debug;
+
+use timepiece_topology::NodeId;
+
+/// A routing algebra `(S, I, F, ⊕)` over a fixed topology.
+///
+/// * `Route` is the route set `S` (conventionally an `Option`, with `None`
+///   playing the paper's `∞` "no route").
+/// * [`RoutingAlgebra::initial`] is the initialization function `I`.
+/// * [`RoutingAlgebra::transfer`] is the edge transfer family `F`.
+/// * [`RoutingAlgebra::merge`] is the selection function `⊕`, expected to be
+///   associative, commutative and selective (see [`crate::laws`]).
+pub trait RoutingAlgebra {
+    /// The set of routes `S`.
+    type Route: Clone + Debug + PartialEq;
+
+    /// The initial route `I(v)` of a node.
+    fn initial(&self, v: NodeId) -> Self::Route;
+
+    /// The transfer function `f_{uv}` applied to a route crossing `u → v`.
+    fn transfer(&self, edge: (NodeId, NodeId), route: &Self::Route) -> Self::Route;
+
+    /// The merge `a ⊕ b`, selecting the better of two routes.
+    fn merge(&self, a: &Self::Route, b: &Self::Route) -> Self::Route;
+
+    /// Folds merge over any number of candidate routes, starting from `init`.
+    fn merge_all<'a>(
+        &self,
+        init: Self::Route,
+        candidates: impl IntoIterator<Item = &'a Self::Route>,
+    ) -> Self::Route
+    where
+        Self::Route: 'a,
+    {
+        candidates.into_iter().fold(init, |acc, r| self.merge(&acc, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_topology::NodeId;
+
+    /// A toy algebra: routes are hop counts, merge is min.
+    struct MinHops;
+
+    impl RoutingAlgebra for MinHops {
+        type Route = u32;
+
+        fn initial(&self, v: NodeId) -> u32 {
+            if v.index() == 0 {
+                0
+            } else {
+                u32::MAX
+            }
+        }
+
+        fn transfer(&self, _edge: (NodeId, NodeId), route: &u32) -> u32 {
+            route.saturating_add(1)
+        }
+
+        fn merge(&self, a: &u32, b: &u32) -> u32 {
+            *a.min(b)
+        }
+    }
+
+    #[test]
+    fn merge_all_folds() {
+        let alg = MinHops;
+        let routes = [7, 3, 9];
+        assert_eq!(alg.merge_all(5, routes.iter()), 3);
+        assert_eq!(alg.merge_all(1, routes.iter()), 1);
+        assert_eq!(alg.merge_all(u32::MAX, [].iter()), u32::MAX);
+    }
+}

@@ -1,0 +1,98 @@
+//! The widest-path (maximum bottleneck bandwidth) algebra.
+
+use std::collections::HashMap;
+
+use timepiece_topology::NodeId;
+
+use crate::traits::RoutingAlgebra;
+
+/// Bottleneck-bandwidth routing to a single destination.
+///
+/// A route carries the minimum capacity along its path; merge prefers the
+/// *widest* route. This algebra is selective and monotone (capacities only
+/// shrink along a path), so it converges like shortest paths — it exists here
+/// to exercise the algebra laws on a non-additive instance.
+#[derive(Debug, Clone)]
+pub struct WidestPath {
+    dest: NodeId,
+    capacities: HashMap<(NodeId, NodeId), u64>,
+    default_capacity: u64,
+}
+
+impl WidestPath {
+    /// Creates the algebra; edges not in `capacities` get `default_capacity`.
+    pub fn new(
+        dest: NodeId,
+        capacities: HashMap<(NodeId, NodeId), u64>,
+        default_capacity: u64,
+    ) -> WidestPath {
+        WidestPath { dest, capacities, default_capacity }
+    }
+
+    /// The capacity of an edge.
+    pub fn capacity(&self, edge: (NodeId, NodeId)) -> u64 {
+        self.capacities.get(&edge).copied().unwrap_or(self.default_capacity)
+    }
+}
+
+impl RoutingAlgebra for WidestPath {
+    type Route = Option<u64>;
+
+    fn initial(&self, v: NodeId) -> Option<u64> {
+        if v == self.dest {
+            Some(u64::MAX)
+        } else {
+            None
+        }
+    }
+
+    fn transfer(&self, edge: (NodeId, NodeId), route: &Option<u64>) -> Option<u64> {
+        route.map(|width| width.min(self.capacity(edge)))
+    }
+
+    fn merge(&self, a: &Option<u64>, b: &Option<u64>) -> Option<u64> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(*x.max(y)),
+            (Some(x), None) | (None, Some(x)) => Some(*x),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alg() -> WidestPath {
+        let mut caps = HashMap::new();
+        caps.insert((NodeId::new(0), NodeId::new(1)), 10);
+        caps.insert((NodeId::new(1), NodeId::new(2)), 40);
+        WidestPath::new(NodeId::new(0), caps, 100)
+    }
+
+    #[test]
+    fn transfer_takes_bottleneck() {
+        let a = alg();
+        let e01 = (NodeId::new(0), NodeId::new(1));
+        let e12 = (NodeId::new(1), NodeId::new(2));
+        let at1 = a.transfer(e01, &a.initial(NodeId::new(0)));
+        assert_eq!(at1, Some(10));
+        assert_eq!(a.transfer(e12, &at1), Some(10)); // 40 does not widen 10
+    }
+
+    #[test]
+    fn default_capacity_applies() {
+        let a = alg();
+        let unknown = (NodeId::new(5), NodeId::new(6));
+        assert_eq!(a.capacity(unknown), 100);
+        assert_eq!(a.transfer(unknown, &Some(u64::MAX)), Some(100));
+    }
+
+    #[test]
+    fn merge_prefers_wider() {
+        let a = alg();
+        assert_eq!(a.merge(&Some(10), &Some(40)), Some(40));
+        assert_eq!(a.merge(&None, &Some(1)), Some(1));
+        assert_eq!(a.merge(&None, &None), None);
+    }
+}

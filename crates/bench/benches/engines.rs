@@ -1,0 +1,95 @@
+//! Criterion comparison of the two engines (Fig. 1's shape at small k) and
+//! ablations of the design choices called out in DESIGN.md: encoding cost
+//! versus solving cost, and thread-count scaling.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timepiece_bench::{fattree_instance, BenchKind};
+use timepiece_core::check::{CheckOptions, ModularChecker};
+use timepiece_core::monolithic::{check_monolithic, monolithic_vc};
+use timepiece_core::vc::inductive_vc;
+use timepiece_smt::Encoder;
+
+fn bench_modular_vs_monolithic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1-k4");
+    group.sample_size(10).measurement_time(Duration::from_secs(30));
+    let inst = fattree_instance(BenchKind::SpHijack, 4);
+    group.bench_function("modular", |b| {
+        let checker = ModularChecker::new(CheckOptions::default());
+        b.iter(|| {
+            assert!(checker
+                .check(&inst.network, &inst.interface, &inst.property)
+                .expect("encodes")
+                .is_verified());
+        })
+    });
+    group.bench_function("monolithic", |b| {
+        b.iter(|| {
+            assert!(check_monolithic(&inst.network, &inst.property, None)
+                .expect("encodes")
+                .outcome
+                .is_verified());
+        })
+    });
+    group.finish();
+}
+
+fn bench_encoding_cost(c: &mut Criterion) {
+    // ablation: how much of a node check is formula construction vs solving
+    let mut group = c.benchmark_group("encoding");
+    group.sample_size(20);
+    let inst = fattree_instance(BenchKind::SpLen, 8);
+    let core = inst
+        .network
+        .topology()
+        .nodes()
+        .max_by_key(|&v| inst.network.topology().in_degree(v))
+        .expect("nonempty");
+    group.bench_function("inductive-vc-build+compile", |b| {
+        b.iter(|| {
+            let vc = inductive_vc(&inst.network, &inst.interface, core, 0);
+            let mut enc = Encoder::new();
+            for a in vc.assumptions() {
+                enc.compile_bool(a).expect("encodes");
+            }
+            enc.compile_bool(vc.goal()).expect("encodes");
+        })
+    });
+    group.bench_function("monolithic-vc-build+compile", |b| {
+        b.iter(|| {
+            let vc = monolithic_vc(&inst.network, &inst.property);
+            let mut enc = Encoder::new();
+            for a in vc.assumptions() {
+                enc.compile_bool(a).expect("encodes");
+            }
+            enc.compile_bool(vc.goal()).expect("encodes");
+        })
+    });
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    // ablation: the embarrassingly-parallel claim — same work, varying pool
+    let mut group = c.benchmark_group("threads");
+    group.sample_size(10).measurement_time(Duration::from_secs(30));
+    let inst = fattree_instance(BenchKind::SpReach, 8);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("t{threads}"), |b| {
+            let checker = ModularChecker::new(CheckOptions {
+                threads: Some(threads),
+                ..CheckOptions::default()
+            });
+            b.iter(|| {
+                assert!(checker
+                    .check(&inst.network, &inst.interface, &inst.property)
+                    .expect("encodes")
+                    .is_verified());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modular_vs_monolithic, bench_encoding_cost, bench_thread_scaling);
+criterion_main!(benches);

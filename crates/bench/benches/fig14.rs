@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the Fig. 14 fattree sweeps at small k.
+//!
+//! These measure the modular engine end-to-end (all three conditions at all
+//! nodes, in parallel) for each of the eight benchmarks. The full paper-size
+//! sweep lives in the `repro` binary; keeping criterion at k = 4 makes
+//! `cargo bench` finish in minutes while still tracking regressions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timepiece_bench::{fattree_instance, BenchKind};
+use timepiece_core::check::{CheckOptions, ModularChecker};
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14-k4");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    for kind in BenchKind::ALL {
+        let inst = fattree_instance(kind, 4);
+        let checker = ModularChecker::new(CheckOptions::default());
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let report = checker
+                    .check(&inst.network, &inst.interface, &inst.property)
+                    .expect("encodes");
+                assert!(report.is_verified());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_node(c: &mut Criterion) {
+    // the paper's headline: individual node checks take milliseconds
+    let mut group = c.benchmark_group("single-node-check");
+    group.sample_size(10);
+    for kind in [BenchKind::SpReach, BenchKind::SpHijack] {
+        let inst = fattree_instance(kind, 8);
+        let checker = ModularChecker::new(CheckOptions::default());
+        let node = inst.network.topology().nodes().next().expect("nonempty");
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let (failures, _) = checker
+                    .check_node(&inst.network, &inst.interface, &inst.property, node)
+                    .expect("encodes");
+                assert!(failures.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14, bench_single_node);
+criterion_main!(benches);

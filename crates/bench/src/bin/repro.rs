@@ -1,0 +1,339 @@
+//! Regenerates every table and figure of the paper as text output.
+//!
+//! ```text
+//! repro fig1      [--max-k N] [--timeout-secs S] [--threads T]
+//! repro fig3
+//! repro fig13
+//! repro fig14     [--bench NAME|all] [--max-k N] [--timeout-secs S] [--no-ms]
+//! repro table1
+//! repro table2
+//! repro table3
+//! repro wan       [--peers N] [--timeout-secs S]
+//! repro keyideas
+//! repro all
+//! ```
+//!
+//! Defaults keep the sweeps laptop-sized (k ≤ 12, 60 s budget); raise
+//! `--max-k`/`--timeout-secs` to push toward the paper's k = 40 / 2 h runs.
+
+use std::time::Duration;
+
+use timepiece_bench::{loc, run_row, BenchKind, SweepOptions};
+use timepiece_core::check::{CheckOptions, ModularChecker};
+use timepiece_core::monolithic::check_monolithic;
+use timepiece_core::strawperson::check_strawperson;
+use timepiece_expr::Env;
+use timepiece_nets::example::{RunningExample, EXTERNAL_ROUTE_VAR};
+use timepiece_nets::ghost;
+use timepiece_nets::wan::WanBench;
+use timepiece_topology::FatTree;
+
+struct Args {
+    max_k: usize,
+    timeout: Duration,
+    threads: Option<usize>,
+    bench: String,
+    run_ms: bool,
+    peers: usize,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args {
+        max_k: 12,
+        timeout: Duration::from_secs(60),
+        threads: None,
+        bench: "all".to_owned(),
+        run_ms: true,
+        peers: 253,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut next = |what: &str| {
+            it.next().unwrap_or_else(|| panic!("{flag} requires a value ({what})")).clone()
+        };
+        match flag.as_str() {
+            "--max-k" => args.max_k = next("k").parse().expect("integer k"),
+            "--timeout-secs" => {
+                args.timeout = Duration::from_secs(next("seconds").parse().expect("seconds"))
+            }
+            "--threads" => args.threads = Some(next("threads").parse().expect("threads")),
+            "--bench" => args.bench = next("benchmark name"),
+            "--no-ms" => args.run_ms = false,
+            "--peers" => args.peers = next("peers").parse().expect("peers"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn ks(max_k: usize) -> Vec<usize> {
+    (4..=max_k).step_by(4).collect()
+}
+
+fn sweep(kind: BenchKind, args: &Args) {
+    println!("\n=== Fig. {} — {} (Tp vs Ms) ===", kind.figure(), kind.name());
+    println!(
+        "{:>4} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "k", "nodes", "Tp total", "Tp median", "Tp p99", "Ms"
+    );
+    let options = SweepOptions {
+        timeout: args.timeout,
+        run_monolithic: args.run_ms,
+        threads: args.threads,
+    };
+    for k in ks(args.max_k) {
+        let row = run_row(kind, k, &options);
+        println!(
+            "{:>4} {:>6} {:>12} {:>12} {:>12} {:>12}",
+            row.k,
+            row.nodes,
+            row.tp.display(),
+            format!("{:.3}s", row.tp_median.as_secs_f64()),
+            format!("{:.3}s", row.tp_p99.as_secs_f64()),
+            row.ms.map_or("-".to_owned(), |m| m.display()),
+        );
+    }
+}
+
+fn fig1(args: &Args) {
+    // Fig. 1: connectivity with external route announcements — the Hijack
+    // policy is the evaluation's benchmark with exactly that shape.
+    println!("=== Fig. 1 — modular vs monolithic verification time ===");
+    println!("(SpHijack: fattree connectivity with symbolic external announcements)");
+    sweep(BenchKind::SpHijack, args);
+}
+
+fn fig3() {
+    println!("=== Fig. 3 — running example simulation ===");
+    let ex = RunningExample::new();
+    let mut env = Env::new();
+    env.bind(EXTERNAL_ROUTE_VAR, ex.no_route());
+    let trace = timepiece_sim::simulate(&ex.network, &env, 16).expect("simulates");
+    print!("{:>4}", "time");
+    for v in ex.network.topology().nodes() {
+        print!(" {:>28}", ex.network.topology().name(v));
+    }
+    println!();
+    for t in 0..=4 {
+        print!("{t:>4}");
+        for v in ex.network.topology().nodes() {
+            print!(" {:>28}", trace.state(v, t).to_string());
+        }
+        println!();
+    }
+    println!("paper: stabilizes at time 3; measured: converged at t = {:?}", trace.converged_at());
+}
+
+fn fig13() {
+    println!("=== Fig. 13 — example 4-fattree with Vf down-edge tagging ===");
+    let ft = FatTree::new(4);
+    for v in ft.topology().nodes() {
+        let succs: Vec<String> = ft
+            .topology()
+            .succs(v)
+            .iter()
+            .map(|&u| {
+                let marker = if ft.is_down_edge(v, u) { "↓" } else { "↑" };
+                format!("{}{marker}", ft.topology().name(u))
+            })
+            .collect();
+        println!("  {:>9} -> {}", ft.topology().name(v), succs.join(", "));
+    }
+    println!(
+        "(nodes: {} = 1.25k², directed edges: {} = k³; ↓ edges add the `down` community)",
+        ft.topology().node_count(),
+        ft.topology().edge_count()
+    );
+}
+
+fn table1() {
+    println!("=== Table 1 — ghost-state property encodings ===");
+    let check = |inst: &timepiece_nets::BenchInstance| {
+        ModularChecker::new(CheckOptions::default())
+            .check(&inst.network, &inst.interface, &inst.property)
+            .expect("encodes")
+            .is_verified()
+    };
+    let rows: [(&str, &str, bool, bool); 4] = [
+        (
+            "isolation",
+            "1 bit per isolation domain",
+            check(&ghost::isolation(true)),
+            !check(&ghost::isolation(false)),
+        ),
+        (
+            "unordered waypoint",
+            "k bits for k waypoints",
+            check(&ghost::unordered_waypoints(false)),
+            !check(&ghost::unordered_waypoints(true)),
+        ),
+        (
+            "no-transit",
+            "mark with {peer, prov, cust}",
+            check(&ghost::no_transit(false)),
+            !check(&ghost::no_transit(true)),
+        ),
+        (
+            "fault tolerance",
+            "1 symbolic bit per tracked edge",
+            check(&ghost::fault_tolerance(false)),
+            !check(&ghost::fault_tolerance(true)),
+        ),
+    ];
+    println!("{:<20} {:<34} {:>9} {:>12}", "property", "ghost state", "verified", "bug caught");
+    for (name, state, ok, caught) in rows {
+        println!("{name:<20} {state:<34} {ok:>9} {caught:>12}");
+    }
+    println!("(reachability-origin bit: see `repro keyideas` Fig. 10; bounded length: Fig. 14b)");
+}
+
+fn table2() {
+    println!("=== Table 2 — lines of code per benchmark definition ===");
+    println!(
+        "{:<18} {:>12} {:>14} {:>13}   (paper C# values in parentheses)",
+        "benchmark", "network LoC", "interface LoC", "property LoC"
+    );
+    for (row, (pname, pn, pi, pp)) in loc::table2().iter().zip(loc::PAPER_TABLE2) {
+        assert_eq!(row.benchmark, pname);
+        println!(
+            "{:<18} {:>8} ({pn:>3}) {:>9} ({pi:>3}) {:>8} ({pp:>3})",
+            row.benchmark, row.network, row.interface, row.property
+        );
+    }
+}
+
+fn table3() {
+    println!("=== Table 3 — eBGP route fields modelled in SMT ===");
+    let schema = timepiece_nets::bgp::BgpSchema::new(["down"], ["tag"]);
+    println!("{:<28} {:<24}", "route field", "modelled type in SMT");
+    for (name, ty) in schema.record_def().fields() {
+        let smt_ty = match ty {
+            timepiece_expr::Type::BitVec(w) => format!("bitvector({w})"),
+            timepiece_expr::Type::Int => "integer".to_owned(),
+            timepiece_expr::Type::Enum(d) => format!("enum {{{}}}", d.variants().join(", ")),
+            timepiece_expr::Type::Set(d) => format!("set over {} tags (bitvector)", d.universe().len()),
+            timepiece_expr::Type::Bool => "boolean (ghost)".to_owned(),
+            other => other.to_string(),
+        };
+        println!("{name:<28} {smt_ty:<24}");
+    }
+}
+
+fn wan(args: &Args) {
+    println!("=== §6 WAN — BlockToExternal on synthetic Internet2 ===");
+    let bench = WanBench::with_peers(7, args.peers);
+    let inst = bench.build();
+    println!(
+        "{} internal + {} peers, ~{} policy terms",
+        bench.wan().internal_nodes().count(),
+        bench.wan().external_nodes().count(),
+        bench.policy_term_count()
+    );
+    let checker = ModularChecker::new(CheckOptions {
+        timeout: Some(args.timeout),
+        threads: args.threads,
+        ..CheckOptions::default()
+    });
+    let report = checker
+        .check(&inst.network, &inst.interface, &inst.property)
+        .expect("encodes");
+    let stats = report.stats();
+    println!(
+        "modular:    verified = {} wall = {:.2}s median = {:.3}s p99 = {:.3}s",
+        report.is_verified(),
+        report.wall().as_secs_f64(),
+        stats.median.as_secs_f64(),
+        stats.p99.as_secs_f64(),
+    );
+    println!("            (paper: 38.3 s total, 0.6 s median, 4.2 s p99 on a 6-core laptop)");
+    let mono = check_monolithic(&inst.network, &inst.property, Some(args.timeout)).expect("encodes");
+    println!(
+        "monolithic: outcome = {} wall = {:.2}s   (paper: no result within 2 h)",
+        if mono.outcome.is_verified() { "verified" } else { "timeout/failed" },
+        mono.wall.as_secs_f64(),
+    );
+}
+
+fn keyideas() {
+    println!("=== §2 key ideas — Figs. 4–10 on the running example ===");
+    let ex = RunningExample::new();
+    let checker = ModularChecker::new(CheckOptions::default());
+    let verify = |a: &timepiece_core::NodeAnnotations, p: &timepiece_core::NodeAnnotations| {
+        checker.check(&ex.network, a, p).expect("encodes").is_verified()
+    };
+    println!(
+        "Fig. 7  tagging interfaces verify 'e's routes are tagged':        {}",
+        verify(&ex.tagging_interfaces(), &ex.tagging_property())
+    );
+    println!(
+        "Fig. 8  timed interfaces verify 'e eventually reaches w':        {}",
+        verify(&ex.reachability_interfaces(), &ex.reachability_property())
+    );
+    let bad = ex.bad_interfaces(false);
+    println!(
+        "Fig. 4/9 bad interfaces accepted by unsound strawperson (SV):     {}",
+        check_strawperson(&ex.network, &bad).expect("encodes").is_empty()
+    );
+    println!(
+        "Fig. 9  bad interfaces rejected by Timepiece (initial cond.):     {}",
+        !verify(&bad, &ex.tagging_property())
+    );
+    println!(
+        "Fig. 9  patched (∨ s=∞) still rejected (inductive cond.):        {}",
+        !verify(&ex.bad_interfaces(true), &ex.tagging_property())
+    );
+    println!(
+        "Fig. 10 ghost interfaces verify 'e's route originated at w':      {}",
+        verify(&ex.ghost_interfaces(), &ex.ghost_property())
+    );
+}
+
+fn fig14(args: &Args) {
+    if args.bench.eq_ignore_ascii_case("all") {
+        for kind in BenchKind::ALL {
+            sweep(kind, args);
+        }
+    } else {
+        let spec = args.bench.to_lowercase();
+        let kinds: Vec<BenchKind> = BenchKind::ALL
+            .into_iter()
+            .filter(|k| k.name().to_lowercase().contains(&spec))
+            .collect();
+        assert!(!kinds.is_empty(), "no benchmark matches {spec:?}");
+        for kind in kinds {
+            sweep(kind, args);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = argv.split_first().map(|(c, r)| (c.as_str(), r)).unwrap_or(("all", &[]));
+    let args = parse_args(rest);
+    match cmd {
+        "fig1" => fig1(&args),
+        "fig3" => fig3(),
+        "fig13" => fig13(),
+        "fig14" => fig14(&args),
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "wan" => wan(&args),
+        "keyideas" => keyideas(),
+        "all" => {
+            fig3();
+            fig13();
+            keyideas();
+            table1();
+            table2();
+            table3();
+            fig1(&args);
+            fig14(&args);
+            wan(&args);
+        }
+        other => {
+            eprintln!("unknown subcommand {other}; see the module docs for usage");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Table 2 reproduction: lines of code to define each benchmark's network,
+//! interface and property.
+//!
+//! The paper counts C# lines; we count the bodies of the corresponding Rust
+//! functions (`network`, `interface`/dedicated interface constructors, and
+//! `property`) in the `timepiece-nets` sources, which are compiled into this
+//! crate with `include_str!` so the numbers can never go stale.
+
+/// The embedded benchmark sources.
+const SOURCES: [(&str, &str); 5] = [
+    ("Reach", include_str!("../../nets/src/reach.rs")),
+    ("Len", include_str!("../../nets/src/len.rs")),
+    ("Vf", include_str!("../../nets/src/vf.rs")),
+    ("Hijack", include_str!("../../nets/src/hijack.rs")),
+    ("BlockToExternal", include_str!("../../nets/src/wan.rs")),
+];
+
+/// Line counts for one benchmark definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocRow {
+    /// Benchmark name as in Table 2.
+    pub benchmark: &'static str,
+    /// Lines defining the network (topology wiring, policies, symbolics).
+    pub network: usize,
+    /// Lines defining the interfaces.
+    pub interface: usize,
+    /// Lines defining the property.
+    pub property: usize,
+}
+
+/// Counts the non-blank, non-comment lines of the body of `fn <name>` in
+/// `source`, by brace matching from the function's opening brace.
+fn fn_body_loc(source: &str, name: &str) -> usize {
+    let needle = format!("pub fn {name}(");
+    let Some(start) = source.find(&needle) else { return 0 };
+    let rest = &source[start..];
+    let Some(open) = rest.find('{') else { return 0 };
+    let mut depth = 0usize;
+    let mut loc = 0usize;
+    for line in rest[open..].lines() {
+        let trimmed = line.trim();
+        let opens = line.matches('{').count();
+        let closes = line.matches('}').count();
+        if !trimmed.is_empty() && !trimmed.starts_with("//") {
+            loc += 1;
+        }
+        depth += opens;
+        depth = depth.saturating_sub(closes);
+        if depth == 0 {
+            break;
+        }
+    }
+    loc
+}
+
+/// Computes Table 2's rows from the embedded sources.
+pub fn table2() -> Vec<LocRow> {
+    SOURCES
+        .iter()
+        .map(|(benchmark, src)| {
+            let network = fn_body_loc(src, "network");
+            let interface = match *benchmark {
+                "BlockToExternal" => fn_body_loc(src, "block_to_external"),
+                _ => fn_body_loc(src, "interface"),
+            };
+            let property = match *benchmark {
+                // BlockToExternal's property IS its interface (A = P)
+                "BlockToExternal" => fn_body_loc(src, "block_to_external"),
+                _ => fn_body_loc(src, "property"),
+            };
+            LocRow { benchmark, network, interface, property }
+        })
+        .collect()
+}
+
+/// The paper's Table 2 values, for side-by-side display.
+pub const PAPER_TABLE2: [(&str, usize, usize, usize); 5] = [
+    ("Reach", 79, 3, 2),
+    ("Len", 83, 7, 5),
+    ("Vf", 87, 12, 2),
+    ("Hijack", 142, 21, 4),
+    ("BlockToExternal", 83, 5, 5),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_counts_nonzero() {
+        for row in table2() {
+            assert!(row.network > 0, "{row:?}");
+            assert!(row.interface > 0, "{row:?}");
+            assert!(row.property > 0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn interfaces_are_low_effort_relative_to_networks() {
+        // the paper's point: writing interfaces is low-effort relative to
+        // defining the network (our Rust bodies are denser than the paper's
+        // C#, so allow parity but not blow-up)
+        for row in table2() {
+            assert!(
+                row.interface <= row.network + 2,
+                "interface should not dwarf the network definition: {row:?}"
+            );
+            assert!(row.property <= row.interface, "property is the smallest piece: {row:?}");
+        }
+    }
+
+    #[test]
+    fn body_loc_of_missing_fn_is_zero() {
+        assert_eq!(fn_body_loc("fn nope() {}", "network"), 0);
+    }
+}

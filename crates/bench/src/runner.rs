@@ -1,0 +1,227 @@
+//! Sweep runner: one row per (benchmark, k), with both engines.
+
+use std::time::Duration;
+
+use timepiece_core::check::{CheckOptions, ModularChecker};
+use timepiece_core::monolithic::{check_monolithic, MonolithicOutcome};
+use timepiece_nets::{hijack::HijackBench, len::LenBench, reach::ReachBench, vf::VfBench, BenchInstance};
+
+/// The eight fattree benchmarks of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchKind {
+    /// Fig. 14a — reachability, fixed destination.
+    SpReach,
+    /// Fig. 14b — bounded path length, fixed destination.
+    SpLen,
+    /// Fig. 14c — valley freedom, fixed destination.
+    SpVf,
+    /// Fig. 14d — hijack filtering, fixed destination.
+    SpHijack,
+    /// Fig. 14e — reachability, symbolic destination.
+    ApReach,
+    /// Fig. 14f — bounded path length, symbolic destination.
+    ApLen,
+    /// Fig. 14g — valley freedom, symbolic destination.
+    ApVf,
+    /// Fig. 14h — hijack filtering, symbolic destination.
+    ApHijack,
+}
+
+impl BenchKind {
+    /// All kinds, in the paper's figure order.
+    pub const ALL: [BenchKind; 8] = [
+        BenchKind::SpReach,
+        BenchKind::SpLen,
+        BenchKind::SpVf,
+        BenchKind::SpHijack,
+        BenchKind::ApReach,
+        BenchKind::ApLen,
+        BenchKind::ApVf,
+        BenchKind::ApHijack,
+    ];
+
+    /// The benchmark's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchKind::SpReach => "SpReach",
+            BenchKind::SpLen => "SpLen",
+            BenchKind::SpVf => "SpVf",
+            BenchKind::SpHijack => "SpHijack",
+            BenchKind::ApReach => "ApReach",
+            BenchKind::ApLen => "ApLen",
+            BenchKind::ApVf => "ApVf",
+            BenchKind::ApHijack => "ApHijack",
+        }
+    }
+
+    /// Which Fig. 14 panel this kind reproduces.
+    pub fn figure(&self) -> &'static str {
+        match self {
+            BenchKind::SpReach => "14a",
+            BenchKind::SpLen => "14b",
+            BenchKind::SpVf => "14c",
+            BenchKind::SpHijack => "14d",
+            BenchKind::ApReach => "14e",
+            BenchKind::ApLen => "14f",
+            BenchKind::ApVf => "14g",
+            BenchKind::ApHijack => "14h",
+        }
+    }
+
+    /// Parses a benchmark name (case-insensitive).
+    pub fn parse(s: &str) -> Option<BenchKind> {
+        BenchKind::ALL.iter().copied().find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Builds the benchmark instance for a kind at fattree size `k`.
+pub fn fattree_instance(kind: BenchKind, k: usize) -> BenchInstance {
+    match kind {
+        BenchKind::SpReach => ReachBench::single_dest(k, 0).build(),
+        BenchKind::SpLen => LenBench::single_dest(k, 0).build(),
+        BenchKind::SpVf => VfBench::single_dest(k, 0).build(),
+        BenchKind::SpHijack => HijackBench::single_dest(k, 0).build(),
+        BenchKind::ApReach => ReachBench::all_pairs(k).build(),
+        BenchKind::ApLen => LenBench::all_pairs(k).build(),
+        BenchKind::ApVf => VfBench::all_pairs(k).build(),
+        BenchKind::ApHijack => HijackBench::all_pairs(k).build(),
+    }
+}
+
+/// The outcome of one engine on one instance.
+#[derive(Debug, Clone, Copy)]
+pub enum EngineResult {
+    /// Verified within budget.
+    Verified(Duration),
+    /// Property/interface rejected (should not happen on these benchmarks).
+    Failed(Duration),
+    /// The solver hit the time budget.
+    TimedOut(Duration),
+}
+
+impl EngineResult {
+    /// Wall time spent (budget time for timeouts).
+    pub fn wall(&self) -> Duration {
+        match self {
+            EngineResult::Verified(d) | EngineResult::Failed(d) | EngineResult::TimedOut(d) => *d,
+        }
+    }
+
+    /// Render like the paper's plots: seconds or "timeout".
+    pub fn display(&self) -> String {
+        match self {
+            EngineResult::Verified(d) => format!("{:.2}s", d.as_secs_f64()),
+            EngineResult::Failed(d) => format!("FAILED({:.2}s)", d.as_secs_f64()),
+            EngineResult::TimedOut(_) => "timeout".to_owned(),
+        }
+    }
+}
+
+/// One sweep row: a benchmark at one topology size.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Fattree parameter.
+    pub k: usize,
+    /// Node count (1.25k², +1 for the hijack benchmarks).
+    pub nodes: usize,
+    /// Timepiece total wall time.
+    pub tp: EngineResult,
+    /// Median single-node check time.
+    pub tp_median: Duration,
+    /// 99th-percentile single-node check time.
+    pub tp_p99: Duration,
+    /// Monolithic baseline result (None if skipped).
+    pub ms: Option<EngineResult>,
+}
+
+/// Sweep options.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Per-engine time budget (the paper used 2 hours; default 60 s).
+    pub timeout: Duration,
+    /// Run the monolithic baseline too.
+    pub run_monolithic: bool,
+    /// Worker threads for the modular engine (None: all cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { timeout: Duration::from_secs(60), run_monolithic: true, threads: None }
+    }
+}
+
+/// Runs both engines on one instance and assembles a row.
+pub fn run_row(kind: BenchKind, k: usize, options: &SweepOptions) -> Row {
+    let inst = fattree_instance(kind, k);
+    let nodes = inst.network.topology().node_count();
+
+    let checker = ModularChecker::new(CheckOptions {
+        timeout: Some(options.timeout),
+        threads: options.threads,
+        ..CheckOptions::default()
+    });
+    let report = checker
+        .check(&inst.network, &inst.interface, &inst.property)
+        .expect("benchmark instances encode");
+    let stats = report.stats();
+    let timed_out = report.failures().iter().any(|f| {
+        matches!(f.reason, timepiece_core::check::FailureReason::Unknown(_))
+    });
+    let tp = if report.is_verified() {
+        EngineResult::Verified(report.wall())
+    } else if timed_out {
+        EngineResult::TimedOut(report.wall())
+    } else {
+        EngineResult::Failed(report.wall())
+    };
+
+    let ms = options.run_monolithic.then(|| {
+        let mono = check_monolithic(&inst.network, &inst.property, Some(options.timeout))
+            .expect("benchmark instances encode");
+        match mono.outcome {
+            MonolithicOutcome::Verified => EngineResult::Verified(mono.wall),
+            MonolithicOutcome::Failed(_) => EngineResult::Failed(mono.wall),
+            MonolithicOutcome::Unknown(_) => EngineResult::TimedOut(mono.wall),
+        }
+    });
+
+    Row { k, nodes, tp, tp_median: stats.median, tp_p99: stats.p99, ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_roundtrip_names() {
+        for kind in BenchKind::ALL {
+            assert_eq!(BenchKind::parse(kind.name()), Some(kind));
+            assert!(kind.figure().starts_with("14"));
+        }
+        assert_eq!(BenchKind::parse("spreach"), Some(BenchKind::SpReach));
+        assert_eq!(BenchKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn run_row_produces_verified_row_at_k4() {
+        let options = SweepOptions {
+            timeout: Duration::from_secs(120),
+            run_monolithic: true,
+            threads: None,
+        };
+        let row = run_row(BenchKind::SpReach, 4, &options);
+        assert_eq!(row.k, 4);
+        assert_eq!(row.nodes, 20);
+        assert!(matches!(row.tp, EngineResult::Verified(_)), "{row:?}");
+        assert!(matches!(row.ms, Some(EngineResult::Verified(_))), "{row:?}");
+        assert!(row.tp_median <= row.tp_p99);
+    }
+
+    #[test]
+    fn engine_result_displays() {
+        assert!(EngineResult::Verified(Duration::from_millis(1500)).display().ends_with('s'));
+        assert_eq!(EngineResult::TimedOut(Duration::from_secs(1)).display(), "timeout");
+        assert!(EngineResult::Failed(Duration::from_secs(1)).display().starts_with("FAILED"));
+    }
+}

@@ -1,0 +1,358 @@
+//! The modular checking procedure (Algorithm 1).
+//!
+//! For every node the three verification conditions are encoded and
+//! discharged *independently*; nodes are distributed over a pool of worker
+//! threads, each owning its own (thread-local) Z3 context. The report records
+//! per-node wall times so the paper's total/median/p99 figures can be
+//! reproduced.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use timepiece_algebra::Network;
+use timepiece_expr::Env;
+use timepiece_smt::{check_validity, Validity};
+use timepiece_topology::NodeId;
+
+use crate::error::CoreError;
+use crate::interface::NodeAnnotations;
+use crate::stats::TimingStats;
+use crate::vc::{inductive_vc, initial_vc, safety_vc, VcKind};
+
+/// Options controlling a modular check.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct CheckOptions {
+    /// Per-condition solver timeout (`None`: unbounded).
+    pub timeout: Option<Duration>,
+    /// Worker threads (`None`: all available parallelism).
+    pub threads: Option<usize>,
+    /// Units of message delay tolerated by the inductive condition (§4).
+    pub delay: u64,
+    /// Stop scheduling new nodes after the first failure.
+    pub fail_fast: bool,
+}
+
+
+/// Why a node failed its check.
+#[derive(Debug, Clone)]
+pub enum FailureReason {
+    /// The solver produced a falsifying assignment.
+    CounterExample(Box<timepiece_smt::CounterExample>),
+    /// The solver gave up (timeout/incompleteness).
+    Unknown(String),
+}
+
+/// A failed condition at a node.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The failing node.
+    pub node: NodeId,
+    /// Its name in the topology.
+    pub node_name: String,
+    /// Which condition failed.
+    pub vc: VcKind,
+    /// The counterexample or solver give-up reason.
+    pub reason: FailureReason,
+}
+
+impl Failure {
+    /// The falsifying assignment, when the solver produced one.
+    pub fn counterexample(&self) -> Option<&Env> {
+        match &self.reason {
+            FailureReason::CounterExample(cex) => Some(&cex.assignment),
+            FailureReason::Unknown(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.reason {
+            FailureReason::CounterExample(cex) => {
+                write!(f, "{} condition failed at {}: {}", self.vc, self.node_name, cex)
+            }
+            FailureReason::Unknown(why) => {
+                write!(f, "{} condition unknown at {}: {}", self.vc, self.node_name, why)
+            }
+        }
+    }
+}
+
+/// The outcome of a modular check.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    failures: Vec<Failure>,
+    node_durations: Vec<(NodeId, Duration)>,
+    wall: Duration,
+}
+
+impl CheckReport {
+    /// Did every condition at every node hold?
+    pub fn is_verified(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// All failures found (empty when verified).
+    pub fn failures(&self) -> &[Failure] {
+        &self.failures
+    }
+
+    /// Per-node total check durations (all three conditions).
+    pub fn node_durations(&self) -> &[(NodeId, Duration)] {
+        &self.node_durations
+    }
+
+    /// Statistics over per-node durations (median, p99, …).
+    pub fn stats(&self) -> TimingStats {
+        let durations: Vec<Duration> =
+            self.node_durations.iter().map(|(_, d)| *d).collect();
+        TimingStats::from_durations(&durations)
+    }
+
+    /// Wall-clock time of the whole (parallel) check.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+}
+
+/// Runs the paper's `CheckMod` procedure over all nodes of a network.
+#[derive(Debug, Default)]
+pub struct ModularChecker {
+    options: CheckOptions,
+}
+
+impl ModularChecker {
+    /// Creates a checker with the given options.
+    pub fn new(options: CheckOptions) -> ModularChecker {
+        ModularChecker { options }
+    }
+
+    /// Checks the initial, inductive and safety conditions of a single node,
+    /// returning its failures and the time spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Smt`] if a condition cannot be encoded (ill-typed
+    /// network or interface).
+    pub fn check_node(
+        &self,
+        net: &Network,
+        interface: &NodeAnnotations,
+        property: &NodeAnnotations,
+        v: NodeId,
+    ) -> Result<(Vec<Failure>, Duration), CoreError> {
+        let start = Instant::now();
+        let conditions = [
+            (VcKind::Initial, initial_vc(net, interface, v)),
+            (VcKind::Inductive, inductive_vc(net, interface, v, self.options.delay)),
+            (VcKind::Safety, safety_vc(net, interface, property, v)),
+        ];
+        let mut failures = Vec::new();
+        for (kind, vc) in conditions {
+            match check_validity(&vc, self.options.timeout)? {
+                Validity::Valid => {}
+                Validity::Invalid(cex) => failures.push(Failure {
+                    node: v,
+                    node_name: net.topology().name(v).to_owned(),
+                    vc: kind,
+                    reason: FailureReason::CounterExample(cex),
+                }),
+                Validity::Unknown(why) => failures.push(Failure {
+                    node: v,
+                    node_name: net.topology().name(v).to_owned(),
+                    vc: kind,
+                    reason: FailureReason::Unknown(why),
+                }),
+            }
+        }
+        Ok((failures, start.elapsed()))
+    }
+
+    /// Checks every node, in parallel, and aggregates a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] raised by any worker (encoding
+    /// failures); solver counterexamples are *not* errors, they are reported
+    /// as [`Failure`]s.
+    pub fn check(
+        &self,
+        net: &Network,
+        interface: &NodeAnnotations,
+        property: &NodeAnnotations,
+    ) -> Result<CheckReport, CoreError> {
+        let start = Instant::now();
+        let nodes: Vec<NodeId> = net.topology().nodes().collect();
+        let workers = self
+            .options
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+            .clamp(1, nodes.len().max(1));
+
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let failures = Mutex::new(Vec::new());
+        let durations = Mutex::new(Vec::new());
+        let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&v) = nodes.get(i) else { break };
+                    match self.check_node(net, interface, property, v) {
+                        Ok((node_failures, duration)) => {
+                            durations.lock().push((v, duration));
+                            if !node_failures.is_empty() {
+                                if self.options.fail_fast {
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                                failures.lock().extend(node_failures);
+                            }
+                        }
+                        Err(e) => {
+                            stop.store(true, Ordering::Relaxed);
+                            first_error.lock().get_or_insert(e);
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        let mut node_durations = durations.into_inner();
+        node_durations.sort_by_key(|(v, _)| *v);
+        let mut failures = failures.into_inner();
+        failures.sort_by_key(|f| f.node);
+        Ok(CheckReport { failures, node_durations, wall: start.elapsed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::Temporal;
+    use timepiece_algebra::NetworkBuilder;
+    use timepiece_expr::{Expr, Type};
+    use timepiece_topology::gen;
+
+    /// Boolean-reachability network over an undirected path of length `n`.
+    fn reach_net(n: usize) -> Network {
+        let g = gen::undirected_path(n);
+        let v0 = g.node_by_name("v0").unwrap();
+        NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(v0, Expr::bool(true))
+            .build()
+            .unwrap()
+    }
+
+    /// Exact reachability interface: node `i` has the route from time `i` on.
+    fn reach_interface(net: &Network) -> NodeAnnotations {
+        NodeAnnotations::from_fn(net.topology(), |v| {
+            let t = v.index() as u64;
+            if t == 0 {
+                Temporal::globally(|r| r.clone())
+            } else {
+                Temporal::until_at(t, |r| r.clone().not(), Temporal::globally(|r| r.clone()))
+            }
+        })
+    }
+
+    #[test]
+    fn verifies_correct_interfaces() {
+        let net = reach_net(5);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::from_fn(net.topology(), |v| {
+            Temporal::finally_at(v.index() as u64, Temporal::globally(|r| r.clone()))
+        });
+        let report =
+            ModularChecker::new(CheckOptions::default()).check(&net, &interface, &property).unwrap();
+        assert!(report.is_verified(), "failures: {:?}", report.failures());
+        assert_eq!(report.node_durations().len(), 5);
+        assert!(report.stats().count == 5);
+        assert!(report.wall() > Duration::ZERO);
+    }
+
+    #[test]
+    fn localizes_failures_to_the_buggy_node() {
+        let net = reach_net(4);
+        let mut interface = reach_interface(&net);
+        // sabotage node v2's interface: claims the route arrives at t=1
+        let v2 = net.topology().node_by_name("v2").unwrap();
+        interface.set(
+            v2,
+            Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())),
+        );
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report =
+            ModularChecker::new(CheckOptions::default()).check(&net, &interface, &property).unwrap();
+        assert!(!report.is_verified());
+        // failures only at v2 (its own conditions) and v3 (which assumed v2)
+        let failing: std::collections::BTreeSet<&str> =
+            report.failures().iter().map(|f| f.node_name.as_str()).collect();
+        assert!(failing.contains("v2"));
+        assert!(!failing.contains("v0"));
+        assert!(!failing.contains("v1"));
+        // every failure carries a decodable counterexample
+        for f in report.failures() {
+            assert!(f.counterexample().is_some(), "{f}");
+        }
+    }
+
+    #[test]
+    fn single_thread_and_parallel_agree() {
+        let net = reach_net(6);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let seq = ModularChecker::new(CheckOptions { threads: Some(1), ..Default::default() })
+            .check(&net, &interface, &property)
+            .unwrap();
+        let par = ModularChecker::new(CheckOptions { threads: Some(4), ..Default::default() })
+            .check(&net, &interface, &property)
+            .unwrap();
+        assert_eq!(seq.is_verified(), par.is_verified());
+        assert_eq!(seq.node_durations().len(), par.node_durations().len());
+    }
+
+    #[test]
+    fn fail_fast_stops_early() {
+        let net = reach_net(8);
+        // interface that fails everywhere: no node ever has a route
+        let interface =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone().not()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = ModularChecker::new(CheckOptions {
+            fail_fast: true,
+            threads: Some(1),
+            ..Default::default()
+        })
+        .check(&net, &interface, &property)
+        .unwrap();
+        assert!(!report.is_verified());
+        // with fail-fast and one thread, scheduling stops after the first bad node
+        assert!(report.node_durations().len() < 8);
+    }
+
+    #[test]
+    fn report_failure_display() {
+        let net = reach_net(2);
+        let interface =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone().not()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report =
+            ModularChecker::new(CheckOptions::default()).check(&net, &interface, &property).unwrap();
+        let text = report.failures()[0].to_string();
+        assert!(text.contains("condition failed at"));
+    }
+}

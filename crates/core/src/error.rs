@@ -1,0 +1,47 @@
+//! Errors raised by the verification engines.
+
+use std::fmt;
+
+use timepiece_smt::SmtError;
+
+/// An error raised while building or discharging verification conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The SMT backend rejected a condition (ill-typed network or interface).
+    Smt(SmtError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Smt(e) => write!(f, "smt backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Smt(e) => Some(e),
+        }
+    }
+}
+
+impl From<SmtError> for CoreError {
+    fn from(e: SmtError) -> Self {
+        CoreError::Smt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error;
+        let e = CoreError::from(SmtError::ModelDecode("x".into()));
+        assert!(e.to_string().contains("smt backend error"));
+        assert!(e.source().is_some());
+    }
+}

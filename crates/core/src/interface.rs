@@ -1,0 +1,112 @@
+//! Per-node annotations: interfaces `A` and properties `P`.
+
+use timepiece_topology::{NodeId, Topology};
+
+use crate::temporal::Temporal;
+
+/// A map from every node to a temporal operator.
+///
+/// Used both for network interfaces (`A : V → N → 2^S`) and node properties
+/// (`P : V → N → 2^S`); the two play different roles in the verification
+/// conditions but share this representation.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_core::{NodeAnnotations, Temporal};
+/// use timepiece_topology::gen;
+///
+/// let g = gen::path(3);
+/// let mut ann = NodeAnnotations::new(&g, Temporal::any());
+/// let v1 = g.node_by_name("v1").unwrap();
+/// ann.set(v1, Temporal::finally_at(1, Temporal::any()));
+/// assert_eq!(ann.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeAnnotations {
+    per_node: Vec<Temporal>,
+}
+
+impl NodeAnnotations {
+    /// Creates annotations assigning `default` to every node of `topology`.
+    pub fn new(topology: &Topology, default: Temporal) -> NodeAnnotations {
+        NodeAnnotations { per_node: vec![default; topology.node_count()] }
+    }
+
+    /// Builds annotations by calling `f` for every node.
+    pub fn from_fn(topology: &Topology, mut f: impl FnMut(NodeId) -> Temporal) -> NodeAnnotations {
+        NodeAnnotations { per_node: topology.nodes().map(&mut f).collect() }
+    }
+
+    /// Replaces the annotation of one node.
+    pub fn set(&mut self, v: NodeId, op: Temporal) -> &mut NodeAnnotations {
+        self.per_node[v.index()] = op;
+        self
+    }
+
+    /// The annotation of a node.
+    pub fn get(&self, v: NodeId) -> &Temporal {
+        &self.per_node[v.index()]
+    }
+
+    /// The number of annotated nodes.
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Whether there are no annotations (empty topology).
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_expr::{Env, Expr, Type, Value};
+    use timepiece_topology::gen;
+
+    #[test]
+    fn default_applies_everywhere() {
+        let g = gen::path(3);
+        let ann = NodeAnnotations::new(&g, Temporal::any());
+        for v in g.nodes() {
+            let e = ann.get(v).at(&Expr::int(0), &Expr::var("r", Type::Int));
+            let mut env = Env::new();
+            env.bind("r", Value::int(0));
+            assert!(e.eval_bool(&env).unwrap());
+        }
+    }
+
+    #[test]
+    fn set_overrides_one_node() {
+        let g = gen::path(2);
+        let v1 = g.node_by_name("v1").unwrap();
+        let mut ann = NodeAnnotations::new(&g, Temporal::any());
+        ann.set(v1, Temporal::globally(|r| r.clone().ge(Expr::int(5))));
+        let r = Expr::var("r", Type::Int);
+        let mut env = Env::new();
+        env.bind("r", Value::int(3));
+        let v0 = g.node_by_name("v0").unwrap();
+        assert!(ann.get(v0).at(&Expr::int(0), &r).eval_bool(&env).unwrap());
+        assert!(!ann.get(v1).at(&Expr::int(0), &r).eval_bool(&env).unwrap());
+    }
+
+    #[test]
+    fn from_fn_indexes_nodes() {
+        let g = gen::path(4);
+        let ann = NodeAnnotations::from_fn(&g, |v| {
+            let bound = v.index() as i64;
+            Temporal::globally(move |r| r.clone().ge(Expr::int(bound)))
+        });
+        assert_eq!(ann.len(), 4);
+        assert!(!ann.is_empty());
+        let r = Expr::var("r", Type::Int);
+        let mut env = Env::new();
+        env.bind("r", Value::int(2));
+        let v3 = g.node_by_name("v3").unwrap();
+        assert!(!ann.get(v3).at(&Expr::int(0), &r).eval_bool(&env).unwrap());
+        let v2 = g.node_by_name("v2").unwrap();
+        assert!(ann.get(v2).at(&Expr::int(0), &r).eval_bool(&env).unwrap());
+    }
+}

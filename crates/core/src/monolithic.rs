@@ -1,0 +1,173 @@
+//! The Minesweeper-style monolithic baseline `Ms` (§6).
+//!
+//! `Ms` analyzes *stable states*: one route variable per node, constrained by
+//! the fixpoint equation `r_v = I(v) ⊕ ⨁_u f_{uv}(r_u)`, with the property's
+//! temporal structure erased (only its limit behavior is checked). The whole
+//! network becomes a single SMT query, which is what fails to scale in the
+//! paper's evaluation (Fig. 1, Fig. 14).
+
+use std::time::{Duration, Instant};
+
+use timepiece_algebra::Network;
+use timepiece_expr::Expr;
+use timepiece_smt::{check_validity, CounterExample, Validity, Vc};
+
+use crate::error::CoreError;
+use crate::interface::NodeAnnotations;
+
+/// The outcome of a monolithic stable-state check.
+#[derive(Debug, Clone)]
+pub enum MonolithicOutcome {
+    /// The property holds in every stable state.
+    Verified,
+    /// A stable state violating the property (assignment to every node's
+    /// route variable and all symbolics).
+    Failed(Box<CounterExample>),
+    /// The solver gave up (typically a timeout on large networks).
+    Unknown(String),
+}
+
+impl MonolithicOutcome {
+    /// Is this `Verified`?
+    pub fn is_verified(&self) -> bool {
+        matches!(self, MonolithicOutcome::Verified)
+    }
+}
+
+/// A monolithic check result with its wall time.
+#[derive(Debug, Clone)]
+pub struct MonolithicReport {
+    /// The verification outcome.
+    pub outcome: MonolithicOutcome,
+    /// Wall-clock time of the single query.
+    pub wall: Duration,
+}
+
+/// Builds the single stable-state verification condition for the whole
+/// network.
+///
+/// Assumptions: the symbolic preconditions plus one fixpoint equation per
+/// node. Goal: the conjunction of the erased per-node properties.
+pub fn monolithic_vc(net: &Network, property: &NodeAnnotations) -> Vc {
+    let g = net.topology();
+    let route_vars: Vec<Expr> = g.nodes().map(|v| net.route_var(v)).collect();
+    let mut assumptions = net.symbolic_constraints();
+    for v in g.nodes() {
+        let neighbor_routes: Vec<Expr> =
+            g.preds(v).iter().map(|&u| route_vars[u.index()].clone()).collect();
+        let stepped = net.step(v, &neighbor_routes);
+        assumptions.push(route_vars[v.index()].clone().eq(stepped));
+    }
+    let goal = Expr::and_all(
+        g.nodes().map(|v| property.get(v).erase(&route_vars[v.index()])),
+    );
+    Vc::new("monolithic", assumptions, goal)
+}
+
+/// Runs the monolithic stable-state check.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Smt`] if the network or property cannot be encoded.
+pub fn check_monolithic(
+    net: &Network,
+    property: &NodeAnnotations,
+    timeout: Option<Duration>,
+) -> Result<MonolithicReport, CoreError> {
+    let start = Instant::now();
+    let vc = monolithic_vc(net, property);
+    let outcome = match check_validity(&vc, timeout)? {
+        Validity::Valid => MonolithicOutcome::Verified,
+        Validity::Invalid(cex) => MonolithicOutcome::Failed(cex),
+        Validity::Unknown(why) => MonolithicOutcome::Unknown(why),
+    };
+    Ok(MonolithicReport { outcome, wall: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::Temporal;
+    use timepiece_algebra::{NetworkBuilder, Symbolic};
+    use timepiece_expr::Type;
+    use timepiece_topology::gen;
+
+    fn reach_net(n: usize) -> Network {
+        let g = gen::undirected_path(n);
+        let v0 = g.node_by_name("v0").unwrap();
+        NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(v0, Expr::bool(true))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn verifies_stable_reachability() {
+        let net = reach_net(4);
+        // property (erased): every node's stable route is present
+        let property =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        let report = check_monolithic(&net, &property, None).unwrap();
+        assert!(report.outcome.is_verified());
+        assert!(report.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn finds_stable_counterexample() {
+        // no initial route anywhere: the all-∞ state is stable and violates
+        // reachability
+        let g = gen::undirected_path(3);
+        let net = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .build()
+            .unwrap();
+        let property =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        let report = check_monolithic(&net, &property, None).unwrap();
+        match report.outcome {
+            MonolithicOutcome::Failed(cex) => {
+                // the stable state binds every route variable to false
+                for v in net.topology().nodes() {
+                    let name = format!("route-{}", net.topology().name(v));
+                    assert_eq!(cex.assignment.get(&name).and_then(|x| x.as_bool()), Some(false));
+                }
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn respects_symbolic_constraints() {
+        // external node with arbitrary boolean input, constrained true
+        let g = gen::path(2);
+        let v0 = g.node_by_name("v0").unwrap();
+        let s = Symbolic::new("ext", Type::Bool, Some(Expr::var("ext", Type::Bool)));
+        let net = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(v0, s.var())
+            .symbolic(s)
+            .build()
+            .unwrap();
+        let property =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        // with the constraint (ext = true) the property holds
+        let report = check_monolithic(&net, &property, None).unwrap();
+        assert!(report.outcome.is_verified());
+    }
+
+    #[test]
+    fn erased_temporal_structure_is_checked() {
+        let net = reach_net(3);
+        // a temporal property: F^2 G(route) — erased to G(route)
+        let property = NodeAnnotations::new(
+            net.topology(),
+            Temporal::finally_at(2, Temporal::globally(|r| r.clone())),
+        );
+        let report = check_monolithic(&net, &property, None).unwrap();
+        assert!(report.outcome.is_verified());
+    }
+}

@@ -1,0 +1,105 @@
+//! Timing statistics for check reports (the paper reports total, median and
+//! 99th-percentile node-check times).
+
+use std::time::Duration;
+
+/// Summary statistics over a set of per-node check durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Sum of all samples (total solver work; wall time is lower when
+    /// parallel).
+    pub total: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// 99th-percentile sample (99% of checks completed within this time).
+    pub p99: Duration,
+    /// The slowest sample.
+    pub max: Duration,
+}
+
+impl TimingStats {
+    /// Computes statistics from raw durations. Returns zeroed stats for an
+    /// empty slice.
+    pub fn from_durations(durations: &[Duration]) -> TimingStats {
+        if durations.is_empty() {
+            return TimingStats {
+                count: 0,
+                total: Duration::ZERO,
+                median: Duration::ZERO,
+                p99: Duration::ZERO,
+                max: Duration::ZERO,
+            };
+        }
+        let mut sorted = durations.to_vec();
+        sorted.sort();
+        let n = sorted.len();
+        TimingStats {
+            count: n,
+            total: sorted.iter().sum(),
+            median: sorted[n / 2],
+            p99: sorted[percentile_index(n, 0.99)],
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// The index of the `q`-quantile in a sorted sample of size `n` (nearest-rank
+/// method).
+fn percentile_index(n: usize, q: f64) -> usize {
+    let rank = (q * n as f64).ceil() as usize;
+    rank.clamp(1, n) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let s = TimingStats::from_durations(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = TimingStats::from_durations(&[ms(5)]);
+        assert_eq!(s.median, ms(5));
+        assert_eq!(s.p99, ms(5));
+        assert_eq!(s.max, ms(5));
+        assert_eq!(s.total, ms(5));
+    }
+
+    #[test]
+    fn statistics_of_uniform_range() {
+        let durations: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = TimingStats::from_durations(&durations);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.median, ms(51));
+        assert_eq!(s.p99, ms(99));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(s.total, ms(5050));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = TimingStats::from_durations(&[ms(3), ms(1), ms(2)]);
+        let b = TimingStats::from_durations(&[ms(1), ms(2), ms(3)]);
+        assert_eq!(a, b);
+        assert_eq!(a.median, ms(2));
+    }
+
+    #[test]
+    fn percentile_index_bounds() {
+        assert_eq!(percentile_index(1, 0.99), 0);
+        assert_eq!(percentile_index(100, 0.99), 98);
+        assert_eq!(percentile_index(200, 0.99), 197);
+        assert_eq!(percentile_index(10, 1.0), 9);
+    }
+}

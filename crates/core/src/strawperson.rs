@@ -1,0 +1,164 @@
+//! The *unsound* strawperson modular procedure of §2.2, kept executable.
+//!
+//! `SV` checks, for every node in isolation, that one local step of the
+//! stable-state equation maps neighbor routes drawn from their (time-erased)
+//! interfaces into the node's own interface:
+//!
+//! `∀ s_i ∈ A(n_i):  f(s_1) ⊕ … ⊕ f(s_k) ⊕ I(x) ∈ A(x)`          (eq. 1)
+//!
+//! The paper shows this procedure accepts interfaces that *exclude real
+//! executions* (execution interference: circularly self-justifying routes),
+//! so nothing may be concluded from its success. It exists in this crate so
+//! the unsoundness demonstration of §2.2 is a test, not a footnote — see
+//! `tests/key_ideas.rs` in the workspace root and the `timepiece-nets`
+//! running example.
+
+use timepiece_algebra::Network;
+use timepiece_smt::{check_validity, Vc};
+use timepiece_topology::NodeId;
+
+use crate::error::CoreError;
+use crate::interface::NodeAnnotations;
+
+/// Builds the strawperson condition (equation 1) for one node, using the
+/// erased (stable-state) interfaces.
+pub fn strawperson_vc(net: &Network, interface: &NodeAnnotations, v: NodeId) -> Vc {
+    let name = format!("strawperson@{}", net.topology().name(v));
+    let preds = net.topology().preds(v);
+    let neighbor_routes: Vec<_> = preds.iter().map(|&u| net.route_var(u)).collect();
+    let mut assumptions = net.symbolic_constraints();
+    for (&u, r) in preds.iter().zip(&neighbor_routes) {
+        assumptions.push(interface.get(u).erase(r));
+    }
+    let stepped = net.step(v, &neighbor_routes);
+    let goal = interface.get(v).erase(&stepped);
+    Vc::new(name, assumptions, goal)
+}
+
+/// Runs the strawperson procedure on every node.
+///
+/// Returns the nodes whose condition *failed*. An empty result means `SV`
+/// accepts the interfaces — which, unlike for [`crate::check`], does **not**
+/// imply the interfaces over-approximate real executions.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Smt`] on encoding failures.
+pub fn check_strawperson(
+    net: &Network,
+    interface: &NodeAnnotations,
+) -> Result<Vec<NodeId>, CoreError> {
+    let mut failing = Vec::new();
+    for v in net.topology().nodes() {
+        let vc = strawperson_vc(net, interface, v);
+        if !check_validity(&vc, None)?.is_valid() {
+            failing.push(v);
+        }
+    }
+    Ok(failing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::Temporal;
+    use timepiece_algebra::NetworkBuilder;
+    use timepiece_expr::{Expr, Type};
+    use timepiece_topology::gen;
+
+    #[test]
+    fn accepts_correct_interfaces() {
+        let g = gen::undirected_path(3);
+        let v0 = g.node_by_name("v0").unwrap();
+        let net = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(v0, Expr::bool(true))
+            .build()
+            .unwrap();
+        let interface =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        assert!(check_strawperson(&net, &interface).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_locally_inconsistent_interfaces() {
+        let g = gen::path(2);
+        let v0 = g.node_by_name("v0").unwrap();
+        let v1 = g.node_by_name("v1").unwrap();
+        let net = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(v0, Expr::bool(true))
+            .build()
+            .unwrap();
+        let mut interface =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        // v1 claims "no route" while v0 exports one: locally refutable
+        interface.set(v1, Temporal::globally(|r| r.clone().not()));
+        let failing = check_strawperson(&net, &interface).unwrap();
+        assert_eq!(failing, vec![v1]);
+    }
+
+    /// The §2.2 unsoundness witness, in miniature: two mutually-justifying
+    /// nodes exclude the legitimate route that a third node injects.
+    ///
+    /// Nodes: w -> v, v <-> d. Routes are optional "preference" integers;
+    /// merge prefers the *higher* preference; w originates preference 100;
+    /// the v<->d edges preserve routes; the w->v edge imports at preference
+    /// 100. The bad interfaces claim v and d always carry preference-200
+    /// routes — self-justifying through the v<->d cycle, yet excluding the
+    /// real stable state (preference 100 everywhere).
+    #[test]
+    fn accepts_circular_self_justification_demonstrating_unsoundness() {
+        let mut g = timepiece_topology::Topology::new();
+        let w = g.add_node("w");
+        let v = g.add_node("v");
+        let d = g.add_node("d");
+        g.add_edge(w, v);
+        g.add_undirected(v, d);
+
+        let ty = Type::option(Type::Int);
+        let net = NetworkBuilder::new(g, ty.clone())
+            .merge(|a, b| {
+                // prefer present routes with higher preference
+                let a_better = a.clone().get_some().ge(b.clone().get_some());
+                b.clone()
+                    .is_none()
+                    .or(a.clone().is_some().and(a_better))
+                    .ite(a.clone(), b.clone())
+            })
+            .default_transfer(|r| r.clone())
+            .init(w, Expr::int(100).some())
+            .build()
+            .unwrap();
+
+        // bad interfaces: w honest; v and d claim preference-200 routes
+        let mut interface = NodeAnnotations::new(
+            net.topology(),
+            Temporal::globally(|r| {
+                r.clone().is_some().and(r.clone().get_some().eq(Expr::int(100)))
+            }),
+        );
+        let claim_200 = |r: &Expr| {
+            r.clone().is_some().and(r.clone().get_some().eq(Expr::int(200)))
+        };
+        interface.set(net.topology().node_by_name("v").unwrap(), Temporal::globally(claim_200));
+        interface.set(net.topology().node_by_name("d").unwrap(), Temporal::globally(claim_200));
+
+        // the strawperson procedure ACCEPTS these interfaces…
+        assert!(
+            check_strawperson(&net, &interface).unwrap().is_empty(),
+            "strawperson should accept the circular interfaces"
+        );
+
+        // …even though the real simulation never produces preference 200:
+        // (checked end-to-end in the nets crate; here we just confirm the
+        // temporal checker rejects the same interfaces)
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = crate::check::ModularChecker::new(Default::default())
+            .check(&net, &interface, &property)
+            .unwrap();
+        assert!(!report.is_verified(), "temporal checker must reject the bad interfaces");
+    }
+}

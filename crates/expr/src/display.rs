@@ -1,0 +1,76 @@
+//! S-expression pretty printing for terms, used in counterexample reports and
+//! debugging output.
+
+use std::fmt;
+
+use crate::expr::{Expr, ExprKind};
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            ExprKind::Var(name, _) => write!(f, "{name}"),
+            ExprKind::Const(v) => write!(f, "{v}"),
+            ExprKind::Not(a) => write!(f, "(not {a})"),
+            ExprKind::And(xs) => write_list(f, "and", xs),
+            ExprKind::Or(xs) => write_list(f, "or", xs),
+            ExprKind::Implies(a, b) => write!(f, "(=> {a} {b})"),
+            ExprKind::Ite(c, t, e) => write!(f, "(ite {c} {t} {e})"),
+            ExprKind::Eq(a, b) => write!(f, "(= {a} {b})"),
+            ExprKind::Lt(a, b) => write!(f, "(< {a} {b})"),
+            ExprKind::Le(a, b) => write!(f, "(<= {a} {b})"),
+            ExprKind::Add(a, b) => write!(f, "(+ {a} {b})"),
+            ExprKind::Sub(a, b) => write!(f, "(- {a} {b})"),
+            ExprKind::None(_) => write!(f, "∞"),
+            ExprKind::Some(a) => write!(f, "(some {a})"),
+            ExprKind::IsSome(a) => write!(f, "(is-some {a})"),
+            ExprKind::GetSome(a) => write!(f, "(get-some {a})"),
+            ExprKind::MkRecord(def, fields) => {
+                write!(f, "({}", def.name())?;
+                for ((name, _), v) in def.fields().iter().zip(fields) {
+                    write!(f, " :{name} {v}")?;
+                }
+                write!(f, ")")
+            }
+            ExprKind::GetField(a, name) => write!(f, "(field {name} {a})"),
+            ExprKind::WithField(a, name, v) => write!(f, "(with {name} {v} {a})"),
+            ExprKind::SetContains(a, tag) => write!(f, "(member {tag} {a})"),
+            ExprKind::SetAdd(a, tag) => write!(f, "(add {tag} {a})"),
+            ExprKind::SetRemove(a, tag) => write!(f, "(remove {tag} {a})"),
+            ExprKind::SetUnion(a, b) => write!(f, "(union {a} {b})"),
+            ExprKind::SetInter(a, b) => write!(f, "(inter {a} {b})"),
+        }
+    }
+}
+
+fn write_list(f: &mut fmt::Formatter<'_>, op: &str, xs: &[Expr]) -> fmt::Result {
+    write!(f, "({op}")?;
+    for x in xs {
+        write!(f, " {x}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Expr, Type};
+
+    #[test]
+    fn renders_sexprs() {
+        let x = Expr::var("x", Type::Int);
+        let e = x.clone().add(Expr::int(1)).le(Expr::int(4));
+        assert_eq!(e.to_string(), "(<= (+ x 1) 4)");
+        let o = Expr::var("o", Type::option(Type::Int));
+        assert_eq!(o.clone().is_some().to_string(), "(is-some o)");
+        assert_eq!(Expr::none(Type::Int).to_string(), "∞");
+    }
+
+    #[test]
+    fn renders_records_and_sets() {
+        let def = std::sync::Arc::new(crate::RecordDef::new("R", [("a", Type::Int)]));
+        let r = Expr::record(&def, vec![Expr::int(2)]);
+        assert_eq!(r.to_string(), "(R :a 2)");
+        let s = Expr::var("s", Type::set("T", ["x"]));
+        assert_eq!(s.clone().add_tag("x").to_string(), "(add x s)");
+        assert_eq!(s.contains("x").to_string(), "(member x s)");
+    }
+}

@@ -1,0 +1,443 @@
+//! A reference interpreter for expression terms.
+//!
+//! The interpreter defines the *concrete* semantics of the IR; the network
+//! simulator in `timepiece-sim` is built directly on it, and the SMT encoding
+//! in `timepiece-smt` is differentially tested against it.
+
+use std::collections::HashMap;
+
+use crate::error::{EvalError, TypeError};
+use crate::expr::{Expr, ExprKind};
+use crate::value::{truncate, Value};
+
+/// A variable environment mapping names to concrete values.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    bindings: HashMap<String, Value>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Binds a variable, replacing any previous binding.
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) -> &mut Env {
+        self.bindings.insert(name.into(), value);
+        self
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// Iterates over all bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.bindings.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Env {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Env { bindings: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, Value)> for Env {
+    fn extend<T: IntoIterator<Item = (String, Value)>>(&mut self, iter: T) {
+        self.bindings.extend(iter);
+    }
+}
+
+impl Expr {
+    /// Evaluates this term under an environment.
+    ///
+    /// Shared subterms are evaluated once per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnboundVar`] for free variables missing from the
+    /// environment and [`EvalError::IllTyped`] for ill-typed terms.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use timepiece_expr::{Expr, Type, Value, Env};
+    /// let x = Expr::var("x", Type::Int);
+    /// let mut env = Env::new();
+    /// env.bind("x", Value::int(41));
+    /// let v = x.add(Expr::int(1)).eval(&env)?;
+    /// assert_eq!(v, Value::Int(42));
+    /// # Ok::<(), timepiece_expr::EvalError>(())
+    /// ```
+    pub fn eval(&self, env: &Env) -> Result<Value, EvalError> {
+        let mut interp = Interp { env, cache: HashMap::new() };
+        interp.eval(self)
+    }
+
+    /// Evaluates a closed boolean term, convenience for assertions in tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Expr::eval`]; additionally ill-typed if the result is not boolean.
+    pub fn eval_bool(&self, env: &Env) -> Result<bool, EvalError> {
+        self.eval(env)?.as_bool().ok_or(EvalError::IllTyped(TypeError::Mismatch {
+            context: "eval_bool",
+            expected: crate::Type::Bool,
+            found: crate::Type::Int,
+        }))
+    }
+}
+
+struct Interp<'a> {
+    env: &'a Env,
+    cache: HashMap<usize, Value>,
+}
+
+fn ill(context: &'static str, found: &Value) -> EvalError {
+    EvalError::IllTyped(TypeError::Unsupported { context, found: found.type_of() })
+}
+
+impl Interp<'_> {
+    fn eval(&mut self, e: &Expr) -> Result<Value, EvalError> {
+        if let Some(v) = self.cache.get(&e.node_id()) {
+            return Ok(v.clone());
+        }
+        let v = self.eval_uncached(e)?;
+        self.cache.insert(e.node_id(), v.clone());
+        Ok(v)
+    }
+
+    fn eval_bool(&mut self, e: &Expr) -> Result<bool, EvalError> {
+        let v = self.eval(e)?;
+        v.as_bool().ok_or_else(|| ill("boolean operand", &v))
+    }
+
+    fn eval_uncached(&mut self, e: &Expr) -> Result<Value, EvalError> {
+        match e.kind() {
+            ExprKind::Var(name, _) => self
+                .env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVar(name.clone())),
+            ExprKind::Const(v) => Ok(v.clone()),
+            ExprKind::Not(a) => Ok(Value::Bool(!self.eval_bool(a)?)),
+            ExprKind::And(xs) => {
+                for x in xs {
+                    if !self.eval_bool(x)? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            ExprKind::Or(xs) => {
+                for x in xs {
+                    if self.eval_bool(x)? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            ExprKind::Implies(a, b) => Ok(Value::Bool(!self.eval_bool(a)? || self.eval_bool(b)?)),
+            ExprKind::Ite(c, t, f) => {
+                if self.eval_bool(c)? {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+            ExprKind::Eq(a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                Ok(Value::Bool(values_equal(&va, &vb)))
+            }
+            ExprKind::Lt(a, b) => self.compare(a, b, |o| o == std::cmp::Ordering::Less),
+            ExprKind::Le(a, b) => self.compare(a, b, |o| o != std::cmp::Ordering::Greater),
+            ExprKind::Add(a, b) => self.arith(a, b, i128::wrapping_add, u64::wrapping_add),
+            ExprKind::Sub(a, b) => self.arith(a, b, i128::wrapping_sub, u64::wrapping_sub),
+            ExprKind::None(payload) => Ok(Value::none(payload.clone())),
+            ExprKind::Some(a) => Ok(Value::some(self.eval(a)?)),
+            ExprKind::IsSome(a) => {
+                let v = self.eval(a)?;
+                v.is_some_option().map(Value::Bool).ok_or_else(|| ill("is_some", &v))
+            }
+            ExprKind::GetSome(a) => {
+                let v = self.eval(a)?;
+                v.unwrap_or_default().ok_or_else(|| ill("get_some", &v))
+            }
+            ExprKind::MkRecord(def, fields) => {
+                let vals = fields.iter().map(|f| self.eval(f)).collect::<Result<Vec<_>, _>>()?;
+                Ok(Value::record(def, vals))
+            }
+            ExprKind::GetField(a, name) => {
+                let v = self.eval(a)?;
+                v.field(name).cloned().ok_or_else(|| ill("get_field", &v))
+            }
+            ExprKind::WithField(a, name, val) => {
+                let v = self.eval(a)?;
+                let new = self.eval(val)?;
+                match v {
+                    Value::Record { def, mut fields } => {
+                        let i = def.field_index(name).ok_or(EvalError::IllTyped(
+                            TypeError::NoSuchField { record: def.name().to_owned(), field: name.clone() },
+                        ))?;
+                        fields[i] = new;
+                        Ok(Value::Record { def, fields })
+                    }
+                    other => Err(ill("with_field", &other)),
+                }
+            }
+            ExprKind::SetContains(a, tag) => {
+                let v = self.eval(a)?;
+                v.contains_tag(tag).map(Value::Bool).ok_or_else(|| ill("set_contains", &v))
+            }
+            ExprKind::SetAdd(a, tag) => self.set_update(a, tag, |mask, bit| mask | bit),
+            ExprKind::SetRemove(a, tag) => self.set_update(a, tag, |mask, bit| mask & !bit),
+            ExprKind::SetUnion(a, b) => self.set_merge(a, b, |x, y| x | y),
+            ExprKind::SetInter(a, b) => self.set_merge(a, b, |x, y| x & y),
+        }
+    }
+
+    fn compare(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        f: impl FnOnce(std::cmp::Ordering) -> bool,
+    ) -> Result<Value, EvalError> {
+        let va = self.eval(a)?;
+        let vb = self.eval(b)?;
+        let ord = match (&va, &vb) {
+            (Value::Int(x), Value::Int(y)) => x.cmp(y),
+            (Value::BitVec { bits: x, width: w1 }, Value::BitVec { bits: y, width: w2 })
+                if w1 == w2 =>
+            {
+                x.cmp(y)
+            }
+            _ => return Err(ill("comparison", &va)),
+        };
+        Ok(Value::Bool(f(ord)))
+    }
+
+    fn arith(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        fi: impl FnOnce(i128, i128) -> i128,
+        fb: impl FnOnce(u64, u64) -> u64,
+    ) -> Result<Value, EvalError> {
+        let va = self.eval(a)?;
+        let vb = self.eval(b)?;
+        match (&va, &vb) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(fi(*x, *y))),
+            (Value::BitVec { bits: x, width: w1 }, Value::BitVec { bits: y, width: w2 })
+                if w1 == w2 =>
+            {
+                Ok(Value::BitVec { width: *w1, bits: truncate(fb(*x, *y), *w1) })
+            }
+            _ => Err(ill("arithmetic", &va)),
+        }
+    }
+
+    fn set_update(
+        &mut self,
+        a: &Expr,
+        tag: &str,
+        f: impl FnOnce(u64, u64) -> u64,
+    ) -> Result<Value, EvalError> {
+        let v = self.eval(a)?;
+        match v {
+            Value::Set { def, mask } => {
+                let i = def.tag_index(tag).ok_or(EvalError::IllTyped(TypeError::NoSuchTag {
+                    set: def.name().to_owned(),
+                    tag: tag.to_owned(),
+                }))?;
+                Ok(Value::Set { mask: f(mask, 1 << i), def })
+            }
+            other => Err(ill("set update", &other)),
+        }
+    }
+
+    fn set_merge(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        f: impl FnOnce(u64, u64) -> u64,
+    ) -> Result<Value, EvalError> {
+        let va = self.eval(a)?;
+        let vb = self.eval(b)?;
+        match (va, vb) {
+            (Value::Set { def, mask: x }, Value::Set { def: d2, mask: y }) if def == d2 => {
+                Ok(Value::Set { def, mask: f(x, y) })
+            }
+            (other, _) => Err(ill("set merge", &other)),
+        }
+    }
+}
+
+/// Structural equality between values, with option payloads ignored when both
+/// sides are `None` (matching the SMT encoding).
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (
+            Value::Option { value: va, .. },
+            Value::Option { value: vb, .. },
+        ) => match (va, vb) {
+            (None, None) => true,
+            (Some(x), Some(y)) => values_equal(x, y),
+            _ => false,
+        },
+        (Value::Record { def: d1, fields: f1 }, Value::Record { def: d2, fields: f2 }) => {
+            d1 == d2 && f1.iter().zip(f2).all(|(x, y)| values_equal(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+    use std::sync::Arc;
+
+    fn empty() -> Env {
+        Env::new()
+    }
+
+    #[test]
+    fn bool_semantics() {
+        let e = Expr::bool(true).and(Expr::bool(false)).or(Expr::bool(true));
+        assert_eq!(e.eval(&empty()).unwrap(), Value::Bool(true));
+        let x = Expr::var("x", Type::Bool);
+        let mut env = Env::new();
+        env.bind("x", Value::Bool(false));
+        assert_eq!(x.clone().implies(Expr::bool(false)).eval(&env).unwrap(), Value::Bool(true));
+        assert_eq!(x.not().eval(&env).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_does_not_hide_unbound_vars_in_taken_branch() {
+        // and([false, unbound]) short-circuits per evaluation order
+        let e = Expr::and_all([Expr::var("a", Type::Bool), Expr::var("zzz", Type::Bool)]);
+        let mut env = Env::new();
+        env.bind("a", Value::Bool(false));
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let mut env = Env::new();
+        env.bind("x", Value::int(5));
+        let x = Expr::var("x", Type::Int);
+        assert_eq!(x.clone().add(Expr::int(3)).eval(&env).unwrap(), Value::Int(8));
+        assert_eq!(x.clone().sub(Expr::int(7)).eval(&env).unwrap(), Value::Int(-2));
+        assert_eq!(x.clone().lt(Expr::int(6)).eval(&env).unwrap(), Value::Bool(true));
+        assert_eq!(x.clone().ge(Expr::int(5)).eval(&env).unwrap(), Value::Bool(true));
+        assert_eq!(x.clone().min(Expr::int(3)).eval(&env).unwrap(), Value::Int(3));
+        assert_eq!(x.max(Expr::int(3)).eval(&env).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn bitvector_wraps() {
+        let e = Expr::bv(255, 8).add(Expr::bv(1, 8));
+        assert_eq!(e.eval(&empty()).unwrap(), Value::bv(0, 8));
+        let e = Expr::bv(0, 8).sub(Expr::bv(1, 8));
+        assert_eq!(e.eval(&empty()).unwrap(), Value::bv(255, 8));
+    }
+
+    #[test]
+    fn unsigned_bv_comparison() {
+        let e = Expr::bv(200, 8).gt(Expr::bv(100, 8));
+        assert_eq!(e.eval(&empty()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn option_semantics_total_get_some() {
+        let o = Expr::var("o", Type::option(Type::Int));
+        let mut env = Env::new();
+        env.bind("o", Value::none(Type::Int));
+        assert_eq!(o.clone().is_some().eval(&env).unwrap(), Value::Bool(false));
+        // get_some(None) = default = 0
+        assert_eq!(o.clone().get_some().eval(&env).unwrap(), Value::Int(0));
+        env.bind("o", Value::some(Value::int(9)));
+        assert_eq!(o.clone().get_some().eval(&env).unwrap(), Value::Int(9));
+        let matched = o.match_option(Expr::int(-1), |x| x.add(Expr::int(1)));
+        assert_eq!(matched.eval(&env).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn option_equality_ignores_none_payload() {
+        let ty = Type::option(Type::Int);
+        let a = Expr::var("a", ty.clone());
+        let b = Expr::var("b", ty);
+        let mut env = Env::new();
+        env.bind("a", Value::none(Type::Int));
+        env.bind("b", Value::none(Type::Int));
+        assert_eq!(a.clone().eq(b.clone()).eval(&env).unwrap(), Value::Bool(true));
+        env.bind("b", Value::some(Value::int(0)));
+        assert_eq!(a.eq(b).eval(&env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn record_semantics() {
+        let def = Arc::new(crate::types::RecordDef::new(
+            "R",
+            [("lp", Type::BitVec(32)), ("len", Type::Int)],
+        ));
+        let r = Expr::var("r", Type::Record(def.clone()));
+        let mut env = Env::new();
+        env.bind("r", Value::record(&def, vec![Value::bv(100, 32), Value::int(2)]));
+        assert_eq!(r.clone().field("len").eval(&env).unwrap(), Value::Int(2));
+        let bumped = r.clone().with_field("len", r.field("len").add(Expr::int(1)));
+        assert_eq!(bumped.clone().field("len").eval(&env).unwrap(), Value::Int(3));
+        assert_eq!(bumped.field("lp").eval(&env).unwrap(), Value::bv(100, 32));
+    }
+
+    #[test]
+    fn set_semantics() {
+        let ty = Type::set("Tags", ["internal", "down"]);
+        let s = Expr::var("s", ty.clone());
+        let def = ty.set_def().unwrap().clone();
+        let mut env = Env::new();
+        env.bind("s", Value::set_of(&def, ["internal"]));
+        assert_eq!(s.clone().contains("internal").eval(&env).unwrap(), Value::Bool(true));
+        assert_eq!(s.clone().contains("down").eval(&env).unwrap(), Value::Bool(false));
+        let s2 = s.clone().add_tag("down").remove_tag("internal");
+        assert_eq!(s2.clone().contains("down").eval(&env).unwrap(), Value::Bool(true));
+        assert_eq!(s2.contains("internal").eval(&env).unwrap(), Value::Bool(false));
+        let u = s.clone().union(s.clone().add_tag("down"));
+        assert_eq!(u.contains("down").eval(&env).unwrap(), Value::Bool(true));
+        let i = s.clone().intersect(s.add_tag("down"));
+        assert_eq!(i.contains("internal").eval(&env).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unbound_var_reported() {
+        let e = Expr::var("missing", Type::Int);
+        assert_eq!(e.eval(&empty()), Err(EvalError::UnboundVar("missing".into())));
+    }
+
+    #[test]
+    fn ill_typed_detected_at_runtime() {
+        let e = Expr::bool(true).add(Expr::bool(false));
+        assert!(matches!(e.eval(&empty()), Err(EvalError::IllTyped(_))));
+    }
+
+    #[test]
+    fn shared_subterm_evaluated_once_consistently() {
+        let x = Expr::var("x", Type::Int);
+        let shared = x.clone().add(Expr::int(1));
+        let e = shared.clone().add(shared);
+        let mut env = Env::new();
+        env.bind("x", Value::int(10));
+        assert_eq!(e.eval(&env).unwrap(), Value::Int(22));
+    }
+
+    #[test]
+    fn env_collects_from_iterator() {
+        let env: Env = [("a".to_owned(), Value::int(1))].into_iter().collect();
+        assert_eq!(env.get("a"), Some(&Value::Int(1)));
+        assert_eq!(env.iter().count(), 1);
+    }
+}

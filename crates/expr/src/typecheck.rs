@@ -1,0 +1,291 @@
+//! Type checking for expression terms.
+
+use std::collections::HashMap;
+
+use crate::error::TypeError;
+use crate::expr::{Expr, ExprKind};
+use crate::types::Type;
+
+impl Expr {
+    /// Computes the type of this term.
+    ///
+    /// Shared subterms are checked once (the checker caches by node identity).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] describing the first ill-typed node found.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use timepiece_expr::{Expr, Type};
+    /// let e = Expr::int(1).add(Expr::int(2));
+    /// assert_eq!(e.type_of().unwrap(), Type::Int);
+    /// assert!(Expr::int(1).add(Expr::bool(true)).type_of().is_err());
+    /// ```
+    pub fn type_of(&self) -> Result<Type, TypeError> {
+        let mut checker = Checker { cache: HashMap::new() };
+        checker.check(self)
+    }
+}
+
+struct Checker {
+    cache: HashMap<usize, Type>,
+}
+
+impl Checker {
+    fn check(&mut self, e: &Expr) -> Result<Type, TypeError> {
+        if let Some(t) = self.cache.get(&e.node_id()) {
+            return Ok(t.clone());
+        }
+        let ty = self.check_uncached(e)?;
+        self.cache.insert(e.node_id(), ty.clone());
+        Ok(ty)
+    }
+
+    fn expect(&mut self, e: &Expr, expected: &Type, context: &'static str) -> Result<(), TypeError> {
+        let found = self.check(e)?;
+        if &found == expected {
+            Ok(())
+        } else {
+            Err(TypeError::Mismatch { context, expected: expected.clone(), found })
+        }
+    }
+
+    fn check_numeric_pair(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        context: &'static str,
+    ) -> Result<Type, TypeError> {
+        let ta = self.check(a)?;
+        if !ta.is_numeric() {
+            return Err(TypeError::Unsupported { context, found: ta });
+        }
+        self.expect(b, &ta, context)?;
+        Ok(ta)
+    }
+
+    fn check_uncached(&mut self, e: &Expr) -> Result<Type, TypeError> {
+        match e.kind() {
+            ExprKind::Var(_, ty) => Ok(ty.clone()),
+            ExprKind::Const(v) => Ok(v.type_of()),
+            ExprKind::Not(a) => {
+                self.expect(a, &Type::Bool, "not")?;
+                Ok(Type::Bool)
+            }
+            ExprKind::And(xs) => {
+                for x in xs {
+                    self.expect(x, &Type::Bool, "and")?;
+                }
+                Ok(Type::Bool)
+            }
+            ExprKind::Or(xs) => {
+                for x in xs {
+                    self.expect(x, &Type::Bool, "or")?;
+                }
+                Ok(Type::Bool)
+            }
+            ExprKind::Implies(a, b) => {
+                self.expect(a, &Type::Bool, "implies")?;
+                self.expect(b, &Type::Bool, "implies")?;
+                Ok(Type::Bool)
+            }
+            ExprKind::Ite(c, t, f) => {
+                self.expect(c, &Type::Bool, "ite condition")?;
+                let tt = self.check(t)?;
+                self.expect(f, &tt, "ite branches")?;
+                Ok(tt)
+            }
+            ExprKind::Eq(a, b) => {
+                let ta = self.check(a)?;
+                self.expect(b, &ta, "eq")?;
+                Ok(Type::Bool)
+            }
+            ExprKind::Lt(a, b) => {
+                self.check_numeric_pair(a, b, "lt")?;
+                Ok(Type::Bool)
+            }
+            ExprKind::Le(a, b) => {
+                self.check_numeric_pair(a, b, "le")?;
+                Ok(Type::Bool)
+            }
+            ExprKind::Add(a, b) => self.check_numeric_pair(a, b, "add"),
+            ExprKind::Sub(a, b) => self.check_numeric_pair(a, b, "sub"),
+            ExprKind::None(payload) => Ok(Type::option(payload.clone())),
+            ExprKind::Some(a) => Ok(Type::option(self.check(a)?)),
+            ExprKind::IsSome(a) => {
+                let ta = self.check(a)?;
+                if ta.is_option() {
+                    Ok(Type::Bool)
+                } else {
+                    Err(TypeError::Unsupported { context: "is_some", found: ta })
+                }
+            }
+            ExprKind::GetSome(a) => {
+                let ta = self.check(a)?;
+                match ta.option_payload() {
+                    Some(p) => Ok(p.clone()),
+                    None => Err(TypeError::Unsupported { context: "get_some", found: ta }),
+                }
+            }
+            ExprKind::MkRecord(def, fields) => {
+                for ((_, ft), fe) in def.fields().iter().zip(fields) {
+                    let found = self.check(fe)?;
+                    if &found != ft {
+                        return Err(TypeError::Mismatch {
+                            context: "record field",
+                            expected: ft.clone(),
+                            found,
+                        });
+                    }
+                }
+                Ok(Type::Record(std::sync::Arc::clone(def)))
+            }
+            ExprKind::GetField(a, name) => {
+                let ta = self.check(a)?;
+                let def = ta
+                    .record_def()
+                    .ok_or(TypeError::Unsupported { context: "get_field", found: ta.clone() })?;
+                def.field_type(name).cloned().ok_or_else(|| TypeError::NoSuchField {
+                    record: def.name().to_owned(),
+                    field: name.clone(),
+                })
+            }
+            ExprKind::WithField(a, name, v) => {
+                let ta = self.check(a)?;
+                let def = ta
+                    .record_def()
+                    .ok_or(TypeError::Unsupported { context: "with_field", found: ta.clone() })?
+                    .clone();
+                let ft = def.field_type(name).cloned().ok_or_else(|| TypeError::NoSuchField {
+                    record: def.name().to_owned(),
+                    field: name.clone(),
+                })?;
+                self.expect(v, &ft, "with_field")?;
+                Ok(ta)
+            }
+            ExprKind::SetContains(a, tag) => {
+                let def = self.set_def(a, "set_contains")?;
+                if def.tag_index(tag).is_none() {
+                    return Err(TypeError::NoSuchTag { set: def.name().to_owned(), tag: tag.clone() });
+                }
+                Ok(Type::Bool)
+            }
+            ExprKind::SetAdd(a, tag) | ExprKind::SetRemove(a, tag) => {
+                let def = self.set_def(a, "set_add/remove")?;
+                if def.tag_index(tag).is_none() {
+                    return Err(TypeError::NoSuchTag { set: def.name().to_owned(), tag: tag.clone() });
+                }
+                Ok(Type::Set(def))
+            }
+            ExprKind::SetUnion(a, b) | ExprKind::SetInter(a, b) => {
+                let def = self.set_def(a, "set_union/inter")?;
+                self.expect(b, &Type::Set(def.clone()), "set_union/inter")?;
+                Ok(Type::Set(def))
+            }
+        }
+    }
+
+    fn set_def(
+        &mut self,
+        e: &Expr,
+        context: &'static str,
+    ) -> Result<std::sync::Arc<crate::types::SetDef>, TypeError> {
+        let t = self.check(e)?;
+        t.set_def()
+            .cloned()
+            .ok_or(TypeError::Unsupported { context, found: t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RecordDef;
+    use std::sync::Arc;
+
+    #[test]
+    fn scalar_ops_type() {
+        assert_eq!(Expr::int(1).add(Expr::int(2)).type_of().unwrap(), Type::Int);
+        assert_eq!(Expr::bv(1, 8).sub(Expr::bv(2, 8)).type_of().unwrap(), Type::BitVec(8));
+        assert_eq!(Expr::int(1).lt(Expr::int(2)).type_of().unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn mixed_width_bv_rejected() {
+        assert!(Expr::bv(1, 8).add(Expr::bv(1, 16)).type_of().is_err());
+        assert!(Expr::int(1).add(Expr::bv(1, 8)).type_of().is_err());
+    }
+
+    #[test]
+    fn bool_arith_rejected() {
+        let e = Expr::bool(true).add(Expr::bool(false));
+        assert!(matches!(e.type_of(), Err(TypeError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn ite_branch_mismatch_rejected() {
+        let e = Expr::var("c", Type::Bool).ite(Expr::int(1), Expr::bool(true));
+        assert!(matches!(e.type_of(), Err(TypeError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn option_typing() {
+        let n = Expr::none(Type::Int);
+        assert_eq!(n.type_of().unwrap(), Type::option(Type::Int));
+        let s = Expr::int(1).some();
+        assert_eq!(s.clone().type_of().unwrap(), Type::option(Type::Int));
+        // note: is_some/get_some on literal Some fold away, so use a var
+        let v = Expr::var("o", Type::option(Type::Int));
+        assert_eq!(v.clone().is_some().type_of().unwrap(), Type::Bool);
+        assert_eq!(v.get_some().type_of().unwrap(), Type::Int);
+        let not_an_option = Expr::var("i", Type::Int).is_some();
+        assert!(matches!(not_an_option.type_of(), Err(TypeError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn record_typing() {
+        let def = Arc::new(RecordDef::new("R", [("a", Type::Int), ("b", Type::Bool)]));
+        let r = Expr::var("r", Type::Record(def.clone()));
+        assert_eq!(r.clone().field("a").type_of().unwrap(), Type::Int);
+        assert!(matches!(
+            r.clone().field("zzz").type_of(),
+            Err(TypeError::NoSuchField { .. })
+        ));
+        assert!(r.clone().with_field("a", Expr::bool(true)).type_of().is_err());
+        let built = Expr::record(&def, vec![Expr::int(0), Expr::var("x", Type::Bool)]);
+        assert_eq!(built.type_of().unwrap(), Type::Record(def));
+    }
+
+    #[test]
+    fn record_field_value_mismatch() {
+        let def = Arc::new(RecordDef::new("R", [("a", Type::Int)]));
+        let bad = Expr::record(&def, vec![Expr::bool(true)]);
+        assert!(bad.type_of().is_err());
+    }
+
+    #[test]
+    fn set_typing() {
+        let ty = Type::set("Tags", ["x", "y"]);
+        let s = Expr::var("s", ty.clone());
+        assert_eq!(s.clone().contains("x").type_of().unwrap(), Type::Bool);
+        assert!(matches!(
+            s.clone().contains("zzz").type_of(),
+            Err(TypeError::NoSuchTag { .. })
+        ));
+        assert_eq!(s.clone().add_tag("y").type_of().unwrap(), ty);
+        assert_eq!(s.clone().union(s.clone()).type_of().unwrap(), ty);
+        let other = Expr::var("t", Type::set("Other", ["x"]));
+        assert!(s.union(other).type_of().is_err());
+    }
+
+    #[test]
+    fn eq_requires_same_type() {
+        assert!(Expr::int(1).eq(Expr::bool(true)).type_of().is_err());
+        let ty = Type::option(Type::Int);
+        let a = Expr::var("a", ty.clone());
+        let b = Expr::var("b", ty);
+        assert_eq!(a.eq(b).type_of().unwrap(), Type::Bool);
+    }
+}

@@ -1,0 +1,332 @@
+//! The type system of the expression IR.
+//!
+//! Types are deliberately small: everything must have a straightforward
+//! encoding both as a concrete Rust value ([`crate::Value`]) and as a tuple of
+//! Z3 terms. Records and options are *structural*: they compile to tuples of
+//! scalar terms rather than SMT datatype sorts, mirroring the encoding used by
+//! Zen/Minesweeper.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A type in the expression IR.
+///
+/// Cloning is cheap: compound types share their definitions via [`Arc`].
+///
+/// # Example
+///
+/// ```
+/// use timepiece_expr::Type;
+/// let route = Type::option(Type::record("R", [("len", Type::Int)]));
+/// assert!(route.is_option());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Booleans.
+    Bool,
+    /// Fixed-width unsigned bitvectors (width in bits, 1..=64).
+    BitVec(u32),
+    /// Unbounded (mathematical) integers.
+    Int,
+    /// A named finite enumeration.
+    Enum(Arc<EnumDef>),
+    /// An optional value: either absent (the paper's `∞` route) or present.
+    Option(Arc<Type>),
+    /// A named record with ordered, typed fields.
+    Record(Arc<RecordDef>),
+    /// A set over a fixed, named universe of at most 64 tags.
+    Set(Arc<SetDef>),
+}
+
+/// Definition of a finite enumeration type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EnumDef {
+    name: String,
+    variants: Vec<String>,
+}
+
+/// Definition of a record type: a name and ordered, typed fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RecordDef {
+    name: String,
+    fields: Vec<(String, Type)>,
+}
+
+/// Definition of a set type: a fixed universe of tag names (at most 64).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SetDef {
+    name: String,
+    universe: Vec<String>,
+}
+
+impl EnumDef {
+    /// Creates an enum definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is empty or contains duplicates.
+    pub fn new(name: impl Into<String>, variants: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let variants: Vec<String> = variants.into_iter().map(Into::into).collect();
+        assert!(!variants.is_empty(), "enum must have at least one variant");
+        for (i, v) in variants.iter().enumerate() {
+            assert!(
+                !variants[..i].contains(v),
+                "duplicate enum variant {v:?}"
+            );
+        }
+        Self { name: name.into(), variants }
+    }
+
+    /// The enum's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variant names, in declaration order.
+    pub fn variants(&self) -> &[String] {
+        &self.variants
+    }
+
+    /// Index of a variant by name.
+    pub fn variant_index(&self, variant: &str) -> Option<usize> {
+        self.variants.iter().position(|v| v == variant)
+    }
+}
+
+impl RecordDef {
+    /// Creates a record definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields` contains duplicate names.
+    pub fn new(
+        name: impl Into<String>,
+        fields: impl IntoIterator<Item = (impl Into<String>, Type)>,
+    ) -> Self {
+        let fields: Vec<(String, Type)> =
+            fields.into_iter().map(|(n, t)| (n.into(), t)).collect();
+        for (i, (n, _)) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|(m, _)| m == n),
+                "duplicate record field {n:?}"
+            );
+        }
+        Self { name: name.into(), fields }
+    }
+
+    /// The record's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fields, in declaration order.
+    pub fn fields(&self) -> &[(String, Type)] {
+        &self.fields
+    }
+
+    /// Index of a field by name.
+    pub fn field_index(&self, field: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| n == field)
+    }
+
+    /// Type of a field by name.
+    pub fn field_type(&self, field: &str) -> Option<&Type> {
+        self.fields.iter().find(|(n, _)| n == field).map(|(_, t)| t)
+    }
+}
+
+impl SetDef {
+    /// Creates a set definition over a universe of tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe has more than 64 tags or contains duplicates.
+    pub fn new(name: impl Into<String>, universe: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let universe: Vec<String> = universe.into_iter().map(Into::into).collect();
+        assert!(universe.len() <= 64, "set universe limited to 64 tags");
+        for (i, v) in universe.iter().enumerate() {
+            assert!(!universe[..i].contains(v), "duplicate set tag {v:?}");
+        }
+        Self { name: name.into(), universe }
+    }
+
+    /// The set type's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The universe of tags.
+    pub fn universe(&self) -> &[String] {
+        &self.universe
+    }
+
+    /// Index of a tag in the universe.
+    pub fn tag_index(&self, tag: &str) -> Option<usize> {
+        self.universe.iter().position(|t| t == tag)
+    }
+}
+
+impl Type {
+    /// Shorthand for an option type.
+    pub fn option(payload: Type) -> Type {
+        Type::Option(Arc::new(payload))
+    }
+
+    /// Shorthand for a record type.
+    pub fn record(
+        name: impl Into<String>,
+        fields: impl IntoIterator<Item = (impl Into<String>, Type)>,
+    ) -> Type {
+        Type::Record(Arc::new(RecordDef::new(name, fields)))
+    }
+
+    /// Shorthand for an enum type.
+    pub fn enumeration(
+        name: impl Into<String>,
+        variants: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Type {
+        Type::Enum(Arc::new(EnumDef::new(name, variants)))
+    }
+
+    /// Shorthand for a set type.
+    pub fn set(
+        name: impl Into<String>,
+        universe: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Type {
+        Type::Set(Arc::new(SetDef::new(name, universe)))
+    }
+
+    /// Is this the boolean type?
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Type::Bool)
+    }
+
+    /// Is this an option type?
+    pub fn is_option(&self) -> bool {
+        matches!(self, Type::Option(_))
+    }
+
+    /// Is this a numeric type (bitvector or integer)?
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::BitVec(_) | Type::Int)
+    }
+
+    /// The payload type if this is an option type.
+    pub fn option_payload(&self) -> Option<&Type> {
+        match self {
+            Type::Option(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The record definition if this is a record type.
+    pub fn record_def(&self) -> Option<&Arc<RecordDef>> {
+        match self {
+            Type::Record(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The enum definition if this is an enum type.
+    pub fn enum_def(&self) -> Option<&Arc<EnumDef>> {
+        match self {
+            Type::Enum(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The set definition if this is a set type.
+    pub fn set_def(&self) -> Option<&Arc<SetDef>> {
+        match self {
+            Type::Set(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::BitVec(w) => write!(f, "bv{w}"),
+            Type::Int => write!(f, "int"),
+            Type::Enum(d) => write!(f, "enum {}", d.name()),
+            Type::Option(p) => write!(f, "option<{p}>"),
+            Type::Record(d) => write!(f, "record {}", d.name()),
+            Type::Set(d) => write!(f, "set {}", d.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_def_indexes_variants() {
+        let d = EnumDef::new("Origin", ["egp", "igp", "unknown"]);
+        assert_eq!(d.variant_index("igp"), Some(1));
+        assert_eq!(d.variant_index("bgp"), None);
+        assert_eq!(d.variants().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate enum variant")]
+    fn enum_def_rejects_duplicates() {
+        EnumDef::new("E", ["a", "a"]);
+    }
+
+    #[test]
+    fn record_def_lookup() {
+        let d = RecordDef::new("R", [("lp", Type::BitVec(32)), ("len", Type::Int)]);
+        assert_eq!(d.field_index("len"), Some(1));
+        assert_eq!(d.field_type("lp"), Some(&Type::BitVec(32)));
+        assert_eq!(d.field_type("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate record field")]
+    fn record_def_rejects_duplicates() {
+        RecordDef::new("R", [("a", Type::Bool), ("a", Type::Int)]);
+    }
+
+    #[test]
+    fn set_def_lookup() {
+        let d = SetDef::new("Tags", ["internal", "down"]);
+        assert_eq!(d.tag_index("down"), Some(1));
+        assert_eq!(d.tag_index("up"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 64")]
+    fn set_def_rejects_large_universe() {
+        SetDef::new("Big", (0..65).map(|i| format!("t{i}")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Bool.to_string(), "bool");
+        assert_eq!(Type::BitVec(32).to_string(), "bv32");
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(
+            Type::option(Type::Int).to_string(),
+            "option<int>"
+        );
+        assert_eq!(
+            Type::record("R", [("x", Type::Bool)]).to_string(),
+            "record R"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let r = Type::record("R", [("x", Type::Bool)]);
+        let o = Type::option(r.clone());
+        assert!(o.is_option());
+        assert_eq!(o.option_payload(), Some(&r));
+        assert!(r.record_def().is_some());
+        assert!(Type::Int.is_numeric());
+        assert!(Type::BitVec(8).is_numeric());
+        assert!(!Type::Bool.is_numeric());
+    }
+}

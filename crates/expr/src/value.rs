@@ -1,0 +1,331 @@
+//! Concrete values of the expression IR.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::types::{EnumDef, RecordDef, SetDef, Type};
+
+/// A concrete value, the result of evaluating an [`crate::Expr`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A fixed-width unsigned bitvector value, kept truncated to its width.
+    BitVec {
+        /// Width in bits (1..=64).
+        width: u32,
+        /// The value, always `< 2^width`.
+        bits: u64,
+    },
+    /// An unbounded integer.
+    Int(i128),
+    /// An enum variant, by index into its definition.
+    Enum {
+        /// The enum definition.
+        def: Arc<EnumDef>,
+        /// The variant index.
+        index: usize,
+    },
+    /// An optional value; `None` models the absent route `∞`.
+    Option {
+        /// The payload type (needed to type `None`).
+        payload: Arc<Type>,
+        /// The value, if present.
+        value: Option<Box<Value>>,
+    },
+    /// A record value with fields in definition order.
+    Record {
+        /// The record definition.
+        def: Arc<RecordDef>,
+        /// The field values, in definition order.
+        fields: Vec<Value>,
+    },
+    /// A set over a fixed universe, as a bitmask.
+    Set {
+        /// The set definition.
+        def: Arc<SetDef>,
+        /// Bit `i` set ⇔ tag `i` present.
+        mask: u64,
+    },
+}
+
+impl Value {
+    /// Creates a bitvector value, truncating to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn bv(bits: u64, width: u32) -> Value {
+        assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
+        Value::BitVec { width, bits: truncate(bits, width) }
+    }
+
+    /// Creates an integer value.
+    pub fn int(i: impl Into<i128>) -> Value {
+        Value::Int(i.into())
+    }
+
+    /// Creates a `None` option value with the given payload type.
+    pub fn none(payload: Type) -> Value {
+        Value::Option { payload: Arc::new(payload), value: None }
+    }
+
+    /// Wraps a value in `Some`.
+    pub fn some(v: Value) -> Value {
+        let payload = Arc::new(v.type_of());
+        Value::Option { payload, value: Some(Box::new(v)) }
+    }
+
+    /// Creates an enum value by variant name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is not in the definition.
+    pub fn enum_variant(def: &Arc<EnumDef>, variant: &str) -> Value {
+        let index = def
+            .variant_index(variant)
+            .unwrap_or_else(|| panic!("unknown variant {variant:?} of enum {}", def.name()));
+        Value::Enum { def: Arc::clone(def), index }
+    }
+
+    /// Creates a record value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of fields does not match the definition.
+    pub fn record(def: &Arc<RecordDef>, fields: Vec<Value>) -> Value {
+        assert_eq!(
+            fields.len(),
+            def.fields().len(),
+            "record {} expects {} fields",
+            def.name(),
+            def.fields().len()
+        );
+        Value::Record { def: Arc::clone(def), fields }
+    }
+
+    /// Creates a set value from tag names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tag is not in the universe.
+    pub fn set_of<'a>(def: &Arc<SetDef>, tags: impl IntoIterator<Item = &'a str>) -> Value {
+        let mut mask = 0u64;
+        for tag in tags {
+            let i = def
+                .tag_index(tag)
+                .unwrap_or_else(|| panic!("unknown tag {tag:?} in set {}", def.name()));
+            mask |= 1 << i;
+        }
+        Value::Set { def: Arc::clone(def), mask }
+    }
+
+    /// The canonical default value of a type: `false`, zero, the first
+    /// variant, `None`, all-defaults, or the empty set.
+    ///
+    /// Used to give `get_some(None)` a total (arbitrary but fixed) meaning.
+    pub fn default_of(ty: &Type) -> Value {
+        match ty {
+            Type::Bool => Value::Bool(false),
+            Type::BitVec(w) => Value::bv(0, *w),
+            Type::Int => Value::Int(0),
+            Type::Enum(d) => Value::Enum { def: Arc::clone(d), index: 0 },
+            Type::Option(p) => Value::Option { payload: Arc::clone(p), value: None },
+            Type::Record(d) => {
+                let fields = d.fields().iter().map(|(_, t)| Value::default_of(t)).collect();
+                Value::Record { def: Arc::clone(d), fields }
+            }
+            Type::Set(d) => Value::Set { def: Arc::clone(d), mask: 0 },
+        }
+    }
+
+    /// The type of this value.
+    pub fn type_of(&self) -> Type {
+        match self {
+            Value::Bool(_) => Type::Bool,
+            Value::BitVec { width, .. } => Type::BitVec(*width),
+            Value::Int(_) => Type::Int,
+            Value::Enum { def, .. } => Type::Enum(Arc::clone(def)),
+            Value::Option { payload, .. } => Type::Option(Arc::clone(payload)),
+            Value::Record { def, .. } => Type::Record(Arc::clone(def)),
+            Value::Set { def, .. } => Type::Set(Arc::clone(def)),
+        }
+    }
+
+    /// Extracts a boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts an integer, if this is one.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts bitvector bits, if this is a bitvector.
+    pub fn as_bv(&self) -> Option<u64> {
+        match self {
+            Value::BitVec { bits, .. } => Some(*bits),
+            _ => None,
+        }
+    }
+
+    /// Is this an option holding a value?
+    pub fn is_some_option(&self) -> Option<bool> {
+        match self {
+            Value::Option { value, .. } => Some(value.is_some()),
+            _ => None,
+        }
+    }
+
+    /// The payload of an option, or the payload type's default when `None`.
+    ///
+    /// Mirrors the total semantics of `Expr::get_some`.
+    pub fn unwrap_or_default(&self) -> Option<Value> {
+        match self {
+            Value::Option { payload, value } => Some(match value {
+                Some(v) => (**v).clone(),
+                None => Value::default_of(payload),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Looks up a record field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record { def, fields } => def.field_index(name).map(|i| &fields[i]),
+            _ => None,
+        }
+    }
+
+    /// Tests set membership by tag name.
+    pub fn contains_tag(&self, tag: &str) -> Option<bool> {
+        match self {
+            Value::Set { def, mask } => def.tag_index(tag).map(|i| mask & (1 << i) != 0),
+            _ => None,
+        }
+    }
+}
+
+/// Truncates `bits` to the low `width` bits.
+pub(crate) fn truncate(bits: u64, width: u32) -> u64 {
+    if width >= 64 {
+        bits
+    } else {
+        bits & ((1u64 << width) - 1)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::BitVec { width, bits } => write!(f, "{bits}bv{width}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Enum { def, index } => write!(f, "{}", def.variants()[*index]),
+            Value::Option { value: None, .. } => write!(f, "∞"),
+            Value::Option { value: Some(v), .. } => write!(f, "⟨{v}⟩"),
+            Value::Record { def, fields } => {
+                write!(f, "{}{{", def.name())?;
+                for (i, ((name, _), v)) in def.fields().iter().zip(fields).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Set { def, mask } => {
+                write!(f, "{{")?;
+                let mut first = true;
+                for (i, tag) in def.universe().iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{tag}")?;
+                        first = false;
+                    }
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_truncates() {
+        assert_eq!(Value::bv(0x1ff, 8).as_bv(), Some(0xff));
+        assert_eq!(Value::bv(u64::MAX, 64).as_bv(), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn bv_rejects_zero_width() {
+        Value::bv(0, 0);
+    }
+
+    #[test]
+    fn default_values() {
+        let ty = Type::record(
+            "R",
+            [("a", Type::Bool), ("b", Type::option(Type::Int))],
+        );
+        let v = Value::default_of(&ty);
+        assert_eq!(v.field("a").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.field("b").and_then(Value::is_some_option), Some(false));
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let v = Value::some(Value::int(7));
+        assert_eq!(v.is_some_option(), Some(true));
+        assert_eq!(v.unwrap_or_default().unwrap().as_int(), Some(7));
+        let n = Value::none(Type::Int);
+        assert_eq!(n.is_some_option(), Some(false));
+        assert_eq!(n.unwrap_or_default().unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn set_membership() {
+        let def = Arc::new(SetDef::new("T", ["a", "b", "c"]));
+        let v = Value::set_of(&def, ["a", "c"]);
+        assert_eq!(v.contains_tag("a"), Some(true));
+        assert_eq!(v.contains_tag("b"), Some(false));
+        assert_eq!(v.contains_tag("c"), Some(true));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::none(Type::Int).to_string(), "∞");
+        assert_eq!(Value::some(Value::int(3)).to_string(), "⟨3⟩");
+        let def = Arc::new(SetDef::new("T", ["x", "y"]));
+        assert_eq!(Value::set_of(&def, ["x", "y"]).to_string(), "{x, y}");
+    }
+
+    #[test]
+    fn type_of_roundtrip() {
+        let ty = Type::option(Type::record("R", [("a", Type::Bool)]));
+        assert_eq!(Value::default_of(&ty).type_of(), ty);
+    }
+
+    #[test]
+    fn enum_values() {
+        let def = Arc::new(EnumDef::new("Origin", ["egp", "igp"]));
+        let v = Value::enum_variant(&def, "igp");
+        assert_eq!(v.to_string(), "igp");
+        assert_eq!(Value::default_of(&Type::Enum(def)).to_string(), "egp");
+    }
+}

@@ -1,0 +1,304 @@
+//! The eBGP route schema of Table 3, at the expression level.
+//!
+//! A route is `Option<Record>` (with `None` as the paper's `∞`), where the
+//! record models the fields the paper lists:
+//!
+//! | field | SMT type |
+//! |---|---|
+//! | `destination` (IPv4 prefix) | bitvector(32) |
+//! | `ad` (administrative distance) | bitvector(32) |
+//! | `lp` (local preference) | bitvector(32) |
+//! | `med` (multi-exit discriminator) | bitvector(32) |
+//! | `origin` | enum {egp, igp, unknown} |
+//! | `len` (AS-path length) | unbounded integer |
+//! | `comms` (communities) | fixed-universe set |
+//!
+//! Extra boolean *ghost* fields (e.g. `Hijack`'s external-origin tag) can be
+//! appended without touching the protocol logic.
+
+use std::sync::Arc;
+
+use timepiece_expr::{Expr, RecordDef, Type};
+
+/// Default administrative distance for eBGP.
+pub const DEFAULT_AD: u64 = 20;
+/// Default local preference.
+pub const DEFAULT_LP: u64 = 100;
+/// Default multi-exit discriminator.
+pub const DEFAULT_MED: u64 = 0;
+
+/// A configured eBGP route schema: community universe plus ghost fields.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_nets::bgp::BgpSchema;
+///
+/// let schema = BgpSchema::new(["down"], ["tag"]);
+/// let r = schema.route_var("r");
+/// let originated = schema.originate(timepiece_expr::Expr::bv(0, 32));
+/// assert_eq!(originated.type_of().unwrap(), schema.route_type());
+/// let _pred = schema.len(&r.clone().get_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BgpSchema {
+    record: Arc<RecordDef>,
+    route_type: Type,
+    ghost_fields: Vec<String>,
+}
+
+impl BgpSchema {
+    /// Builds a schema with the given community universe and extra boolean
+    /// ghost fields.
+    pub fn new<'a, 'b>(
+        communities: impl IntoIterator<Item = &'a str>,
+        ghost_bools: impl IntoIterator<Item = &'b str>,
+    ) -> BgpSchema {
+        let comm_ty = Type::set("Communities", communities.into_iter().collect::<Vec<_>>());
+        let origin_ty = Type::enumeration("Origin", ["egp", "igp", "unknown"]);
+        let mut fields: Vec<(String, Type)> = vec![
+            ("destination".into(), Type::BitVec(32)),
+            ("ad".into(), Type::BitVec(32)),
+            ("lp".into(), Type::BitVec(32)),
+            ("med".into(), Type::BitVec(32)),
+            ("origin".into(), origin_ty),
+            ("len".into(), Type::Int),
+            ("comms".into(), comm_ty),
+        ];
+        let ghost_fields: Vec<String> =
+            ghost_bools.into_iter().map(str::to_owned).collect();
+        for g in &ghost_fields {
+            fields.push((g.clone(), Type::Bool));
+        }
+        let record = Arc::new(RecordDef::new("BgpRoute", fields));
+        let route_type = Type::option(Type::Record(Arc::clone(&record)));
+        BgpSchema { record, route_type, ghost_fields }
+    }
+
+    /// The record definition of a present route.
+    pub fn record_def(&self) -> &Arc<RecordDef> {
+        &self.record
+    }
+
+    /// The route type `S = Option<BgpRoute>`.
+    pub fn route_type(&self) -> Type {
+        self.route_type.clone()
+    }
+
+    /// The names of the ghost fields.
+    pub fn ghost_fields(&self) -> &[String] {
+        &self.ghost_fields
+    }
+
+    /// A route variable of this schema's type.
+    pub fn route_var(&self, name: &str) -> Expr {
+        Expr::var(name, self.route_type())
+    }
+
+    /// A freshly-originated route for `destination`: default attributes,
+    /// zero length, no communities, ghost fields false.
+    pub fn originate(&self, destination: Expr) -> Expr {
+        let mut fields = vec![
+            destination,
+            Expr::bv(DEFAULT_AD, 32),
+            Expr::bv(DEFAULT_LP, 32),
+            Expr::bv(DEFAULT_MED, 32),
+            Expr::constant(timepiece_expr::Value::enum_variant(
+                self.record.field_type("origin").unwrap().enum_def().unwrap(),
+                "igp",
+            )),
+            Expr::int(0),
+            Expr::constant(timepiece_expr::Value::default_of(
+                self.record.field_type("comms").unwrap(),
+            )),
+        ];
+        for _ in &self.ghost_fields {
+            fields.push(Expr::bool(false));
+        }
+        Expr::record(&self.record, fields).some()
+    }
+
+    // -- field projections over a *present* route (a record term) -----------
+
+    /// The destination prefix of a present route.
+    pub fn destination(&self, route: &Expr) -> Expr {
+        route.clone().field("destination")
+    }
+
+    /// The local preference of a present route.
+    pub fn lp(&self, route: &Expr) -> Expr {
+        route.clone().field("lp")
+    }
+
+    /// The AS-path length of a present route.
+    pub fn len(&self, route: &Expr) -> Expr {
+        route.clone().field("len")
+    }
+
+    /// Community membership of a present route.
+    pub fn has_community(&self, route: &Expr, tag: &str) -> Expr {
+        route.clone().field("comms").contains(tag)
+    }
+
+    /// A ghost boolean of a present route.
+    pub fn ghost(&self, route: &Expr, field: &str) -> Expr {
+        route.clone().field(field)
+    }
+
+    // -- protocol functions ---------------------------------------------------
+
+    /// The default transfer: increment the AS-path length, preserve all other
+    /// fields; `∞` stays `∞`.
+    pub fn transfer_increment(&self, route: &Expr) -> Expr {
+        let payload_ty = self.route_type.option_payload().unwrap().clone();
+        route.clone().match_option(Expr::none(payload_ty), |r| {
+            let bumped = self.len(&r).add(Expr::int(1));
+            r.with_field("len", bumped).some()
+        })
+    }
+
+    /// The standard eBGP selection `⊕`: prefer a present route; then lower
+    /// administrative distance, higher local preference, shorter AS path,
+    /// lower MED (communities and ghost fields are ignored, first argument
+    /// wins ties).
+    pub fn merge(&self, a: &Expr, b: &Expr) -> Expr {
+        let ra = a.clone().get_some();
+        let rb = b.clone().get_some();
+        let b_strictly_better = self.prefer(&rb, &ra);
+        // choose b only when present and (a absent or b strictly preferred)
+        let choose_b = b.clone().is_some().and(a.clone().is_none().or(b_strictly_better));
+        choose_b.ite(b.clone(), a.clone())
+    }
+
+    /// Is present route `x` strictly preferred to present route `y`?
+    pub fn prefer(&self, x: &Expr, y: &Expr) -> Expr {
+        let ad_lt = x.clone().field("ad").lt(y.clone().field("ad"));
+        let ad_eq = x.clone().field("ad").eq(y.clone().field("ad"));
+        let lp_gt = x.clone().field("lp").gt(y.clone().field("lp"));
+        let lp_eq = x.clone().field("lp").eq(y.clone().field("lp"));
+        let len_lt = self.len(x).lt(self.len(y));
+        let len_eq = self.len(x).eq(self.len(y));
+        let med_lt = x.clone().field("med").lt(y.clone().field("med"));
+        ad_lt.or(ad_eq.and(lp_gt.or(lp_eq.and(len_lt.or(len_eq.and(med_lt))))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_expr::{Env, Value};
+
+    fn schema() -> BgpSchema {
+        BgpSchema::new(["down", "bte"], ["tag"])
+    }
+
+    fn route(s: &BgpSchema, lp: u64, len: i64, comms: &[&str], tag: bool) -> Value {
+        let def = s.record_def();
+        let comm_def = def.field_type("comms").unwrap().set_def().unwrap().clone();
+        let origin_def = def.field_type("origin").unwrap().enum_def().unwrap().clone();
+        Value::some(Value::record(
+            def,
+            vec![
+                Value::bv(0, 32),
+                Value::bv(DEFAULT_AD, 32),
+                Value::bv(lp, 32),
+                Value::bv(DEFAULT_MED, 32),
+                Value::enum_variant(&origin_def, "igp"),
+                Value::int(len),
+                Value::set_of(&comm_def, comms.iter().copied()),
+                Value::Bool(tag),
+            ],
+        ))
+    }
+
+    fn eval_merge(s: &BgpSchema, a: Value, b: Value) -> Value {
+        let va = Expr::var("a", s.route_type());
+        let vb = Expr::var("b", s.route_type());
+        let m = s.merge(&va, &vb);
+        let mut env = Env::new();
+        env.bind("a", a);
+        env.bind("b", b);
+        m.eval(&env).unwrap()
+    }
+
+    #[test]
+    fn schema_shape() {
+        let s = schema();
+        assert_eq!(s.record_def().fields().len(), 8);
+        assert_eq!(s.ghost_fields(), ["tag"]);
+        assert!(s.route_type().is_option());
+    }
+
+    #[test]
+    fn originate_is_well_typed_and_fresh() {
+        let s = schema();
+        let o = s.originate(Expr::bv(42, 32));
+        assert_eq!(o.type_of().unwrap(), s.route_type());
+        let v = o.eval(&Env::new()).unwrap();
+        let r = v.unwrap_or_default().unwrap();
+        assert_eq!(r.field("len").unwrap().as_int(), Some(0));
+        assert_eq!(r.field("lp").unwrap().as_bv(), Some(DEFAULT_LP));
+        assert_eq!(r.field("tag").unwrap().as_bool(), Some(false));
+        assert_eq!(r.field("destination").unwrap().as_bv(), Some(42));
+    }
+
+    #[test]
+    fn transfer_increments_len_only() {
+        let s = schema();
+        let r = route(&s, 100, 3, &["down"], true);
+        let v = Expr::var("r", s.route_type());
+        let out = s.transfer_increment(&v);
+        let mut env = Env::new();
+        env.bind("r", r);
+        let result = out.eval(&env).unwrap().unwrap_or_default().unwrap();
+        assert_eq!(result.field("len").unwrap().as_int(), Some(4));
+        assert_eq!(result.field("lp").unwrap().as_bv(), Some(100));
+        assert_eq!(result.field("comms").unwrap().contains_tag("down"), Some(true));
+        assert_eq!(result.field("tag").unwrap().as_bool(), Some(true));
+        // ∞ stays ∞
+        env.bind("r", Value::default_of(&s.route_type()));
+        assert_eq!(out.eval(&env).unwrap().is_some_option(), Some(false));
+    }
+
+    #[test]
+    fn merge_prefers_presence_lp_then_len() {
+        let s = schema();
+        let none = Value::default_of(&s.route_type());
+        let low = route(&s, 100, 2, &[], false);
+        let high = route(&s, 200, 5, &[], false);
+        let short = route(&s, 200, 1, &[], false);
+        assert_eq!(eval_merge(&s, none.clone(), low.clone()), low);
+        assert_eq!(eval_merge(&s, low.clone(), none.clone()), low);
+        assert_eq!(eval_merge(&s, low.clone(), high.clone()), high);
+        assert_eq!(eval_merge(&s, high.clone(), short.clone()), short);
+        assert_eq!(eval_merge(&s, none.clone(), none.clone()), none);
+    }
+
+    #[test]
+    fn merge_ties_keep_first_argument() {
+        let s = schema();
+        let a = route(&s, 100, 2, &["down"], false);
+        let b = route(&s, 100, 2, &[], true);
+        assert_eq!(eval_merge(&s, a.clone(), b.clone()), a);
+        assert_eq!(eval_merge(&s, b.clone(), a), b);
+    }
+
+    #[test]
+    fn merge_agrees_with_concrete_bgp_on_lp_len() {
+        use timepiece_algebra::{Bgp, BgpRoute, RoutingAlgebra};
+        let s = schema();
+        let concrete = Bgp::new();
+        for (lp_a, len_a) in [(100u64, 0i64), (100, 3), (200, 5)] {
+            for (lp_b, len_b) in [(100u64, 1i64), (200, 2), (100, 3)] {
+                let ca = BgpRoute { lp: lp_a, len: len_a as u64, tags: Default::default() };
+                let cb = BgpRoute { lp: lp_b, len: len_b as u64, tags: Default::default() };
+                let winner = concrete.merge(&Some(ca.clone()), &Some(cb.clone())).unwrap();
+                let ea = route(&s, lp_a, len_a, &[], false);
+                let eb = route(&s, lp_b, len_b, &[], false);
+                let got = eval_merge(&s, ea, eb).unwrap_or_default().unwrap();
+                assert_eq!(got.field("lp").unwrap().as_bv(), Some(winner.lp), "{lp_a},{len_a} vs {lp_b},{len_b}");
+                assert_eq!(got.field("len").unwrap().as_int(), Some(winner.len as i128));
+            }
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! The paper's running example (§2, Figs. 2–10): an idealized cloud provider
+//! network.
+//!
+//! ```text
+//!   n ──filter──▶ v ◀──tag── w          n: external neighbor (any route)
+//!                 ▲│                    w: WAN origin ⟨lp=100, len=0, ¬tag⟩
+//!                 │▼
+//!                 d ──allow──▶ e        e: data center leaf
+//! ```
+//!
+//! Policies: `filter` drops everything from `n`; `tag` marks routes imported
+//! from `w` as internal; `allow` only lets internal-tagged routes reach `e`.
+//! Merge prefers higher local preference, then shorter paths.
+//!
+//! This module builds the network once and each of the paper's interface
+//! sets: the **tagging** interfaces of Fig. 7, the **reachability**
+//! interfaces of Fig. 8, the **bad** interfaces of Fig. 9 (whose rejection
+//! demonstrates the soundness of the temporal model — and whose *acceptance*
+//! by the strawperson procedure demonstrates §2.2's unsoundness), and the
+//! **ghost-field** interfaces of Fig. 10.
+
+use std::sync::Arc;
+
+use timepiece_algebra::{Network, NetworkBuilder, Symbolic};
+use timepiece_core::{NodeAnnotations, Temporal};
+use timepiece_expr::{Expr, RecordDef, Type, Value};
+use timepiece_topology::{NodeId, Topology};
+
+/// The symbolic announcement of the external neighbor `n`.
+pub const EXTERNAL_ROUTE_VAR: &str = "n-route";
+
+/// The running example network with handles to its nodes.
+#[derive(Debug)]
+pub struct RunningExample {
+    /// The network (route type `Option<{lp, len, tag, fromw}>`).
+    pub network: Network,
+    /// External neighbor.
+    pub n: NodeId,
+    /// WAN origin.
+    pub w: NodeId,
+    /// WAN router.
+    pub v: NodeId,
+    /// Data center gateway.
+    pub d: NodeId,
+    /// Data center leaf.
+    pub e: NodeId,
+    record: Arc<RecordDef>,
+}
+
+impl RunningExample {
+    /// The route record: local preference, path length, internal tag, and
+    /// the Fig. 10 ghost bit `fromw`.
+    pub fn route_record() -> Arc<RecordDef> {
+        Arc::new(RecordDef::new(
+            "Route",
+            [
+                ("lp".to_owned(), Type::BitVec(32)),
+                ("len".to_owned(), Type::Int),
+                ("tag".to_owned(), Type::Bool),
+                ("fromw".to_owned(), Type::Bool),
+            ],
+        ))
+    }
+
+    /// Builds the example network. The external neighbor's initial route is
+    /// the unconstrained symbolic [`EXTERNAL_ROUTE_VAR`].
+    pub fn new() -> RunningExample {
+        let record = RunningExample::route_record();
+        let route_ty = Type::option(Type::Record(Arc::clone(&record)));
+
+        let mut g = Topology::new();
+        let n = g.add_node("n");
+        let w = g.add_node("w");
+        let v = g.add_node("v");
+        let d = g.add_node("d");
+        let e = g.add_node("e");
+        g.add_edge(n, v);
+        g.add_edge(w, v);
+        g.add_undirected(v, d);
+        g.add_edge(d, e);
+
+        let payload_ty = route_ty.option_payload().unwrap().clone();
+        let increment = {
+            let payload_ty = payload_ty.clone();
+            move |r: &Expr| {
+                r.clone().match_option(Expr::none(payload_ty.clone()), |route| {
+                    let bumped = route.clone().field("len").add(Expr::int(1));
+                    route.with_field("len", bumped).some()
+                })
+            }
+        };
+
+        // w's fixed origin route ⟨100, 0, false⟩ (fromw ghost bit true)
+        let w_route = Expr::record(
+            &record,
+            vec![Expr::bv(100, 32), Expr::int(0), Expr::bool(false), Expr::bool(true)],
+        )
+        .some();
+
+        let network = NetworkBuilder::new(g, route_ty.clone())
+            // ⊕: prefer present, then higher lp, then shorter len
+            .merge(|a, b| {
+                let ra = a.clone().get_some();
+                let rb = b.clone().get_some();
+                let lp_gt = rb.clone().field("lp").gt(ra.clone().field("lp"));
+                let lp_eq = rb.clone().field("lp").eq(ra.clone().field("lp"));
+                let len_lt = rb.clone().field("len").lt(ra.clone().field("len"));
+                let b_better = lp_gt.or(lp_eq.and(len_lt));
+                let choose_b =
+                    b.clone().is_some().and(a.clone().is_none().or(b_better));
+                choose_b.ite(b.clone(), a.clone())
+            })
+            // filter: drop all routes from n
+            .transfer((n, v), {
+                let payload_ty = payload_ty.clone();
+                move |_| Expr::none(payload_ty.clone())
+            })
+            // tag: mark imports from w internal, at default preference 100
+            .transfer((w, v), {
+                let increment = increment.clone();
+                move |r| {
+                    increment(r).match_option(Expr::none(payload_ty.clone()), |route| {
+                        route
+                            .with_field("tag", Expr::bool(true))
+                            .with_field("lp", Expr::bv(100, 32))
+                            .some()
+                    })
+                }
+            })
+            // allow: only internal-tagged routes may reach e
+            .transfer((d, e), {
+                let increment = increment.clone();
+                let route_ty = route_ty.clone();
+                move |r| {
+                    let payload_ty = route_ty.option_payload().unwrap().clone();
+                    let incremented = increment(r);
+                    let tagged = incremented.clone().get_some().field("tag");
+                    incremented
+                        .clone()
+                        .is_some()
+                        .and(tagged.not())
+                        .ite(Expr::none(payload_ty), incremented)
+                }
+            })
+            .default_transfer(increment.clone())
+            .init(w, w_route)
+            .init(n, Expr::var(EXTERNAL_ROUTE_VAR, route_ty.clone()))
+            // n may announce any route, but the `fromw` ghost bit is false
+            // everywhere except at w by construction (Fig. 10)
+            .symbolic(Symbolic::new(EXTERNAL_ROUTE_VAR, route_ty.clone(), {
+                let var = Expr::var(EXTERNAL_ROUTE_VAR, route_ty);
+                Some(var.clone().is_none().or(var.get_some().field("fromw").not()))
+            }))
+            .build()
+            .expect("running example is well-typed");
+
+        RunningExample { network, n, w, v, d, e, record }
+    }
+
+    fn pred_tagged_or_none() -> impl Fn(&Expr) -> Expr + Clone {
+        |r: &Expr| r.clone().is_none().or(r.clone().get_some().field("tag"))
+    }
+
+    /// Fig. 7: `G`-only interfaces proving "if `e` has a route, it is
+    /// tagged".
+    pub fn tagging_interfaces(&self) -> NodeAnnotations {
+        let mut a = NodeAnnotations::new(self.network.topology(), Temporal::any());
+        a.set(self.w, Temporal::globally(Self::w_has_lp100()));
+        let tagged = Self::pred_tagged_or_none();
+        a.set(self.v, Temporal::globally(tagged.clone()));
+        a.set(self.d, Temporal::globally(tagged.clone()));
+        a.set(self.e, Temporal::globally(tagged));
+        a
+    }
+
+    /// Fig. 7's property: if `e` has a route it is tagged internal.
+    pub fn tagging_property(&self) -> NodeAnnotations {
+        let mut p = NodeAnnotations::new(self.network.topology(), Temporal::any());
+        p.set(self.e, Temporal::globally(Self::pred_tagged_or_none()));
+        p
+    }
+
+    fn w_has_lp100() -> impl Fn(&Expr) -> Expr + Clone {
+        |r: &Expr| {
+            r.clone()
+                .is_some()
+                .and(r.clone().get_some().field("lp").eq(Expr::bv(100, 32)))
+        }
+    }
+
+    fn pred_present_tagged() -> impl Fn(&Expr) -> Expr + Clone {
+        |r: &Expr| r.clone().is_some().and(r.clone().get_some().field("tag"))
+    }
+
+    /// Fig. 8: timed interfaces proving `e` eventually reaches `w`.
+    pub fn reachability_interfaces(&self) -> NodeAnnotations {
+        let mut a = NodeAnnotations::new(self.network.topology(), Temporal::any());
+        a.set(self.w, Temporal::globally(Self::w_has_lp100()));
+        a.set(
+            self.v,
+            Temporal::until_at(1, |r| r.clone().is_none(), Temporal::globally(Self::pred_present_tagged())),
+        );
+        a.set(
+            self.d,
+            Temporal::until_at(2, |r| r.clone().is_none(), Temporal::globally(Self::pred_present_tagged())),
+        );
+        a.set(
+            self.e,
+            Temporal::finally_at(3, Temporal::globally(|r| r.clone().is_some())),
+        );
+        a
+    }
+
+    /// Fig. 8's property: `e` eventually has a route (`F^3 G(s ≠ ∞)`).
+    pub fn reachability_property(&self) -> NodeAnnotations {
+        let mut p = NodeAnnotations::new(self.network.topology(), Temporal::any());
+        p.set(self.e, Temporal::finally_at(3, Temporal::globally(|r| r.clone().is_some())));
+        p
+    }
+
+    /// Fig. 9: the *bad* interfaces claiming spurious lp-200 routes at `v`
+    /// and `d` (with the `∨ s = ∞` patch discussed in §2.3 applied when
+    /// `patched`). The temporal checker must reject these; the §2.2
+    /// strawperson procedure accepts the patched variant's erasure.
+    pub fn bad_interfaces(&self, patched: bool) -> NodeAnnotations {
+        let spurious = move |r: &Expr| {
+            let claims = r
+                .clone()
+                .get_some()
+                .field("lp")
+                .eq(Expr::bv(200, 32))
+                .and(r.clone().get_some().field("tag").not())
+                .and(r.clone().is_some());
+            if patched {
+                claims.or(r.clone().is_none())
+            } else {
+                claims
+            }
+        };
+        let mut a = NodeAnnotations::new(self.network.topology(), Temporal::any());
+        a.set(self.w, Temporal::globally(Self::w_has_lp100()));
+        a.set(self.v, Temporal::globally(spurious));
+        a.set(self.d, Temporal::globally(spurious));
+        a.set(self.e, Temporal::globally(|r: &Expr| r.clone().is_none()));
+        a
+    }
+
+    /// Fig. 10: ghost-field interfaces proving `e`'s route came from `w`.
+    pub fn ghost_interfaces(&self) -> NodeAnnotations {
+        let fromw_tagged = |r: &Expr| {
+            r.clone()
+                .is_some()
+                .and(r.clone().get_some().field("tag"))
+                .and(r.clone().get_some().field("fromw"))
+        };
+        let mut a = NodeAnnotations::new(self.network.topology(), Temporal::any());
+        // n never originates w's route
+        a.set(
+            self.n,
+            Temporal::globally(|r: &Expr| {
+                r.clone().is_none().or(r.clone().get_some().field("fromw").not())
+            }),
+        );
+        a.set(
+            self.w,
+            Temporal::globally(|r: &Expr| {
+                Self::w_has_lp100()(r).and(r.clone().get_some().field("fromw"))
+            }),
+        );
+        a.set(self.v, Temporal::until_at(1, |r| r.clone().is_none(), Temporal::globally(fromw_tagged)));
+        a.set(self.d, Temporal::until_at(2, |r| r.clone().is_none(), Temporal::globally(fromw_tagged)));
+        a.set(
+            self.e,
+            Temporal::finally_at(
+                3,
+                Temporal::globally(|r: &Expr| {
+                    r.clone().is_some().and(r.clone().get_some().field("fromw"))
+                }),
+            ),
+        );
+        a
+    }
+
+    /// Fig. 10's property: `e` eventually holds a route originated by `w`.
+    pub fn ghost_property(&self) -> NodeAnnotations {
+        let mut p = NodeAnnotations::new(self.network.topology(), Temporal::any());
+        p.set(
+            self.e,
+            Temporal::finally_at(
+                3,
+                Temporal::globally(|r: &Expr| {
+                    r.clone().is_some().and(r.clone().get_some().field("fromw"))
+                }),
+            ),
+        );
+        p
+    }
+
+    /// A concrete route value ⟨lp, len, tag⟩ (fromw false), for simulations.
+    pub fn route_value(&self, lp: u64, len: i64, tag: bool) -> Value {
+        Value::some(Value::record(
+            &self.record,
+            vec![Value::bv(lp, 32), Value::int(len), Value::Bool(tag), Value::Bool(false)],
+        ))
+    }
+
+    /// The `∞` route value.
+    pub fn no_route(&self) -> Value {
+        Value::none(Type::Record(Arc::clone(&self.record)))
+    }
+}
+
+impl Default for RunningExample {
+    fn default() -> Self {
+        RunningExample::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_core::check::{CheckOptions, ModularChecker};
+    use timepiece_core::strawperson::check_strawperson;
+    use timepiece_expr::Env;
+
+    fn check(ex: &RunningExample, a: &NodeAnnotations, p: &NodeAnnotations) -> bool {
+        ModularChecker::new(CheckOptions::default())
+            .check(&ex.network, a, p)
+            .unwrap()
+            .is_verified()
+    }
+
+    #[test]
+    fn fig3_simulation_table() {
+        let ex = RunningExample::new();
+        let mut env = Env::new();
+        env.bind(EXTERNAL_ROUTE_VAR, ex.no_route());
+        let trace = timepiece_sim::simulate(&ex.network, &env, 16).unwrap();
+        assert_eq!(trace.converged_at(), Some(3));
+        // Fig. 3's stable row (with fromw ghost bit carried along)
+        let expect_w = {
+            let mut v = ex.route_value(100, 0, false);
+            if let Value::Option { value: Some(inner), .. } = &mut v {
+                if let Value::Record { def, fields } = inner.as_mut() {
+                    fields[def.field_index("fromw").unwrap()] = Value::Bool(true);
+                }
+            }
+            v
+        };
+        assert_eq!(trace.state(ex.w, 4), &expect_w);
+        assert_eq!(trace.state(ex.n, 4), &ex.no_route());
+        for (node, len) in [(ex.v, 1i64), (ex.d, 2), (ex.e, 3)] {
+            let payload = trace.state(node, 4).unwrap_or_default().unwrap();
+            assert_eq!(payload.field("len").unwrap().as_int(), Some(len as i128));
+            assert_eq!(payload.field("tag").unwrap().as_bool(), Some(true));
+        }
+        // intermediate rows
+        assert_eq!(trace.state(ex.e, 2), &ex.no_route());
+        assert_eq!(trace.state(ex.d, 1), &ex.no_route());
+    }
+
+    #[test]
+    fn fig7_tagging_interfaces_verify() {
+        let ex = RunningExample::new();
+        assert!(check(&ex, &ex.tagging_interfaces(), &ex.tagging_property()));
+    }
+
+    #[test]
+    fn fig7_interfaces_cannot_prove_reachability() {
+        let ex = RunningExample::new();
+        // the weak G-interfaces do not imply e eventually has a route
+        assert!(!check(&ex, &ex.tagging_interfaces(), &ex.reachability_property()));
+    }
+
+    #[test]
+    fn fig8_reachability_interfaces_verify() {
+        let ex = RunningExample::new();
+        assert!(check(&ex, &ex.reachability_interfaces(), &ex.reachability_property()));
+    }
+
+    #[test]
+    fn fig9_bad_interfaces_rejected_at_time_zero() {
+        let ex = RunningExample::new();
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&ex.network, &ex.bad_interfaces(false), &ex.tagging_property())
+            .unwrap();
+        assert!(!report.is_verified());
+        // v and d fail their INITIAL condition (∞ ∉ A(v)(0))
+        let initial_failures: Vec<&str> = report
+            .failures()
+            .iter()
+            .filter(|f| f.vc == timepiece_core::VcKind::Initial)
+            .map(|f| f.node_name.as_str())
+            .collect();
+        assert!(initial_failures.contains(&"v"));
+        assert!(initial_failures.contains(&"d"));
+    }
+
+    #[test]
+    fn fig9_patched_bad_interfaces_rejected_one_step_later() {
+        let ex = RunningExample::new();
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&ex.network, &ex.bad_interfaces(true), &ex.tagging_property())
+            .unwrap();
+        assert!(!report.is_verified());
+        // the patch passes the initial condition but the INDUCTIVE condition
+        // catches the spurious routes (the paper's "one step forward in time")
+        assert!(report
+            .failures()
+            .iter()
+            .any(|f| f.vc == timepiece_core::VcKind::Inductive && f.node_name == "v"));
+        assert!(report
+            .failures()
+            .iter()
+            .all(|f| f.vc != timepiece_core::VcKind::Initial));
+    }
+
+    #[test]
+    fn strawperson_accepts_what_the_temporal_checker_rejects() {
+        // §2.2's unsoundness, end to end on the paper's own example (Fig. 4):
+        // the stable-state modular procedure accepts the bad interfaces even
+        // though they exclude the real execution.
+        let ex = RunningExample::new();
+        let bad = ex.bad_interfaces(false);
+        let failing = check_strawperson(&ex.network, &bad).unwrap();
+        assert!(
+            failing.is_empty(),
+            "strawperson accepted nodes should be empty, got {failing:?}"
+        );
+        // the real simulation violates the bad interfaces: v gets lp=100
+        let mut env = Env::new();
+        env.bind(EXTERNAL_ROUTE_VAR, ex.no_route());
+        let trace = timepiece_sim::simulate(&ex.network, &env, 16).unwrap();
+        let v_stable = trace.state(ex.v, 4).unwrap_or_default().unwrap();
+        assert_eq!(v_stable.field("lp").unwrap().as_bv(), Some(100));
+    }
+
+    #[test]
+    fn fig10_ghost_interfaces_verify() {
+        let ex = RunningExample::new();
+        assert!(check(&ex, &ex.ghost_interfaces(), &ex.ghost_property()));
+    }
+
+    #[test]
+    fn external_neighbor_cannot_reach_e() {
+        // even if n announces the best possible route, e's route is from w:
+        // simulate with an aggressive announcement
+        let ex = RunningExample::new();
+        let mut env = Env::new();
+        env.bind(EXTERNAL_ROUTE_VAR, ex.route_value(65535, 0, true));
+        let trace = timepiece_sim::simulate(&ex.network, &env, 16).unwrap();
+        let e_stable = trace.state(ex.e, 8).unwrap_or_default().unwrap();
+        // e still holds w's (tagged, length-3) route — n's was filtered
+        assert_eq!(e_stable.field("len").unwrap().as_int(), Some(3));
+        assert_eq!(e_stable.field("fromw").unwrap().as_bool(), Some(true));
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared machinery for the fattree benchmarks: fixed vs. symbolic
+//! destinations, and the `dist(v)` witness-time function as an expression.
+
+use timepiece_expr::{Expr, Type};
+use timepiece_topology::{FatTree, FatTreeRole, NodeId};
+
+/// The name of the symbolic destination variable in all-pairs benchmarks.
+pub const DEST_VAR: &str = "dest";
+
+/// How a benchmark picks the destination edge node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestSpec {
+    /// A fixed destination (the paper's `Sp` benchmarks).
+    Fixed(NodeId),
+    /// A symbolic destination ranging over all edge nodes (`Ap` benchmarks).
+    Symbolic,
+}
+
+/// The 32-bit node id literal used to compare against the symbolic
+/// destination.
+pub fn node_id_expr(v: NodeId) -> Expr {
+    Expr::bv(v.index() as u64, 32)
+}
+
+/// The symbolic destination variable.
+pub fn dest_var() -> Expr {
+    Expr::var(DEST_VAR, Type::BitVec(32))
+}
+
+impl DestSpec {
+    /// Is node `v` the destination? Constant for fixed destinations, a
+    /// comparison against the symbolic variable otherwise.
+    pub fn is_dest(&self, v: NodeId) -> Expr {
+        match self {
+            DestSpec::Fixed(d) => Expr::bool(v == *d),
+            DestSpec::Symbolic => dest_var().eq(node_id_expr(v)),
+        }
+    }
+
+    /// The constraint pinning the symbolic destination to edge nodes
+    /// (`None` for fixed destinations).
+    pub fn constraint(&self, ft: &FatTree) -> Option<Expr> {
+        match self {
+            DestSpec::Fixed(_) => None,
+            DestSpec::Symbolic => Some(Expr::or_all(
+                ft.edge_nodes().map(|e| dest_var().eq(node_id_expr(e))),
+            )),
+        }
+    }
+
+    /// Is the destination inside pod `pod`? (Expression for symbolic.)
+    pub fn dest_in_pod(&self, ft: &FatTree, pod: usize) -> Expr {
+        match self {
+            DestSpec::Fixed(d) => {
+                Expr::bool(matches!(ft.role(*d), FatTreeRole::Edge { pod: p } if p == pod))
+            }
+            DestSpec::Symbolic => Expr::or_all(ft.edge_nodes().filter_map(|e| {
+                match ft.role(e) {
+                    FatTreeRole::Edge { pod: p } if p == pod => {
+                        Some(dest_var().eq(node_id_expr(e)))
+                    }
+                    _ => None,
+                }
+            })),
+        }
+    }
+
+    /// The paper's `dist(v)` as an integer expression (§6, "Witness times"):
+    /// 0 at the destination, 1 for same-pod aggregation, 2 for cores and
+    /// same-pod edges, 3/4 for other-pod aggregation/edge nodes.
+    pub fn dist(&self, ft: &FatTree, v: NodeId) -> Expr {
+        match ft.role(v) {
+            FatTreeRole::Core => Expr::int(2),
+            FatTreeRole::Aggregation { pod } => {
+                self.dest_in_pod(ft, pod).ite(Expr::int(1), Expr::int(3))
+            }
+            FatTreeRole::Edge { pod } => self.is_dest(v).ite(
+                Expr::int(0),
+                self.dest_in_pod(ft, pod).ite(Expr::int(2), Expr::int(4)),
+            ),
+        }
+    }
+
+    /// The paper's `adj(v)`: the destination itself and the aggregation
+    /// switches of its pod (the nodes that share routes upward first).
+    pub fn adjacent(&self, ft: &FatTree, v: NodeId) -> Expr {
+        match ft.role(v) {
+            FatTreeRole::Core => Expr::bool(false),
+            FatTreeRole::Aggregation { pod } => self.dest_in_pod(ft, pod),
+            FatTreeRole::Edge { .. } => self.is_dest(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_expr::{Env, Value};
+
+    fn eval_int(e: &Expr, dest: Option<NodeId>) -> i128 {
+        let mut env = Env::new();
+        if let Some(d) = dest {
+            env.bind(DEST_VAR, Value::bv(d.index() as u64, 32));
+        }
+        e.eval(&env).unwrap().as_int().unwrap()
+    }
+
+    #[test]
+    fn fixed_dist_matches_topology_dist() {
+        let ft = FatTree::new(4);
+        for dest in ft.edge_nodes() {
+            let spec = DestSpec::Fixed(dest);
+            for v in ft.topology().nodes() {
+                assert_eq!(
+                    eval_int(&spec.dist(&ft, v), None) as u64,
+                    ft.dist(v, dest),
+                    "node {}",
+                    ft.topology().name(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_dist_matches_fixed_dist_under_binding() {
+        let ft = FatTree::new(4);
+        let spec = DestSpec::Symbolic;
+        for dest in ft.edge_nodes() {
+            for v in ft.topology().nodes() {
+                assert_eq!(
+                    eval_int(&spec.dist(&ft, v), Some(dest)) as u64,
+                    ft.dist(v, dest),
+                    "node {} dest {}",
+                    ft.topology().name(v),
+                    ft.topology().name(dest)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_constraint_allows_exactly_edge_nodes() {
+        let ft = FatTree::new(4);
+        let c = DestSpec::Symbolic.constraint(&ft).unwrap();
+        for v in ft.topology().nodes() {
+            let mut env = Env::new();
+            env.bind(DEST_VAR, Value::bv(v.index() as u64, 32));
+            let ok = c.eval_bool(&env).unwrap();
+            let is_edge = matches!(ft.role(v), FatTreeRole::Edge { .. });
+            assert_eq!(ok, is_edge, "node {}", ft.topology().name(v));
+        }
+    }
+
+    #[test]
+    fn adjacency_expr_matches_topology_adjacency() {
+        let ft = FatTree::new(4);
+        for dest in ft.edge_nodes().take(2) {
+            for spec in [DestSpec::Fixed(dest), DestSpec::Symbolic] {
+                for v in ft.topology().nodes() {
+                    let e = spec.adjacent(&ft, v);
+                    let mut env = Env::new();
+                    env.bind(DEST_VAR, Value::bv(dest.index() as u64, 32));
+                    assert_eq!(
+                        e.eval_bool(&env).unwrap(),
+                        ft.is_adjacent(v, dest),
+                        "node {} dest {} spec {spec:?}",
+                        ft.topology().name(v),
+                        ft.topology().name(dest)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_constraint_is_none() {
+        let ft = FatTree::new(4);
+        let dest = ft.edge_nodes().next().unwrap();
+        assert!(DestSpec::Fixed(dest).constraint(&ft).is_none());
+    }
+}

@@ -1,0 +1,399 @@
+//! Ghost-state property encodings (Table 1).
+//!
+//! Ghost fields ride along with routes — transfer functions may set them but
+//! they never influence selection — and let node-local invariants capture
+//! end-to-end properties. This module implements four of the paper's Table 1
+//! rows as small, checkable networks:
+//!
+//! * **isolation** — one bit per isolation domain; a route records which
+//!   domain originated it, and domain-A nodes must never hold domain-B
+//!   routes;
+//! * **unordered waypoints** — `k` bits; each waypoint sets its bit, and the
+//!   monitored node requires all bits set;
+//! * **no-transit** — a `{peer, prov, cust}` mark; routes learned from one
+//!   peer must not be exported to another peer;
+//! * **fault tolerance** — one symbolic failure bit per tracked edge;
+//!   reachability is proved under the assumption that not all paths fail.
+//!
+//! (The reachability-origin bit of Table 1 is the `fromw` field of
+//! [`crate::example`]; bounded path length is the `len` field used by
+//! [`crate::len`]; routing-loop tracking is exercised in the integration
+//! tests.)
+
+use std::sync::Arc;
+
+use timepiece_algebra::{NetworkBuilder, Symbolic};
+use timepiece_core::{NodeAnnotations, Temporal};
+use timepiece_expr::{Expr, RecordDef, Type};
+use timepiece_topology::Topology;
+
+use crate::BenchInstance;
+
+/// **Isolation**: two chains `a0 → a1` (domain A) and `b0 → b1` (domain B)
+/// joined by a cross link `a1 → b1` that *should* be filtered. Routes carry
+/// one ghost bit per domain; the property says B-domain state never reaches
+/// A-domain nodes and vice versa.
+///
+/// With `filtered = false` the cross-domain filter is missing and the check
+/// must fail at `b1`.
+pub fn isolation(filtered: bool) -> BenchInstance {
+    let record = Arc::new(RecordDef::new(
+        "IsoRoute",
+        [("from_a".to_owned(), Type::Bool), ("from_b".to_owned(), Type::Bool)],
+    ));
+    let ty = Type::option(Type::Record(Arc::clone(&record)));
+    let payload_ty = ty.option_payload().unwrap().clone();
+
+    let mut g = Topology::new();
+    let a0 = g.add_node("a0");
+    let a1 = g.add_node("a1");
+    let b0 = g.add_node("b0");
+    let b1 = g.add_node("b1");
+    g.add_edge(a0, a1);
+    g.add_edge(b0, b1);
+    g.add_edge(a1, b1); // the cross-domain link
+
+    let originate = |a: bool, b: bool| {
+        Expr::record(&record, vec![Expr::bool(a), Expr::bool(b)]).some()
+    };
+
+    let mut builder = NetworkBuilder::new(g, ty.clone())
+        .merge(|a, b| a.clone().is_some().ite(a.clone(), b.clone()))
+        .default_transfer(|r| r.clone())
+        .init(a0, originate(true, false))
+        .init(b0, originate(false, true));
+    if filtered {
+        let payload_ty = payload_ty.clone();
+        builder = builder.transfer((a1, b1), move |_| Expr::none(payload_ty.clone()));
+    }
+    let network = builder.build().expect("isolation network is well-typed");
+
+    let in_domain = |field: &'static str| {
+        Temporal::globally(move |r: &Expr| {
+            r.clone().is_none().or(r.clone().get_some().field(field))
+        })
+    };
+    let mut interface = NodeAnnotations::new(network.topology(), Temporal::any());
+    interface.set(a0, in_domain("from_a"));
+    interface.set(a1, in_domain("from_a"));
+    interface.set(b0, in_domain("from_b"));
+    interface.set(b1, in_domain("from_b"));
+    let property = interface.clone();
+    BenchInstance { network, interface, property }
+}
+
+/// **Unordered waypoints**: a chain `src → w1 → w2 → dst` where `w1`/`w2`
+/// set their waypoint bits. The property at `dst`: once a route arrives (3
+/// hops), it has traversed *both* waypoints.
+///
+/// With `skip_w2 = true` the chain bypasses `w2` (`src → w1 → dst`), and the
+/// check must fail.
+pub fn unordered_waypoints(skip_w2: bool) -> BenchInstance {
+    let record = Arc::new(RecordDef::new(
+        "WpRoute",
+        [("w1".to_owned(), Type::Bool), ("w2".to_owned(), Type::Bool)],
+    ));
+    let ty = Type::option(Type::Record(Arc::clone(&record)));
+    let payload_ty = ty.option_payload().unwrap().clone();
+
+    let mut g = Topology::new();
+    let src = g.add_node("src");
+    let w1 = g.add_node("w1");
+    let w2 = g.add_node("w2");
+    let dst = g.add_node("dst");
+    g.add_edge(src, w1);
+    let dist_dst: u64 = if skip_w2 {
+        g.add_edge(w1, dst);
+        2
+    } else {
+        g.add_edge(w1, w2);
+        g.add_edge(w2, dst);
+        3
+    };
+
+    let set_bit = move |field: &'static str, payload_ty: Type| {
+        move |r: &Expr| {
+            r.clone().match_option(Expr::none(payload_ty.clone()), |route| {
+                route.with_field(field, Expr::bool(true)).some()
+            })
+        }
+    };
+
+    let mut builder = NetworkBuilder::new(g, ty.clone())
+        .merge(|a, b| a.clone().is_some().ite(a.clone(), b.clone()))
+        .default_transfer(|r| r.clone())
+        .init(src, Expr::record(&record, vec![Expr::bool(false), Expr::bool(false)]).some())
+        // the waypoint marks its bit on *export*
+        .transfer((src, w1), set_bit("w1", payload_ty.clone()));
+    if !skip_w2 {
+        builder = builder
+            .transfer((w1, w2), set_bit("w2", payload_ty.clone()))
+            .transfer((w2, dst), |r| r.clone());
+    } else {
+        builder = builder.transfer((w1, dst), |r| r.clone());
+    }
+    let network = builder.build().expect("waypoint network is well-typed");
+
+    // interface: routes arrive along the chain, accumulating bits
+    let arrives = |t: u64, pred: fn(&Expr) -> Expr| {
+        Temporal::until_at(t, |r| r.clone().is_none(), Temporal::globally(pred))
+    };
+    let mut interface = NodeAnnotations::new(network.topology(), Temporal::any());
+    interface.set(src, Temporal::globally(|r| r.clone().is_some()));
+    interface.set(w1, arrives(1, |r| {
+        r.clone().is_some().and(r.clone().get_some().field("w1"))
+    }));
+    if !skip_w2 {
+        interface.set(w2, arrives(2, |r| {
+            r.clone()
+                .is_some()
+                .and(r.clone().get_some().field("w1"))
+                .and(r.clone().get_some().field("w2"))
+        }));
+    }
+    let through_both = |r: &Expr| {
+        r.clone()
+            .is_some()
+            .and(r.clone().get_some().field("w1"))
+            .and(r.clone().get_some().field("w2"))
+    };
+    interface.set(dst, arrives(dist_dst.min(3), through_both));
+
+    let mut property = NodeAnnotations::new(network.topology(), Temporal::any());
+    property.set(dst, Temporal::finally_at(3, Temporal::globally(through_both)));
+    BenchInstance { network, interface, property }
+}
+
+/// **No-transit**: a provider node `c` between two peers `p1` and `p2`.
+/// Routes are marked with their business relationship on import
+/// (`{cust, peer, prov}`); exports to a peer must only carry customer
+/// routes. With `leaky = true` the export filter is missing and peer-learned
+/// routes transit — the check fails at `p2`.
+pub fn no_transit(leaky: bool) -> BenchInstance {
+    let mark_ty = Type::enumeration("Mark", ["cust", "peer", "prov"]);
+    let record = Arc::new(RecordDef::new("NtRoute", [("mark".to_owned(), mark_ty.clone())]));
+    let ty = Type::option(Type::Record(Arc::clone(&record)));
+    let payload_ty = ty.option_payload().unwrap().clone();
+    let mark_def = mark_ty.enum_def().unwrap().clone();
+
+    let mut g = Topology::new();
+    let p1 = g.add_node("p1");
+    let c = g.add_node("c");
+    let p2 = g.add_node("p2");
+    let cust = g.add_node("cust");
+    g.add_edge(p1, c);
+    g.add_edge(cust, c);
+    g.add_edge(c, p2);
+
+    let mark = |variant: &'static str, payload_ty: Type, mark_def: Arc<timepiece_expr::EnumDef>| {
+        move |r: &Expr| {
+            r.clone().match_option(Expr::none(payload_ty.clone()), |route| {
+                route
+                    .with_field(
+                        "mark",
+                        Expr::constant(timepiece_expr::Value::enum_variant(&mark_def, variant)),
+                    )
+                    .some()
+            })
+        }
+    };
+
+    let peer_mark = Expr::constant(timepiece_expr::Value::enum_variant(&mark_def, "peer"));
+    let mut builder = NetworkBuilder::new(g, ty.clone())
+        // prefer customer routes (cheapest), then anything present
+        .merge({
+            let mark_def = mark_def.clone();
+            move |a, b| {
+                let cust_const =
+                    Expr::constant(timepiece_expr::Value::enum_variant(&mark_def, "cust"));
+                let b_cust = b.clone().get_some().field("mark").eq(cust_const.clone());
+                let a_cust = a.clone().get_some().field("mark").eq(cust_const);
+                let choose_b = b
+                    .clone()
+                    .is_some()
+                    .and(a.clone().is_none().or(b_cust.and(a_cust.not())));
+                choose_b.ite(b.clone(), a.clone())
+            }
+        })
+        .transfer((p1, c), mark("peer", payload_ty.clone(), mark_def.clone()))
+        .transfer((cust, c), mark("cust", payload_ty.clone(), mark_def.clone()))
+        .init(p1, Expr::record(&record, vec![peer_mark.clone()]).some())
+        .init(
+            cust,
+            Expr::record(
+                &record,
+                vec![Expr::constant(timepiece_expr::Value::enum_variant(&mark_def, "cust"))],
+            )
+            .some(),
+        );
+    if leaky {
+        builder = builder.transfer((c, p2), |r| r.clone());
+    } else {
+        // export to a peer: only customer routes
+        let payload_ty = payload_ty.clone();
+        let mark_def_f = mark_def.clone();
+        builder = builder.transfer((c, p2), move |r| {
+            let cust_const =
+                Expr::constant(timepiece_expr::Value::enum_variant(&mark_def_f, "cust"));
+            let is_cust = r.clone().get_some().field("mark").eq(cust_const);
+            r.clone().is_some().and(is_cust).ite(r.clone(), Expr::none(payload_ty.clone()))
+        });
+    }
+    let network = builder.build().expect("no-transit network is well-typed");
+
+    // interface/property: p2 only ever sees customer routes
+    let mark_def2 = mark_def.clone();
+    let only_cust = Temporal::globally(move |r: &Expr| {
+        let cust_const = Expr::constant(timepiece_expr::Value::enum_variant(&mark_def2, "cust"));
+        r.clone().is_none().or(r.clone().get_some().field("mark").eq(cust_const))
+    });
+    let mut interface = NodeAnnotations::new(network.topology(), Temporal::any());
+    interface.set(p2, only_cust);
+    let property = interface.clone();
+    BenchInstance { network, interface, property }
+}
+
+/// **Fault tolerance**: a diamond `a → {b, c} → d` with symbolic failure
+/// bits on the two first-hop edges, constrained so at most one fails. The
+/// property: `d` is reachable by time 2 regardless of which single link
+/// failed.
+///
+/// With `allow_double_fault = true` the constraint permits both links to
+/// fail and the property correctly becomes unprovable.
+pub fn fault_tolerance(allow_double_fault: bool) -> BenchInstance {
+    let ty = Type::Bool; // reachability bit
+    let mut g = Topology::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b);
+    g.add_edge(a, c);
+    g.add_edge(b, d);
+    g.add_edge(c, d);
+
+    let fail_ab = Expr::var("fail-ab", Type::Bool);
+    let fail_ac = Expr::var("fail-ac", Type::Bool);
+    let constraint = if allow_double_fault {
+        None
+    } else {
+        Some(fail_ab.clone().and(fail_ac.clone()).not())
+    };
+
+    let network = NetworkBuilder::new(g, ty)
+        .merge(|x, y| x.clone().or(y.clone()))
+        .transfer((a, b), {
+            let fail_ab = fail_ab.clone();
+            move |r| r.clone().and(fail_ab.clone().not())
+        })
+        .transfer((a, c), {
+            let fail_ac = fail_ac.clone();
+            move |r| r.clone().and(fail_ac.clone().not())
+        })
+        .default_transfer(|r| r.clone())
+        .init(a, Expr::bool(true))
+        .symbolic(Symbolic::new("fail-ab", Type::Bool, constraint))
+        .symbolic(Symbolic::new("fail-ac", Type::Bool, None))
+        .build()
+        .expect("fault tolerance network is well-typed");
+
+    // interfaces track exactly which copies survive
+    let mut interface = NodeAnnotations::new(network.topology(), Temporal::any());
+    interface.set(a, Temporal::globally(|r| r.clone()));
+    interface.set(
+        b,
+        Temporal::until_at(1, |r| r.clone().not(), Temporal::globally({
+            let fail_ab = fail_ab.clone();
+            move |r: &Expr| r.clone().iff(fail_ab.clone().not())
+        })),
+    );
+    interface.set(
+        c,
+        Temporal::until_at(1, |r| r.clone().not(), Temporal::globally({
+            let fail_ac = fail_ac.clone();
+            move |r: &Expr| r.clone().iff(fail_ac.clone().not())
+        })),
+    );
+    interface.set(
+        d,
+        Temporal::until_at(
+            2,
+            |r| r.clone().not(),
+            Temporal::globally({
+                let fail_ab = fail_ab.clone();
+                let fail_ac = fail_ac.clone();
+                move |r: &Expr| {
+                    r.clone().iff(fail_ab.clone().not().or(fail_ac.clone().not()))
+                }
+            }),
+        ),
+    );
+
+    let mut property = NodeAnnotations::new(network.topology(), Temporal::any());
+    property.set(d, Temporal::finally_at(2, Temporal::globally(|r| r.clone())));
+    BenchInstance { network, interface, property }
+}
+
+#[cfg(test)]
+mod tests {
+    use timepiece_core::check::{CheckOptions, ModularChecker};
+
+    use super::*;
+
+    fn verify(inst: &BenchInstance) -> bool {
+        ModularChecker::new(CheckOptions::default())
+            .check(&inst.network, &inst.interface, &inst.property)
+            .unwrap()
+            .is_verified()
+    }
+
+    #[test]
+    fn isolation_holds_with_filter() {
+        assert!(verify(&isolation(true)));
+    }
+
+    #[test]
+    fn isolation_violation_caught_without_filter() {
+        let inst = isolation(false);
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&inst.network, &inst.interface, &inst.property)
+            .unwrap();
+        assert!(!report.is_verified());
+        assert!(report.failures().iter().any(|f| f.node_name == "b1"));
+    }
+
+    #[test]
+    fn waypoints_hold_on_full_chain() {
+        assert!(verify(&unordered_waypoints(false)));
+    }
+
+    #[test]
+    fn waypoint_bypass_caught() {
+        assert!(!verify(&unordered_waypoints(true)));
+    }
+
+    #[test]
+    fn no_transit_holds_with_export_filter() {
+        assert!(verify(&no_transit(false)));
+    }
+
+    #[test]
+    fn transit_leak_caught() {
+        let inst = no_transit(true);
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&inst.network, &inst.interface, &inst.property)
+            .unwrap();
+        assert!(!report.is_verified());
+        assert!(report.failures().iter().any(|f| f.node_name == "p2"));
+    }
+
+    #[test]
+    fn single_fault_tolerated() {
+        assert!(verify(&fault_tolerance(false)));
+    }
+
+    #[test]
+    fn double_fault_breaks_reachability() {
+        assert!(!verify(&fault_tolerance(true)));
+    }
+}

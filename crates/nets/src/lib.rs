@@ -1,0 +1,44 @@
+//! The benchmark networks of the Timepiece paper (§2 and §6).
+//!
+//! Each module builds a ready-to-verify triple — a
+//! [`timepiece_algebra::Network`], an interface and a property (both
+//! [`timepiece_core::NodeAnnotations`]) — for one of the paper's benchmarks:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`example`]  | the §2 running example (Figs. 2–10), good/bad/ghost interfaces |
+//! | [`bgp`]      | the eBGP route schema of Table 3 |
+//! | [`reach`]    | `SpReach` / `ApReach` (Fig. 14a/e) |
+//! | [`len`]      | `SpLen` / `ApLen` (Fig. 14b/f) |
+//! | [`vf`]       | `SpVf` / `ApVf` — valley freedom (Fig. 13, Fig. 14c/g) |
+//! | [`hijack`]   | `SpHijack` / `ApHijack` (Fig. 14d/h) |
+//! | [`wan`]      | `BlockToExternal` on the synthetic Internet2 (§6) |
+//! | [`ghost`]    | the ghost-state property encodings of Table 1 |
+//!
+//! The `Sp` variants route to a fixed destination edge node; the `Ap`
+//! variants make the destination a *symbolic* node, so one check covers
+//! all-pairs routing (§6).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bgp;
+pub mod example;
+pub mod fattree_common;
+pub mod ghost;
+pub mod hijack;
+pub mod len;
+pub mod reach;
+pub mod vf;
+pub mod wan;
+
+/// A benchmark instance ready for the modular or monolithic checker.
+#[derive(Debug)]
+pub struct BenchInstance {
+    /// The network `N = (G, S, I, F, ⊕)`.
+    pub network: timepiece_algebra::Network,
+    /// The per-node interfaces `A`.
+    pub interface: timepiece_core::NodeAnnotations,
+    /// The per-node properties `P`.
+    pub property: timepiece_core::NodeAnnotations,
+}

@@ -1,0 +1,187 @@
+//! A fast synchronous simulator over concrete routing algebras.
+
+use timepiece_algebra::RoutingAlgebra;
+use timepiece_topology::{NodeId, Topology};
+
+/// A synchronous simulation trace over concrete routes.
+///
+/// `states[t][v]` is `σ(v)(t)`. Once the simulation converges the trace stops
+/// growing; [`AlgebraTrace::state`] saturates at the stable state.
+#[derive(Debug, Clone)]
+pub struct AlgebraTrace<R> {
+    states: Vec<Vec<R>>,
+    converged_at: Option<usize>,
+}
+
+impl<R: Clone + PartialEq> AlgebraTrace<R> {
+    /// Assembles a trace from raw state vectors (used by the delay simulator).
+    pub(crate) fn from_states(states: Vec<Vec<R>>, converged_at: Option<usize>) -> Self {
+        assert!(!states.is_empty(), "trace requires an initial state");
+        AlgebraTrace { states, converged_at }
+    }
+
+    /// `σ(v)(t)`, saturating beyond the last simulated step.
+    pub fn state(&self, v: NodeId, t: usize) -> &R {
+        let t = t.min(self.states.len() - 1);
+        &self.states[t][v.index()]
+    }
+
+    /// The first time step at which the state equals its predecessor, if the
+    /// simulation converged within the step budget.
+    pub fn converged_at(&self) -> Option<usize> {
+        self.converged_at
+    }
+
+    /// The last computed state vector (the stable state if converged).
+    pub fn stable_state(&self) -> &[R] {
+        self.states.last().expect("trace has at least the initial state")
+    }
+
+    /// All computed state vectors, indexed by time.
+    pub fn states(&self) -> &[Vec<R>] {
+        &self.states
+    }
+}
+
+/// Runs the synchronous semantics of equations (3)–(4) for at most
+/// `max_steps` steps, stopping early on convergence.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn simulate_algebra<A: RoutingAlgebra>(
+    topology: &Topology,
+    alg: &A,
+    max_steps: usize,
+) -> AlgebraTrace<A::Route> {
+    let initial: Vec<A::Route> = topology.nodes().map(|v| alg.initial(v)).collect();
+    let mut states = vec![initial];
+    let mut converged_at = None;
+    for t in 1..=max_steps {
+        let prev = &states[t - 1];
+        let next: Vec<A::Route> = topology
+            .nodes()
+            .map(|v| {
+                let transferred: Vec<A::Route> = topology
+                    .preds(v)
+                    .iter()
+                    .map(|&u| alg.transfer((u, v), &prev[u.index()]))
+                    .collect();
+                alg.merge_all(alg.initial(v), transferred.iter())
+            })
+            .collect();
+        let same = next == *prev;
+        states.push(next);
+        if same {
+            converged_at = Some(t - 1);
+            break;
+        }
+    }
+    AlgebraTrace { states, converged_at }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_algebra::{Bgp, BgpRoute, EdgePolicy, ShortestPath, WidestPath};
+    use timepiece_topology::gen;
+
+    #[test]
+    fn shortest_path_on_path_graph() {
+        let g = gen::undirected_path(5);
+        let dest = g.node_by_name("v0").unwrap();
+        let trace = simulate_algebra(&g, &ShortestPath::new(dest), 32);
+        assert_eq!(trace.converged_at(), Some(4));
+        let stable = trace.stable_state();
+        for (i, r) in stable.iter().enumerate() {
+            assert_eq!(*r, Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn state_saturates_past_convergence() {
+        let g = gen::undirected_path(3);
+        let dest = g.node_by_name("v0").unwrap();
+        let trace = simulate_algebra(&g, &ShortestPath::new(dest), 32);
+        let v2 = g.node_by_name("v2").unwrap();
+        assert_eq!(trace.state(v2, 1000), &Some(2));
+        assert_eq!(trace.state(v2, 0), &None);
+    }
+
+    #[test]
+    fn unconverged_when_budget_too_small() {
+        let g = gen::undirected_path(10);
+        let dest = g.node_by_name("v0").unwrap();
+        let trace = simulate_algebra(&g, &ShortestPath::new(dest), 3);
+        assert_eq!(trace.converged_at(), None);
+    }
+
+    #[test]
+    fn widest_path_converges() {
+        let g = gen::undirected_path(4);
+        let dest = g.node_by_name("v0").unwrap();
+        let mut caps = std::collections::HashMap::new();
+        // bottleneck on the middle link
+        let v1 = g.node_by_name("v1").unwrap();
+        let v2 = g.node_by_name("v2").unwrap();
+        caps.insert((v1, v2), 5);
+        caps.insert((v2, v1), 5);
+        let alg = WidestPath::new(dest, caps, 100);
+        let trace = simulate_algebra(&g, &alg, 32);
+        assert!(trace.converged_at().is_some());
+        let stable = trace.stable_state();
+        assert_eq!(stable[1], Some(100));
+        assert_eq!(stable[2], Some(5));
+        assert_eq!(stable[3], Some(5));
+    }
+
+    #[test]
+    fn bgp_running_example_matches_fig3() {
+        // the §2 network: n -> v, w -> v, v <-> d, d -> e
+        let mut g = timepiece_topology::Topology::new();
+        let n = g.add_node("n");
+        let w = g.add_node("w");
+        let v = g.add_node("v");
+        let d = g.add_node("d");
+        let e = g.add_node("e");
+        g.add_edge(n, v);
+        g.add_edge(w, v);
+        g.add_undirected(v, d);
+        g.add_edge(d, e);
+
+        let mut bgp = Bgp::new();
+        bgp.set_initial(w, BgpRoute::originate());
+        bgp.set_policy((n, v), EdgePolicy::deny());
+        bgp.set_policy(
+            (w, v),
+            EdgePolicy { add_tags: vec!["internal".into()], ..Default::default() },
+        );
+        bgp.set_policy(
+            (d, e),
+            EdgePolicy { drop_unless_tag: Some("internal".into()), ..Default::default() },
+        );
+
+        let trace = simulate_algebra(&g, &bgp, 16);
+        // Fig. 3: stabilizes at time 3 (state repeats at step 4)
+        assert_eq!(trace.converged_at(), Some(3));
+        let expect = |lp, len, tag: bool| {
+            let mut r = BgpRoute { lp, len, tags: Default::default() };
+            if tag {
+                r.tags.insert("internal".into());
+            }
+            Some(r)
+        };
+        assert_eq!(trace.state(n, 4), &None);
+        assert_eq!(trace.state(w, 4), &expect(100, 0, false));
+        assert_eq!(trace.state(v, 4), &expect(100, 1, true));
+        assert_eq!(trace.state(d, 4), &expect(100, 2, true));
+        assert_eq!(trace.state(e, 4), &expect(100, 3, true));
+        // and the intermediate rows of the table
+        assert_eq!(trace.state(v, 0), &None);
+        assert_eq!(trace.state(v, 1), &expect(100, 1, true));
+        assert_eq!(trace.state(d, 1), &None);
+        assert_eq!(trace.state(d, 2), &expect(100, 2, true));
+        assert_eq!(trace.state(e, 2), &None);
+        assert_eq!(trace.state(e, 3), &expect(100, 3, true));
+    }
+}

@@ -1,0 +1,225 @@
+//! The reference simulator over expression-level networks.
+//!
+//! This simulator *interprets* the same terms the verifier compiles to SMT,
+//! so a property proved by the verifier and a behavior observed here cannot
+//! diverge. It is slower than [`crate::concrete`], and is the basis of the
+//! soundness/completeness tests in `timepiece-core`.
+
+use std::fmt;
+
+use timepiece_algebra::Network;
+use timepiece_expr::{Env, EvalError, Expr, Value};
+use timepiece_topology::NodeId;
+
+/// An error raised during expression-level simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Evaluating a route expression failed (unbound symbolic, ill-typed
+    /// network function).
+    Eval(EvalError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Eval(e) => write!(f, "simulation failed to evaluate a route: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Eval(e) => Some(e),
+        }
+    }
+}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+/// A simulation trace of concrete route values, `states[t][v] = σ(v)(t)`.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    states: Vec<Vec<Value>>,
+    converged_at: Option<usize>,
+}
+
+impl Trace {
+    /// `σ(v)(t)`, saturating beyond the last simulated step.
+    pub fn state(&self, v: NodeId, t: usize) -> &Value {
+        let t = t.min(self.states.len() - 1);
+        &self.states[t][v.index()]
+    }
+
+    /// The first `t` with `σ(·)(t) = σ(·)(t+1)`, if reached within budget.
+    pub fn converged_at(&self) -> Option<usize> {
+        self.converged_at
+    }
+
+    /// The last computed state vector (the stable state if converged).
+    pub fn stable_state(&self) -> &[Value] {
+        self.states.last().expect("trace has at least the initial state")
+    }
+
+    /// All computed state vectors, indexed by time.
+    pub fn states(&self) -> &[Vec<Value>] {
+        &self.states
+    }
+}
+
+/// Runs the synchronous semantics of a closed instance of `net`.
+///
+/// `inputs` must bind every symbolic of the network to a concrete value
+/// (closing the network, in the paper's sense); for networks without
+/// symbolics pass an empty environment.
+///
+/// # Errors
+///
+/// Returns [`SimError::Eval`] if route expressions fail to evaluate, e.g.
+/// when a symbolic is missing from `inputs`.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_algebra::NetworkBuilder;
+/// use timepiece_expr::{Env, Expr, Type, Value};
+/// use timepiece_sim::expr_sim::simulate;
+/// use timepiece_topology::gen;
+///
+/// let g = gen::path(2);
+/// let dest = g.node_by_name("v0").unwrap();
+/// let net = NetworkBuilder::new(g, Type::Bool)
+///     .merge(|a, b| a.clone().or(b.clone()))
+///     .default_transfer(|r| r.clone())
+///     .init(dest, Expr::bool(true))
+///     .build()?;
+/// let trace = simulate(&net, &Env::new(), 8)?;
+/// assert_eq!(trace.stable_state(), [Value::Bool(true), Value::Bool(true)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(net: &Network, inputs: &Env, max_steps: usize) -> Result<Trace, SimError> {
+    let g = net.topology();
+    let initial: Vec<Value> = g
+        .nodes()
+        .map(|v| net.init(v).eval(inputs))
+        .collect::<Result<_, _>>()?;
+    let mut states = vec![initial];
+    let mut converged_at = None;
+    for t in 1..=max_steps {
+        let prev = &states[t - 1];
+        let mut next = Vec::with_capacity(g.node_count());
+        for v in g.nodes() {
+            let neighbor_routes: Vec<Expr> = g
+                .preds(v)
+                .iter()
+                .map(|&u| Expr::constant(prev[u.index()].clone()))
+                .collect();
+            let stepped = net.step(v, &neighbor_routes);
+            next.push(stepped.eval(inputs)?);
+        }
+        let same = next == *prev;
+        states.push(next);
+        if same {
+            converged_at = Some(t - 1);
+            break;
+        }
+    }
+    Ok(Trace { states, converged_at })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_algebra::{NetworkBuilder, Symbolic};
+    use timepiece_expr::Type;
+    use timepiece_topology::gen;
+
+    /// Hop-count network over an option<int> route type.
+    fn hops_net(n: usize) -> Network {
+        let g = gen::undirected_path(n);
+        let dest = g.node_by_name("v0").unwrap();
+        NetworkBuilder::new(g, Type::option(Type::Int))
+            .merge(|a, b| {
+                let a_better = a.clone().get_some().le(b.clone().get_some());
+                b.clone()
+                    .is_none()
+                    .or(a.clone().is_some().and(a_better))
+                    .ite(a.clone(), b.clone())
+            })
+            .default_transfer(|r| {
+                r.clone().match_option(Expr::none(Type::Int), |h| h.add(Expr::int(1)).some())
+            })
+            .init(dest, Expr::int(0).some())
+            .build()
+            .expect("valid network")
+    }
+
+    #[test]
+    fn hop_count_converges_to_distances() {
+        let net = hops_net(5);
+        let trace = simulate(&net, &Env::new(), 32).unwrap();
+        assert_eq!(trace.converged_at(), Some(4));
+        for (i, v) in trace.stable_state().iter().enumerate() {
+            assert_eq!(*v, Value::some(Value::int(i as i64)));
+        }
+    }
+
+    #[test]
+    fn agrees_with_concrete_simulator() {
+        use timepiece_algebra::ShortestPath;
+        let g = gen::undirected_path(6);
+        let dest = g.node_by_name("v0").unwrap();
+        let concrete = crate::concrete::simulate_algebra(&g, &ShortestPath::new(dest), 32);
+        let net = hops_net(6);
+        let expr = simulate(&net, &Env::new(), 32).unwrap();
+        assert_eq!(concrete.converged_at(), expr.converged_at());
+        for t in 0..=expr.converged_at().unwrap() {
+            for v in net.topology().nodes() {
+                let c = concrete.state(v, t);
+                let e = expr.state(v, t);
+                match (c, e) {
+                    (None, Value::Option { value: None, .. }) => {}
+                    (Some(h), Value::Option { value: Some(inner), .. }) => {
+                        assert_eq!(inner.as_int(), Some(*h as i128));
+                    }
+                    other => panic!("mismatch at ({v}, {t}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_network_requires_inputs() {
+        let g = gen::path(2);
+        let dest = g.node_by_name("v0").unwrap();
+        let s = Symbolic::new("start", Type::Bool, None);
+        let net = NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(dest, s.var())
+            .symbolic(s)
+            .build()
+            .unwrap();
+        // missing input: error
+        assert!(matches!(simulate(&net, &Env::new(), 8), Err(SimError::Eval(_))));
+        // bound input: fine, and the bound value propagates
+        let mut env = Env::new();
+        env.bind("start", Value::Bool(true));
+        let trace = simulate(&net, &env, 8).unwrap();
+        let v1 = net.topology().node_by_name("v1").unwrap();
+        assert_eq!(trace.state(v1, 4), &Value::Bool(true));
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let net = hops_net(3);
+        let trace = simulate(&net, &Env::new(), 32).unwrap();
+        assert!(trace.states().len() >= 2);
+        let v0 = net.topology().node_by_name("v0").unwrap();
+        assert_eq!(trace.state(v0, 0), &Value::some(Value::int(0)));
+    }
+}

@@ -1,0 +1,44 @@
+//! Control plane simulators.
+//!
+//! Implements the network semantics `σ` of the paper (Fig. 11):
+//!
+//! * `σ(v)(0)    = I(v)`                                  — equation (3)
+//! * `σ(v)(t+1)  = I(v) ⊕ ⨁_{u ∈ preds(v)} f_{uv}(σ(u)(t))` — equation (4)
+//!
+//! Three simulators are provided:
+//!
+//! * [`expr_sim::simulate`] — the reference simulator over the expression-level
+//!   [`timepiece_algebra::Network`]; this is the `σ` that the verifier's
+//!   soundness theorem quantifies over, and the one used for differential
+//!   testing against the SMT backend.
+//! * [`concrete::simulate_algebra`] — a fast simulator over any concrete
+//!   [`timepiece_algebra::RoutingAlgebra`].
+//! * [`delay::simulate_with_delay`] — a bounded-delay asynchronous simulator
+//!   (§4, "Incorporating delay"): edges may deliver stale routes up to a
+//!   configurable age, exercising convergence of monotonic algebras under
+//!   asynchrony.
+//!
+//! # Example
+//!
+//! ```
+//! use timepiece_algebra::ShortestPath;
+//! use timepiece_sim::concrete::simulate_algebra;
+//! use timepiece_topology::gen;
+//!
+//! let g = gen::undirected_path(4);
+//! let dest = g.node_by_name("v0").unwrap();
+//! let trace = simulate_algebra(&g, &ShortestPath::new(dest), 16);
+//! assert_eq!(trace.converged_at(), Some(3));
+//! assert_eq!(trace.stable_state()[3], Some(3)); // v3 is 3 hops from v0
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod concrete;
+pub mod delay;
+pub mod expr_sim;
+
+pub use concrete::{simulate_algebra, AlgebraTrace};
+pub use delay::{simulate_with_delay, DelayOptions};
+pub use expr_sim::{simulate, SimError, Trace};

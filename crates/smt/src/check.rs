@@ -1,0 +1,216 @@
+//! Validity checking of verification conditions.
+
+use std::fmt;
+use std::time::Duration;
+
+use timepiece_expr::{Env, Expr};
+use z3::{SatResult, Solver};
+
+use crate::encode::Encoder;
+use crate::error::SmtError;
+
+/// A named verification condition: prove `goal` under `assumptions`.
+///
+/// Assumptions typically constrain symbolic inputs (e.g. "the external route
+/// is not tagged internal", "t ≥ 0"); per the paper (§4) they are assumed, not
+/// checked.
+#[derive(Debug, Clone)]
+pub struct Vc {
+    name: String,
+    assumptions: Vec<Expr>,
+    goal: Expr,
+}
+
+impl Vc {
+    /// Creates a verification condition.
+    pub fn new(
+        name: impl Into<String>,
+        assumptions: impl IntoIterator<Item = Expr>,
+        goal: Expr,
+    ) -> Vc {
+        Vc { name: name.into(), assumptions: assumptions.into_iter().collect(), goal }
+    }
+
+    /// The condition's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The assumptions.
+    pub fn assumptions(&self) -> &[Expr] {
+        &self.assumptions
+    }
+
+    /// The goal to prove valid.
+    pub fn goal(&self) -> &Expr {
+        &self.goal
+    }
+}
+
+/// A counterexample to a verification condition: a concrete assignment to
+/// every free variable under which the assumptions hold but the goal fails.
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    /// The name of the violated condition.
+    pub vc_name: String,
+    /// The falsifying assignment, decodable by the reference interpreter.
+    pub assignment: Env,
+}
+
+impl fmt::Display for CounterExample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample to {}:", self.vc_name)?;
+        let mut entries: Vec<_> = self.assignment.iter().collect();
+        entries.sort_by_key(|(k, _)| k.to_owned());
+        for (name, value) in entries {
+            writeln!(f, "  {name} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a validity check.
+#[derive(Debug, Clone)]
+pub enum Validity {
+    /// The goal holds for all assignments satisfying the assumptions.
+    Valid,
+    /// The goal fails for the returned assignment.
+    Invalid(Box<CounterExample>),
+    /// The solver gave up (timeout or incompleteness), with its reason.
+    Unknown(String),
+}
+
+impl Validity {
+    /// Is this `Valid`?
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Validity::Valid)
+    }
+}
+
+/// Checks whether a verification condition is valid, optionally bounding
+/// solver time.
+///
+/// The check runs on the calling thread's Z3 context; independent conditions
+/// may be checked concurrently from different threads.
+///
+/// # Errors
+///
+/// Returns [`SmtError`] if the condition is ill-typed or a counterexample
+/// model cannot be decoded.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_expr::{Expr, Type};
+/// use timepiece_smt::{check_validity, Validity, Vc};
+///
+/// let x = Expr::var("x", Type::Int);
+/// let vc = Vc::new("bad", [], x.ge(Expr::int(0)));
+/// match check_validity(&vc, None)? {
+///     Validity::Invalid(cex) => {
+///         let v = cex.assignment.get("x").unwrap().as_int().unwrap();
+///         assert!(v < 0);
+///     }
+///     other => panic!("expected a counterexample, got {other:?}"),
+/// }
+/// # Ok::<(), timepiece_smt::SmtError>(())
+/// ```
+pub fn check_validity(vc: &Vc, timeout: Option<Duration>) -> Result<Validity, SmtError> {
+    let mut enc = Encoder::new();
+    let solver = Solver::new();
+    if let Some(t) = timeout {
+        let mut params = z3::Params::new();
+        // round sub-millisecond budgets up so a tiny timeout stays a timeout
+        params.set_u32("timeout", t.as_millis().clamp(1, u128::from(u32::MAX)) as u32);
+        solver.set_params(&params);
+    }
+    for a in &vc.assumptions {
+        let compiled = enc.compile_bool(a)?;
+        solver.assert(compiled);
+    }
+    let goal = enc.compile_bool(&vc.goal)?;
+    for wf in enc.well_formed() {
+        solver.assert(wf);
+    }
+    solver.assert(goal.not());
+    match solver.check() {
+        SatResult::Unsat => Ok(Validity::Valid),
+        SatResult::Sat => {
+            let model = solver
+                .get_model()
+                .ok_or_else(|| SmtError::ModelDecode("missing model".to_owned()))?;
+            let assignment = enc.decode_model(&model)?;
+            Ok(Validity::Invalid(Box::new(CounterExample {
+                vc_name: vc.name.clone(),
+                assignment,
+            })))
+        }
+        SatResult::Unknown => Ok(Validity::Unknown(
+            solver.get_reason_unknown().unwrap_or_else(|| "unknown".to_owned()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_expr::Type;
+
+    #[test]
+    fn valid_condition() {
+        let x = Expr::var("x", Type::Int);
+        let vc = Vc::new("t", [x.clone().gt(Expr::int(2))], x.gt(Expr::int(1)));
+        assert!(check_validity(&vc, None).unwrap().is_valid());
+    }
+
+    #[test]
+    fn invalid_condition_has_decodable_counterexample() {
+        let x = Expr::var("x", Type::Int);
+        let vc = Vc::new("t", [x.clone().gt(Expr::int(0))], x.clone().gt(Expr::int(10)));
+        match check_validity(&vc, None).unwrap() {
+            Validity::Invalid(cex) => {
+                // the assignment satisfies assumptions and falsifies the goal
+                let env = &cex.assignment;
+                assert!(x.clone().gt(Expr::int(0)).eval_bool(env).unwrap());
+                assert!(!x.clone().gt(Expr::int(10)).eval_bool(env).unwrap());
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumptions_can_make_anything_valid() {
+        let x = Expr::var("x", Type::Int);
+        let vc = Vc::new("t", [Expr::bool(false)], x.gt(Expr::int(10)));
+        assert!(check_validity(&vc, None).unwrap().is_valid());
+    }
+
+    #[test]
+    fn counterexample_display_lists_assignment() {
+        let x = Expr::var("x", Type::Int);
+        let vc = Vc::new("myvc", [], x.ge(Expr::int(0)));
+        match check_validity(&vc, None).unwrap() {
+            Validity::Invalid(cex) => {
+                let s = cex.to_string();
+                assert!(s.contains("myvc"));
+                assert!(s.contains("x ="));
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_is_accepted() {
+        // a trivial check under a generous timeout still succeeds
+        let vc = Vc::new("t", [], Expr::bool(true));
+        assert!(check_validity(&vc, Some(Duration::from_secs(5))).unwrap().is_valid());
+    }
+
+    #[test]
+    fn vc_accessors() {
+        let vc = Vc::new("n", [Expr::bool(true)], Expr::bool(true));
+        assert_eq!(vc.name(), "n");
+        assert_eq!(vc.assumptions().len(), 1);
+        assert!(vc.goal().as_const().is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! Errors raised while encoding or solving.
+
+use std::fmt;
+
+use timepiece_expr::TypeError;
+
+/// An error raised by the SMT backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmtError {
+    /// The term to encode was ill-typed.
+    IllTyped(TypeError),
+    /// An integer constant was too large for the Z3 binding (|i| > i64::MAX).
+    IntTooLarge(i128),
+    /// A model returned by Z3 could not be decoded back into values.
+    ModelDecode(String),
+}
+
+impl fmt::Display for SmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmtError::IllTyped(e) => write!(f, "ill-typed term: {e}"),
+            SmtError::IntTooLarge(i) => write!(f, "integer constant {i} exceeds the solver binding range"),
+            SmtError::ModelDecode(what) => write!(f, "could not decode model value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SmtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmtError::IllTyped(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for SmtError {
+    fn from(e: TypeError) -> Self {
+        SmtError::IllTyped(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            SmtError::IntTooLarge(1i128 << 100).to_string(),
+            format!("integer constant {} exceeds the solver binding range", 1i128 << 100)
+        );
+        assert!(SmtError::ModelDecode("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Fattree data center topologies (Al-Fares et al., SIGCOMM 2008).
+//!
+//! A `k`-fattree has `k` pods, each with `k/2` aggregation and `k/2` edge
+//! (top-of-rack) switches, plus `(k/2)²` core switches: `1.25k²` nodes in
+//! total, connected by `k³` directed edges. All links are bidirectional.
+//!
+//! The paper's benchmarks pick per-node witness times with a `dist` function
+//! determined by a node's *role* relative to the destination edge node
+//! (§6, "Witness times"); [`FatTree::dist`] implements those five cases.
+
+use crate::graph::{NodeId, Topology};
+
+/// The role of a fattree node, which (with its pod) determines its invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FatTreeRole {
+    /// A core switch, connected to one aggregation switch in every pod.
+    Core,
+    /// An aggregation switch in the given pod.
+    Aggregation {
+        /// The pod index, `0..k`.
+        pod: usize,
+    },
+    /// An edge (top-of-rack) switch in the given pod.
+    Edge {
+        /// The pod index, `0..k`.
+        pod: usize,
+    },
+}
+
+impl FatTreeRole {
+    /// The pod, if this role is pod-local.
+    pub fn pod(&self) -> Option<usize> {
+        match self {
+            FatTreeRole::Core => None,
+            FatTreeRole::Aggregation { pod } | FatTreeRole::Edge { pod } => Some(*pod),
+        }
+    }
+}
+
+/// A generated `k`-fattree with role metadata.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_topology::{FatTree, FatTreeRole};
+///
+/// let ft = FatTree::new(4);
+/// let dest = ft.edge_nodes().next().unwrap();
+/// assert_eq!(ft.dist(dest, dest), 0);
+/// assert!(ft.edge_nodes().all(|v| ft.dist(v, dest) <= 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    k: usize,
+    topology: Topology,
+    roles: Vec<FatTreeRole>,
+}
+
+impl FatTree {
+    /// Generates a `k`-fattree.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is even and at least 2.
+    pub fn new(k: usize) -> FatTree {
+        assert!(k >= 2 && k.is_multiple_of(2), "fattree requires even k >= 2");
+        let half = k / 2;
+        let mut topology = Topology::new();
+        let mut roles = Vec::new();
+
+        let cores: Vec<NodeId> = (0..half * half)
+            .map(|i| {
+                roles.push(FatTreeRole::Core);
+                topology.add_node(format!("core-{i}"))
+            })
+            .collect();
+
+        for pod in 0..k {
+            let aggs: Vec<NodeId> = (0..half)
+                .map(|j| {
+                    roles.push(FatTreeRole::Aggregation { pod });
+                    topology.add_node(format!("agg-{pod}-{j}"))
+                })
+                .collect();
+            let edges: Vec<NodeId> = (0..half)
+                .map(|j| {
+                    roles.push(FatTreeRole::Edge { pod });
+                    topology.add_node(format!("edge-{pod}-{j}"))
+                })
+                .collect();
+            // every edge switch links to every aggregation switch in its pod
+            for &e in &edges {
+                for &a in &aggs {
+                    topology.add_undirected(e, a);
+                }
+            }
+            // aggregation switch j links to cores [j·k/2, (j+1)·k/2)
+            for (j, &a) in aggs.iter().enumerate() {
+                for c in 0..half {
+                    topology.add_undirected(a, cores[j * half + c]);
+                }
+            }
+        }
+
+        FatTree { k, topology, roles }
+    }
+
+    /// The pod count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The role of a node.
+    pub fn role(&self, v: NodeId) -> FatTreeRole {
+        self.roles[v.index()]
+    }
+
+    /// Iterates over core nodes.
+    pub fn core_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology.nodes().filter(|&v| matches!(self.role(v), FatTreeRole::Core))
+    }
+
+    /// Iterates over aggregation nodes.
+    pub fn aggregation_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology
+            .nodes()
+            .filter(|&v| matches!(self.role(v), FatTreeRole::Aggregation { .. }))
+    }
+
+    /// Iterates over edge (top-of-rack) nodes.
+    pub fn edge_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology.nodes().filter(|&v| matches!(self.role(v), FatTreeRole::Edge { .. }))
+    }
+
+    /// Is `u → v` a *down* edge (core→agg or agg→edge)? Used by the
+    /// valley-freedom policy, which tags routes travelling down.
+    pub fn is_down_edge(&self, u: NodeId, v: NodeId) -> bool {
+        matches!(
+            (self.role(u), self.role(v)),
+            (FatTreeRole::Core, FatTreeRole::Aggregation { .. })
+                | (FatTreeRole::Aggregation { .. }, FatTreeRole::Edge { .. })
+        )
+    }
+
+    /// The paper's `dist(v)` witness-time function for a destination edge
+    /// node `dest` (§6): 0 at the destination; 1 for aggregation switches in
+    /// the destination pod; 2 for cores and for edge switches in the
+    /// destination pod; 3 for aggregation switches elsewhere; 4 for edge
+    /// switches elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is not an edge node.
+    pub fn dist(&self, v: NodeId, dest: NodeId) -> u64 {
+        let dest_pod = match self.role(dest) {
+            FatTreeRole::Edge { pod } => pod,
+            other => panic!("destination must be an edge node, got {other:?}"),
+        };
+        match self.role(v) {
+            _ if v == dest => 0,
+            FatTreeRole::Aggregation { pod } if pod == dest_pod => 1,
+            FatTreeRole::Core => 2,
+            FatTreeRole::Edge { pod } if pod == dest_pod => 2,
+            FatTreeRole::Aggregation { .. } => 3,
+            FatTreeRole::Edge { .. } => 4,
+        }
+    }
+
+    /// Nodes *adjacent* to the destination in the paper's Vf sense: the
+    /// destination itself and the aggregation switches of its pod. These
+    /// carry routes upward before any core has one.
+    pub fn is_adjacent(&self, v: NodeId, dest: NodeId) -> bool {
+        let dest_pod = match self.role(dest) {
+            FatTreeRole::Edge { pod } => pod,
+            other => panic!("destination must be an edge node, got {other:?}"),
+        };
+        v == dest || matches!(self.role(v), FatTreeRole::Aggregation { pod } if pod == dest_pod)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        for k in [2usize, 4, 8, 12] {
+            let ft = FatTree::new(k);
+            assert_eq!(ft.topology().node_count(), 5 * k * k / 4, "nodes at k={k}");
+            assert_eq!(ft.topology().edge_count(), k * k * k, "edges at k={k}");
+        }
+    }
+
+    #[test]
+    fn role_partition() {
+        let ft = FatTree::new(4);
+        assert_eq!(ft.core_nodes().count(), 4);
+        assert_eq!(ft.aggregation_nodes().count(), 8);
+        assert_eq!(ft.edge_nodes().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn odd_k_rejected() {
+        FatTree::new(3);
+    }
+
+    #[test]
+    fn diameter_is_four() {
+        for k in [4usize, 8] {
+            let ft = FatTree::new(k);
+            assert_eq!(ft.topology().diameter(), Some(4), "k={k}");
+        }
+    }
+
+    #[test]
+    fn dist_matches_bfs() {
+        let ft = FatTree::new(8);
+        for dest in ft.edge_nodes() {
+            let bfs = ft.topology().bfs_distances(dest);
+            for v in ft.topology().nodes() {
+                assert_eq!(
+                    ft.dist(v, dest),
+                    u64::from(bfs[v.index()].expect("fattree is connected")),
+                    "dist mismatch at {} relative to {}",
+                    ft.topology().name(v),
+                    ft.topology().name(dest),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn down_edges_point_down() {
+        let ft = FatTree::new(4);
+        let mut down = 0;
+        for (u, v) in ft.topology().edges() {
+            if ft.is_down_edge(u, v) {
+                down += 1;
+                assert!(!ft.is_down_edge(v, u), "reverse of a down edge is up");
+            }
+        }
+        // exactly half of all directed edges point down
+        assert_eq!(down, ft.topology().edge_count() / 2);
+    }
+
+    #[test]
+    fn adjacency_is_dest_pod_aggs_plus_dest() {
+        let ft = FatTree::new(4);
+        let dest = ft.edge_nodes().next().unwrap();
+        let adj: Vec<_> = ft.topology().nodes().filter(|&v| ft.is_adjacent(v, dest)).collect();
+        // dest + k/2 aggregation switches
+        assert_eq!(adj.len(), 1 + 2);
+        for v in adj {
+            if v != dest {
+                assert!(matches!(ft.role(v), FatTreeRole::Aggregation { pod: 0 }));
+            }
+        }
+    }
+
+    #[test]
+    fn role_pod_accessor() {
+        assert_eq!(FatTreeRole::Core.pod(), None);
+        assert_eq!(FatTreeRole::Edge { pod: 3 }.pod(), Some(3));
+        assert_eq!(FatTreeRole::Aggregation { pod: 1 }.pod(), Some(1));
+    }
+}

@@ -1,0 +1,181 @@
+//! Small topology generators used by tests, examples and property tests.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use crate::graph::{NodeId, Topology};
+
+/// A directed path `v0 → v1 → … → v(n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn path(n: usize) -> Topology {
+    assert!(n > 0, "path requires at least one node");
+    let mut g = Topology::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("v{i}"))).collect();
+    for w in nodes.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    g
+}
+
+/// An undirected path (both edge directions).
+pub fn undirected_path(n: usize) -> Topology {
+    assert!(n > 0, "path requires at least one node");
+    let mut g = Topology::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("v{i}"))).collect();
+    for w in nodes.windows(2) {
+        g.add_undirected(w[0], w[1]);
+    }
+    g
+}
+
+/// A directed ring `v0 → v1 → … → v(n-1) → v0`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 2, "ring requires at least two nodes");
+    let mut g = Topology::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("v{i}"))).collect();
+    for i in 0..n {
+        g.add_edge(nodes[i], nodes[(i + 1) % n]);
+    }
+    g
+}
+
+/// A star: a hub bidirectionally linked to `n` leaves.
+pub fn star(leaves: usize) -> Topology {
+    let mut g = Topology::new();
+    let hub = g.add_node("hub");
+    for i in 0..leaves {
+        let leaf = g.add_node(format!("leaf{i}"));
+        g.add_undirected(hub, leaf);
+    }
+    g
+}
+
+/// A complete graph on `n` nodes (all ordered pairs).
+pub fn complete(n: usize) -> Topology {
+    let mut g = Topology::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("v{i}"))).collect();
+    for &u in &nodes {
+        for &v in &nodes {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// An undirected `w × h` grid.
+pub fn grid(w: usize, h: usize) -> Topology {
+    assert!(w > 0 && h > 0, "grid requires positive dimensions");
+    let mut g = Topology::new();
+    let at = |x: usize, y: usize| NodeId::new((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            g.add_node(format!("v{x}-{y}"));
+        }
+    }
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                g.add_undirected(at(x, y), at(x + 1, y));
+            }
+            if y + 1 < h {
+                g.add_undirected(at(x, y), at(x, y + 1));
+            }
+        }
+    }
+    g
+}
+
+/// A random undirected G(n, p) graph, made connected by threading a path
+/// through all nodes first.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Topology {
+    assert!(n > 0, "graph requires at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = undirected_path(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                let (u, v) = (NodeId::new(u as u32), NodeId::new(v as u32));
+                if !g.succs(u).contains(&v) {
+                    g.add_undirected(u, v);
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn undirected_path_shape() {
+        let g = undirected_path(4);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.diameter(), Some(2));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 2);
+        assert_eq!(g.node_count(), 6);
+        // 3x2 grid: 2*2 horizontal + 3*1 vertical undirected links = 7 links
+        assert_eq!(g.edge_count(), 14);
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        let g1 = random_connected(20, 0.2, 9);
+        let g2 = random_connected(20, 0.2, 9);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let dist = g1.bfs_distances(NodeId::new(0));
+        assert!(dist.iter().all(Option::is_some));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_path_rejected() {
+        path(0);
+    }
+}

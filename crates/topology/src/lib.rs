@@ -1,0 +1,34 @@
+//! Network topology substrate for the Timepiece reproduction.
+//!
+//! Provides a small directed-graph type ([`Topology`]) plus the generators the
+//! paper's evaluation needs:
+//!
+//! * [`fattree::FatTree`] — the k-pod data center topologies of §6 (a
+//!   k-fattree has 1.25k² nodes and k³ directed edges), with node roles,
+//!   pods and the `dist` function used to pick witness times;
+//! * [`wan::Wan`] — a synthetic Internet2-style wide-area network (10
+//!   internal backbone routers, 253 external peers);
+//! * [`gen`] — paths, rings, stars, grids, complete and random graphs used
+//!   throughout the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use timepiece_topology::fattree::FatTree;
+//!
+//! let ft = FatTree::new(4);
+//! assert_eq!(ft.topology().node_count(), 20);      // 1.25 · 4²
+//! assert_eq!(ft.topology().edge_count(), 64);      // 4³ directed edges
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fattree;
+pub mod gen;
+pub mod graph;
+pub mod wan;
+
+pub use fattree::{FatTree, FatTreeRole};
+pub use graph::{NodeId, Topology};
+pub use wan::{PeerClass, Wan};

@@ -1,0 +1,202 @@
+//! A synthetic Internet2-style wide-area network.
+//!
+//! The paper evaluates Timepiece on the Internet2 backbone: 10 internal
+//! routers running ~1,552 Junos policy terms, peering with 253 external
+//! neighbors. Those configuration files are not redistributable, so this
+//! module generates a network with the *published shape*: the Abilene
+//! backbone topology for the internal mesh, 253 external peers attached
+//! round-robin, and a peer classification (commercial / academic / settlement-
+//! free) that the synthetic policies in `timepiece-nets` use to vary their
+//! import/export terms, mirroring how Internet2 tags customer priorities.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+use crate::graph::{NodeId, Topology};
+
+/// The ten Abilene/Internet2 backbone router sites.
+const BACKBONE: [&str; 10] = [
+    "ATLA", "CHIC", "DENV", "HSTN", "IPLS", "KSCY", "LOSA", "NYCM", "SNVA", "WASH",
+];
+
+/// The Abilene backbone links (bidirectional), by index into [`BACKBONE`].
+const BACKBONE_LINKS: [(usize, usize); 13] = [
+    (0, 3),  // ATLA–HSTN
+    (0, 4),  // ATLA–IPLS
+    (0, 9),  // ATLA–WASH
+    (1, 4),  // CHIC–IPLS
+    (1, 7),  // CHIC–NYCM
+    (1, 9),  // CHIC–WASH
+    (2, 5),  // DENV–KSCY
+    (2, 8),  // DENV–SNVA
+    (2, 6),  // DENV–LOSA
+    (3, 5),  // HSTN–KSCY
+    (4, 5),  // IPLS–KSCY
+    (6, 8),  // LOSA–SNVA
+    (7, 9),  // NYCM–WASH
+];
+
+/// The class of an external peer, which determines its synthetic policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeerClass {
+    /// A paying commercial customer (routes preferred, tagged `commercial`).
+    Commercial,
+    /// An academic member network (tagged `academic`).
+    Academic,
+    /// A settlement-free peer (lowest preference, `peer` tag).
+    SettlementFree,
+}
+
+impl PeerClass {
+    /// All classes, in generation order.
+    pub const ALL: [PeerClass; 3] =
+        [PeerClass::Commercial, PeerClass::Academic, PeerClass::SettlementFree];
+}
+
+/// A generated wide-area network: internal backbone + classified peers.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_topology::Wan;
+///
+/// let wan = Wan::synthetic_internet2(7);
+/// assert_eq!(wan.internal_nodes().count(), 10);
+/// assert_eq!(wan.external_nodes().count(), 253);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wan {
+    topology: Topology,
+    internal: usize,
+    peer_classes: Vec<PeerClass>,
+}
+
+impl Wan {
+    /// Generates the synthetic Internet2: 10 backbone routers, 253 peers.
+    ///
+    /// `seed` controls only how peers are spread over backbone routers; the
+    /// backbone itself is fixed.
+    pub fn synthetic_internet2(seed: u64) -> Wan {
+        Wan::synthetic(seed, 253)
+    }
+
+    /// Generates the backbone with a chosen number of external peers.
+    pub fn synthetic(seed: u64, peers: usize) -> Wan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut topology = Topology::new();
+        let backbone: Vec<NodeId> = BACKBONE.iter().map(|n| topology.add_node(*n)).collect();
+        for (a, b) in BACKBONE_LINKS {
+            topology.add_undirected(backbone[a], backbone[b]);
+        }
+        let mut peer_classes = Vec::with_capacity(peers);
+        for i in 0..peers {
+            let class = PeerClass::ALL[i % PeerClass::ALL.len()];
+            let peer = topology.add_node(format!("peer-{i}"));
+            let attach = *backbone.choose(&mut rng).expect("backbone is nonempty");
+            topology.add_undirected(peer, attach);
+            peer_classes.push(class);
+        }
+        Wan { topology, internal: BACKBONE.len(), peer_classes }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Is this node part of the internal backbone?
+    pub fn is_internal(&self, v: NodeId) -> bool {
+        v.index() < self.internal
+    }
+
+    /// Iterates over internal backbone nodes.
+    pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology.nodes().filter(|&v| self.is_internal(v))
+    }
+
+    /// Iterates over external peers.
+    pub fn external_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology.nodes().filter(|&v| !self.is_internal(v))
+    }
+
+    /// The class of an external peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is internal.
+    pub fn peer_class(&self, v: NodeId) -> PeerClass {
+        assert!(!self.is_internal(v), "peer_class of internal node");
+        self.peer_classes[v.index() - self.internal]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let wan = Wan::synthetic_internet2(0);
+        assert_eq!(wan.topology().node_count(), 263);
+        assert_eq!(wan.internal_nodes().count(), 10);
+        assert_eq!(wan.external_nodes().count(), 253);
+    }
+
+    #[test]
+    fn backbone_is_connected() {
+        let wan = Wan::synthetic_internet2(0);
+        let first = wan.internal_nodes().next().unwrap();
+        let dist = wan.topology().bfs_distances(first);
+        for v in wan.internal_nodes() {
+            assert!(dist[v.index()].is_some(), "{} unreachable", wan.topology().name(v));
+        }
+    }
+
+    #[test]
+    fn every_peer_attaches_to_backbone() {
+        let wan = Wan::synthetic_internet2(42);
+        for p in wan.external_nodes() {
+            let preds = wan.topology().preds(p);
+            assert_eq!(preds.len(), 1);
+            assert!(wan.is_internal(preds[0]));
+        }
+    }
+
+    #[test]
+    fn peer_classes_cycle() {
+        let wan = Wan::synthetic(0, 6);
+        let classes: Vec<_> = wan.external_nodes().map(|v| wan.peer_class(v)).collect();
+        assert_eq!(
+            classes,
+            vec![
+                PeerClass::Commercial,
+                PeerClass::Academic,
+                PeerClass::SettlementFree,
+                PeerClass::Commercial,
+                PeerClass::Academic,
+                PeerClass::SettlementFree,
+            ]
+        );
+    }
+
+    #[test]
+    fn seeds_change_attachment_not_shape() {
+        let a = Wan::synthetic_internet2(1);
+        let b = Wan::synthetic_internet2(2);
+        assert_eq!(a.topology().node_count(), b.topology().node_count());
+        // with 253 peers over 10 sites, two seeds almost surely differ somewhere
+        let attach = |w: &Wan| -> Vec<NodeId> {
+            w.external_nodes().map(|p| w.topology().preds(p)[0]).collect()
+        };
+        assert_ne!(attach(&a), attach(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "peer_class of internal")]
+    fn peer_class_rejects_internal() {
+        let wan = Wan::synthetic_internet2(0);
+        let internal = wan.internal_nodes().next().unwrap();
+        wan.peer_class(internal);
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: model a tiny network, write temporal interfaces, verify.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The network is a 3-node line `v0 → v1 → v2` running hop-count routing to
+//! `v0`. We prove that every node eventually (by its distance from `v0`)
+//! holds a route of minimal length, and then show what a counterexample
+//! looks like when an interface claims routes arrive too early.
+
+use timepiece::algebra::NetworkBuilder;
+use timepiece::core::check::{CheckOptions, ModularChecker};
+use timepiece::core::{NodeAnnotations, Temporal};
+use timepiece::expr::{Expr, Type};
+use timepiece::topology::gen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Topology and routing algebra: routes are Option<Int> hop counts.
+    let g = gen::path(3);
+    let dest = g.node_by_name("v0").expect("generated node");
+    let route_ty = Type::option(Type::Int);
+
+    let network = NetworkBuilder::new(g, route_ty)
+        // merge: prefer a present route, then the smaller hop count
+        .merge(|a, b| {
+            let a_better = a.clone().get_some().le(b.clone().get_some());
+            b.clone().is_none().or(a.clone().is_some().and(a_better)).ite(a.clone(), b.clone())
+        })
+        // transfer: one more hop (∞ stays ∞)
+        .default_transfer(|r| {
+            r.clone().match_option(Expr::none(Type::Int), |hops| hops.add(Expr::int(1)).some())
+        })
+        // the destination originates the 0-hop route
+        .init(dest, Expr::int(0).some())
+        .build()?;
+
+    // 2. Temporal interfaces: node i has no route until time i, then it
+    //    holds exactly the i-hop route forever (Fig. 12's `U` operator).
+    let interface = NodeAnnotations::from_fn(network.topology(), |v| {
+        let i = v.index() as u64;
+        if i == 0 {
+            Temporal::globally(|r| r.clone().eq(Expr::int(0).some()))
+        } else {
+            Temporal::until_at(
+                i,
+                |r| r.clone().is_none(),
+                Temporal::globally(move |r| r.clone().eq(Expr::int(i as i64).some())),
+            )
+        }
+    });
+
+    // 3. The property: everyone has a route within 2 steps (the diameter).
+    let property = NodeAnnotations::new(
+        network.topology(),
+        Temporal::finally_at(2, Temporal::globally(|r| r.clone().is_some())),
+    );
+
+    // 4. Verify, in parallel, one node at a time.
+    let checker = ModularChecker::new(CheckOptions::default());
+    let report = checker.check(&network, &interface, &property)?;
+    println!("verified: {}", report.is_verified());
+    println!(
+        "nodes checked: {}, median node time: {:?}, wall: {:?}",
+        report.stats().count,
+        report.stats().median,
+        report.wall()
+    );
+    assert!(report.is_verified());
+
+    // 5. A buggy interface: claim v2's route arrives at time 1. The checker
+    //    rejects it and the counterexample pinpoints node, condition, time.
+    let mut buggy = interface.clone();
+    let v2 = network.topology().node_by_name("v2").expect("generated node");
+    buggy.set(
+        v2,
+        Temporal::until_at(
+            1,
+            |r| r.clone().is_none(),
+            Temporal::globally(|r| r.clone().is_some()),
+        ),
+    );
+    let report = checker.check(&network, &buggy, &property)?;
+    assert!(!report.is_verified());
+    for failure in report.failures() {
+        println!("\n{failure}");
+    }
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the paper's metatheory (§3):
+//!
+//! * **Completeness** (Theorem 3.3): for a closed network, the exact
+//!   stepwise interface `A(v)(t) = {σ(v)(t)}` built from a simulation trace
+//!   always satisfies the initial and inductive conditions.
+//! * **Soundness** (Theorem 3.1, contrapositive): an interface that
+//!   *excludes* a state the simulator actually reaches can never pass the
+//!   checker — if it did, the soundness theorem would be violated.
+//!
+//! Networks are random boolean-reachability instances: random connected
+//! topologies, a random originating node, and random per-edge drop filters.
+
+use proptest::prelude::*;
+use timepiece::algebra::{Network, NetworkBuilder};
+use timepiece::core::check::{CheckOptions, ModularChecker};
+use timepiece::core::{NodeAnnotations, Temporal};
+use timepiece::expr::{Env, Expr, Type, Value};
+use timepiece::sim::simulate;
+use timepiece::topology::{NodeId, Topology};
+
+/// A randomly generated boolean-reachability network description.
+#[derive(Debug, Clone)]
+struct RandomNet {
+    nodes: usize,
+    extra_edges: Vec<(usize, usize)>,
+    origin: usize,
+    dropped_edges: Vec<bool>,
+}
+
+fn random_net() -> impl Strategy<Value = RandomNet> {
+    (2usize..6)
+        .prop_flat_map(|nodes| {
+            let edges = proptest::collection::vec((0..nodes, 0..nodes), 0..6);
+            let origin = 0..nodes;
+            (Just(nodes), edges, origin)
+        })
+        .prop_flat_map(|(nodes, extra_edges, origin)| {
+            // enough drop flags for path edges + extras (deduped later)
+            let max_edges = 2 * (nodes - 1) + extra_edges.len();
+            let drops = proptest::collection::vec(any::<bool>(), max_edges);
+            (Just(nodes), Just(extra_edges), Just(origin), drops)
+        })
+        .prop_map(|(nodes, extra_edges, origin, dropped_edges)| RandomNet {
+            nodes,
+            extra_edges,
+            origin,
+            dropped_edges,
+        })
+}
+
+fn build(desc: &RandomNet) -> Network {
+    let mut g = Topology::new();
+    let ids: Vec<NodeId> = (0..desc.nodes).map(|i| g.add_node(format!("v{i}"))).collect();
+    // connected backbone
+    for w in ids.windows(2) {
+        g.add_undirected(w[0], w[1]);
+    }
+    for &(a, b) in &desc.extra_edges {
+        if a != b && !g.succs(ids[a]).contains(&ids[b]) {
+            g.add_edge(ids[a], ids[b]);
+        }
+    }
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let mut builder = NetworkBuilder::new(g, Type::Bool)
+        .merge(|a, b| a.clone().or(b.clone()))
+        .init(ids[desc.origin], Expr::bool(true));
+    for (i, (u, v)) in edges.into_iter().enumerate() {
+        let dropped = desc.dropped_edges.get(i).copied().unwrap_or(false);
+        builder = builder.transfer((u, v), move |r| {
+            if dropped {
+                Expr::bool(false)
+            } else {
+                r.clone()
+            }
+        });
+    }
+    builder.build().expect("random reach network is well-typed")
+}
+
+/// Per-node value sequences up to one step past convergence.
+fn node_traces(net: &Network) -> Vec<Vec<Value>> {
+    let trace = simulate(net, &Env::new(), 64).expect("closed network simulates");
+    assert!(trace.converged_at().is_some(), "monotone reach network converges");
+    let horizon = trace.states().len();
+    net.topology()
+        .nodes()
+        .map(|v| (0..horizon).map(|t| trace.state(v, t).clone()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Theorem 3.3: exact trace interfaces always verify.
+    #[test]
+    fn exact_trace_interfaces_always_verify(desc in random_net()) {
+        let net = build(&desc);
+        let traces = node_traces(&net);
+        let interface = NodeAnnotations::from_fn(net.topology(), |v| {
+            Temporal::from_trace(&traces[v.index()])
+        });
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&net, &interface, &interface)
+            .expect("check runs");
+        prop_assert!(report.is_verified(), "failures: {:?}", report.failures());
+    }
+
+    /// Theorem 3.1 (contrapositive): interfaces excluding a reached state
+    /// are always rejected.
+    #[test]
+    fn interfaces_excluding_reached_states_are_rejected(
+        desc in random_net(),
+        victim in any::<prop::sample::Index>(),
+        time in any::<prop::sample::Index>(),
+    ) {
+        let net = build(&desc);
+        let traces = node_traces(&net);
+        let horizon = traces[0].len();
+        let v = victim.index(net.topology().node_count());
+        let t = time.index(horizon);
+        // exact interfaces everywhere, except at (v, t): claim the opposite
+        let interface = NodeAnnotations::from_fn(net.topology(), |u| {
+            if u.index() == v {
+                let mut lied = traces[u.index()].clone();
+                let actual = lied[t].as_bool().expect("bool route");
+                lied[t] = Value::Bool(!actual);
+                Temporal::from_trace(&lied)
+            } else {
+                Temporal::from_trace(&traces[u.index()])
+            }
+        });
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&net, &interface, &interface)
+            .expect("check runs");
+        prop_assert!(
+            !report.is_verified(),
+            "an interface excluding σ({v})({t}) was accepted — soundness violated"
+        );
+    }
+
+    /// The monolithic baseline accepts what simulation guarantees: the
+    /// simulated stable state is the least fixpoint of the boolean reach
+    /// equations, so every stable state covers it. (Note the baseline could
+    /// NOT check the exact interfaces — self-sustaining loops admit larger
+    /// stable states, the very imprecision §2 discusses.)
+    #[test]
+    fn monolithic_accepts_least_fixpoint_lower_bound(desc in random_net()) {
+        let net = build(&desc);
+        let traces = node_traces(&net);
+        let property = NodeAnnotations::from_fn(net.topology(), |v| {
+            let reached = traces[v.index()]
+                .last()
+                .and_then(Value::as_bool)
+                .expect("bool route");
+            if reached {
+                Temporal::globally(|r| r.clone())
+            } else {
+                Temporal::any()
+            }
+        });
+        let report = timepiece::core::monolithic::check_monolithic(&net, &property, None)
+            .expect("check runs");
+        prop_assert!(report.outcome.is_verified());
+    }
+}
