@@ -254,9 +254,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let out = bgp
-            .transfer(edge(), &Some(BgpRoute::originate().with_tag("stale")))
-            .unwrap();
+        let out = bgp.transfer(edge(), &Some(BgpRoute::originate().with_tag("stale"))).unwrap();
         assert!(out.has_tag("internal"));
         assert!(!out.has_tag("stale"));
         assert_eq!(out.lp, 200);

@@ -193,9 +193,12 @@ impl Network {
     /// Panics if the edge has no transfer function (prevented by the builder
     /// for edges of the topology).
     pub fn transfer(&self, edge: (NodeId, NodeId), route: &Expr) -> Expr {
-        (self.transfers.get(&edge).unwrap_or_else(|| {
-            panic!("no transfer function for edge {} -> {}", edge.0, edge.1)
-        }))(route)
+        (self
+            .transfers
+            .get(&edge)
+            .unwrap_or_else(|| panic!("no transfer function for edge {} -> {}", edge.0, edge.1)))(
+            route,
+        )
     }
 
     /// Applies the merge function to two route terms.
@@ -372,7 +375,11 @@ impl NetworkBuilder {
         let probe_b = Expr::var("probe-b", route_type.clone());
         expect_type(&merge(&probe_a, &probe_b), &route_type, "merge result")?;
         for (v, e) in init.iter().enumerate() {
-            expect_type(e, &route_type, &format!("initial route of {}", topology.name(NodeId::new(v as u32))))?;
+            expect_type(
+                e,
+                &route_type,
+                &format!("initial route of {}", topology.name(NodeId::new(v as u32))),
+            )?;
         }
         for ((u, v), f) in &transfers {
             expect_type(
@@ -382,14 +389,7 @@ impl NetworkBuilder {
             )?;
         }
 
-        Ok(Network {
-            topology: Arc::new(topology),
-            route_type,
-            init,
-            transfers,
-            merge,
-            symbolics,
-        })
+        Ok(Network { topology: Arc::new(topology), route_type, init, transfers, merge, symbolics })
     }
 }
 
@@ -420,10 +420,7 @@ mod tests {
         NetworkBuilder::new(g, Type::option(Type::Int))
             .merge(|a, b| {
                 let a_better = a.clone().get_some().le(b.clone().get_some());
-                b.clone()
-                    .is_none()
-                    .or(a.clone().is_some().and(a_better))
-                    .ite(a.clone(), b.clone())
+                b.clone().is_none().or(a.clone().is_some().and(a_better)).ite(a.clone(), b.clone())
             })
             .default_transfer(|r| {
                 r.clone().match_option(Expr::none(Type::Int), |h| h.add(Expr::int(1)).some())

@@ -19,9 +19,8 @@ fn bench_fig14(c: &mut Criterion) {
         let checker = ModularChecker::new(CheckOptions::default());
         group.bench_function(kind.name(), |b| {
             b.iter(|| {
-                let report = checker
-                    .check(&inst.network, &inst.interface, &inst.property)
-                    .expect("encodes");
+                let report =
+                    checker.check(&inst.network, &inst.interface, &inst.property).expect("encodes");
                 assert!(report.is_verified());
             })
         });

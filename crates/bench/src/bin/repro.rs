@@ -76,11 +76,8 @@ fn sweep(kind: BenchKind, args: &Args) {
         "{:>4} {:>6} {:>12} {:>12} {:>12} {:>12}",
         "k", "nodes", "Tp total", "Tp median", "Tp p99", "Ms"
     );
-    let options = SweepOptions {
-        timeout: args.timeout,
-        run_monolithic: args.run_ms,
-        threads: args.threads,
-    };
+    let options =
+        SweepOptions { timeout: args.timeout, run_monolithic: args.run_ms, threads: args.threads };
     for k in ks(args.max_k) {
         let row = run_row(kind, k, &options);
         println!(
@@ -211,7 +208,9 @@ fn table3() {
             timepiece_expr::Type::BitVec(w) => format!("bitvector({w})"),
             timepiece_expr::Type::Int => "integer".to_owned(),
             timepiece_expr::Type::Enum(d) => format!("enum {{{}}}", d.variants().join(", ")),
-            timepiece_expr::Type::Set(d) => format!("set over {} tags (bitvector)", d.universe().len()),
+            timepiece_expr::Type::Set(d) => {
+                format!("set over {} tags (bitvector)", d.universe().len())
+            }
             timepiece_expr::Type::Bool => "boolean (ghost)".to_owned(),
             other => other.to_string(),
         };
@@ -234,9 +233,7 @@ fn wan(args: &Args) {
         threads: args.threads,
         ..CheckOptions::default()
     });
-    let report = checker
-        .check(&inst.network, &inst.interface, &inst.property)
-        .expect("encodes");
+    let report = checker.check(&inst.network, &inst.interface, &inst.property).expect("encodes");
     let stats = report.stats();
     println!(
         "modular:    verified = {} wall = {:.2}s median = {:.3}s p99 = {:.3}s",
@@ -246,7 +243,8 @@ fn wan(args: &Args) {
         stats.p99.as_secs_f64(),
     );
     println!("            (paper: 38.3 s total, 0.6 s median, 4.2 s p99 on a 6-core laptop)");
-    let mono = check_monolithic(&inst.network, &inst.property, Some(args.timeout)).expect("encodes");
+    let mono =
+        check_monolithic(&inst.network, &inst.property, Some(args.timeout)).expect("encodes");
     println!(
         "monolithic: outcome = {} wall = {:.2}s   (paper: no result within 2 h)",
         if mono.outcome.is_verified() { "verified" } else { "timeout/failed" },

@@ -4,7 +4,9 @@ use std::time::Duration;
 
 use timepiece_core::check::{CheckOptions, ModularChecker};
 use timepiece_core::monolithic::{check_monolithic, MonolithicOutcome};
-use timepiece_nets::{hijack::HijackBench, len::LenBench, reach::ReachBench, vf::VfBench, BenchInstance};
+use timepiece_nets::{
+    hijack::HijackBench, len::LenBench, reach::ReachBench, vf::VfBench, BenchInstance,
+};
 
 /// The eight fattree benchmarks of Fig. 14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,9 +167,10 @@ pub fn run_row(kind: BenchKind, k: usize, options: &SweepOptions) -> Row {
         .check(&inst.network, &inst.interface, &inst.property)
         .expect("benchmark instances encode");
     let stats = report.stats();
-    let timed_out = report.failures().iter().any(|f| {
-        matches!(f.reason, timepiece_core::check::FailureReason::Unknown(_))
-    });
+    let timed_out = report
+        .failures()
+        .iter()
+        .any(|f| matches!(f.reason, timepiece_core::check::FailureReason::Unknown(_)));
     let tp = if report.is_verified() {
         EngineResult::Verified(report.wall())
     } else if timed_out {
@@ -205,11 +208,8 @@ mod tests {
 
     #[test]
     fn run_row_produces_verified_row_at_k4() {
-        let options = SweepOptions {
-            timeout: Duration::from_secs(120),
-            run_monolithic: true,
-            threads: None,
-        };
+        let options =
+            SweepOptions { timeout: Duration::from_secs(120), run_monolithic: true, threads: None };
         let row = run_row(BenchKind::SpReach, 4, &options);
         assert_eq!(row.k, 4);
         assert_eq!(row.nodes, 20);

@@ -21,8 +21,7 @@ use crate::stats::TimingStats;
 use crate::vc::{inductive_vc, initial_vc, safety_vc, VcKind};
 
 /// Options controlling a modular check.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CheckOptions {
     /// Per-condition solver timeout (`None`: unbounded).
     pub timeout: Option<Duration>,
@@ -33,7 +32,6 @@ pub struct CheckOptions {
     /// Stop scheduling new nodes after the first failure.
     pub fail_fast: bool,
 }
-
 
 /// Why a node failed its check.
 #[derive(Debug, Clone)]
@@ -106,8 +104,7 @@ impl CheckReport {
 
     /// Statistics over per-node durations (median, p99, …).
     pub fn stats(&self) -> TimingStats {
-        let durations: Vec<Duration> =
-            self.node_durations.iter().map(|(_, d)| *d).collect();
+        let durations: Vec<Duration> = self.node_durations.iter().map(|(_, d)| *d).collect();
         TimingStats::from_durations(&durations)
     }
 
@@ -188,9 +185,7 @@ impl ModularChecker {
         let workers = self
             .options
             .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
             .clamp(1, nodes.len().max(1));
 
         let next = AtomicUsize::new(0);
@@ -276,8 +271,9 @@ mod tests {
         let property = NodeAnnotations::from_fn(net.topology(), |v| {
             Temporal::finally_at(v.index() as u64, Temporal::globally(|r| r.clone()))
         });
-        let report =
-            ModularChecker::new(CheckOptions::default()).check(&net, &interface, &property).unwrap();
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&net, &interface, &property)
+            .unwrap();
         assert!(report.is_verified(), "failures: {:?}", report.failures());
         assert_eq!(report.node_durations().len(), 5);
         assert!(report.stats().count == 5);
@@ -290,13 +286,12 @@ mod tests {
         let mut interface = reach_interface(&net);
         // sabotage node v2's interface: claims the route arrives at t=1
         let v2 = net.topology().node_by_name("v2").unwrap();
-        interface.set(
-            v2,
-            Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())),
-        );
+        interface
+            .set(v2, Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())));
         let property = NodeAnnotations::new(net.topology(), Temporal::any());
-        let report =
-            ModularChecker::new(CheckOptions::default()).check(&net, &interface, &property).unwrap();
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&net, &interface, &property)
+            .unwrap();
         assert!(!report.is_verified());
         // failures only at v2 (its own conditions) and v3 (which assumed v2)
         let failing: std::collections::BTreeSet<&str> =
@@ -350,8 +345,9 @@ mod tests {
         let interface =
             NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone().not()));
         let property = NodeAnnotations::new(net.topology(), Temporal::any());
-        let report =
-            ModularChecker::new(CheckOptions::default()).check(&net, &interface, &property).unwrap();
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&net, &interface, &property)
+            .unwrap();
         let text = report.failures()[0].to_string();
         assert!(text.contains("condition failed at"));
     }

@@ -58,9 +58,7 @@ pub fn monolithic_vc(net: &Network, property: &NodeAnnotations) -> Vc {
         let stepped = net.step(v, &neighbor_routes);
         assumptions.push(route_vars[v.index()].clone().eq(stepped));
     }
-    let goal = Expr::and_all(
-        g.nodes().map(|v| property.get(v).erase(&route_vars[v.index()])),
-    );
+    let goal = Expr::and_all(g.nodes().map(|v| property.get(v).erase(&route_vars[v.index()])));
     Vc::new("monolithic", assumptions, goal)
 }
 
@@ -107,8 +105,7 @@ mod tests {
     fn verifies_stable_reachability() {
         let net = reach_net(4);
         // property (erased): every node's stable route is present
-        let property =
-            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
         let report = check_monolithic(&net, &property, None).unwrap();
         assert!(report.outcome.is_verified());
         assert!(report.wall > Duration::ZERO);
@@ -124,8 +121,7 @@ mod tests {
             .default_transfer(|r| r.clone())
             .build()
             .unwrap();
-        let property =
-            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
         let report = check_monolithic(&net, &property, None).unwrap();
         match report.outcome {
             MonolithicOutcome::Failed(cex) => {
@@ -152,8 +148,7 @@ mod tests {
             .symbolic(s)
             .build()
             .unwrap();
-        let property =
-            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
         // with the constraint (ext = true) the property holds
         let report = check_monolithic(&net, &property, None).unwrap();
         assert!(report.outcome.is_verified());

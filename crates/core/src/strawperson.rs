@@ -76,8 +76,7 @@ mod tests {
             .init(v0, Expr::bool(true))
             .build()
             .unwrap();
-        let interface =
-            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        let interface = NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
         assert!(check_strawperson(&net, &interface).unwrap().is_empty());
     }
 
@@ -92,8 +91,7 @@ mod tests {
             .init(v0, Expr::bool(true))
             .build()
             .unwrap();
-        let mut interface =
-            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
+        let mut interface = NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone()));
         // v1 claims "no route" while v0 exports one: locally refutable
         interface.set(v1, Temporal::globally(|r| r.clone().not()));
         let failing = check_strawperson(&net, &interface).unwrap();
@@ -123,10 +121,7 @@ mod tests {
             .merge(|a, b| {
                 // prefer present routes with higher preference
                 let a_better = a.clone().get_some().ge(b.clone().get_some());
-                b.clone()
-                    .is_none()
-                    .or(a.clone().is_some().and(a_better))
-                    .ite(a.clone(), b.clone())
+                b.clone().is_none().or(a.clone().is_some().and(a_better)).ite(a.clone(), b.clone())
             })
             .default_transfer(|r| r.clone())
             .init(w, Expr::int(100).some())
@@ -140,9 +135,7 @@ mod tests {
                 r.clone().is_some().and(r.clone().get_some().eq(Expr::int(100)))
             }),
         );
-        let claim_200 = |r: &Expr| {
-            r.clone().is_some().and(r.clone().get_some().eq(Expr::int(200)))
-        };
+        let claim_200 = |r: &Expr| r.clone().is_some().and(r.clone().get_some().eq(Expr::int(200)));
         interface.set(net.topology().node_by_name("v").unwrap(), Temporal::globally(claim_200));
         interface.set(net.topology().node_by_name("d").unwrap(), Temporal::globally(claim_200));
 

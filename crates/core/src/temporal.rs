@@ -18,9 +18,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use timepiece_expr::{Expr, Value};
 #[cfg(test)]
 use timepiece_expr::Type;
+use timepiece_expr::{Expr, Value};
 
 /// A predicate over a route term: given the route, produce a boolean term.
 pub type RoutePredicate = Arc<dyn Fn(&Expr) -> Expr + Send + Sync>;
@@ -114,10 +114,9 @@ impl Temporal {
     pub fn at(&self, t: &Expr, route: &Expr) -> Expr {
         match self {
             Temporal::Globally(phi) => phi(route),
-            Temporal::Until(tau, phi, q) => t
-                .clone()
-                .lt(tau.clone())
-                .ite(phi(route), q.at(t, route)),
+            Temporal::Until(tau, phi, q) => {
+                t.clone().lt(tau.clone()).ite(phi(route), q.at(t, route))
+            }
             Temporal::And(a, b) => a.at(t, route).and(b.at(t, route)),
             Temporal::Or(a, b) => a.at(t, route).or(b.at(t, route)),
             Temporal::Not(a) => a.at(t, route).not(),
@@ -147,9 +146,8 @@ impl Temporal {
     /// Panics if `trace` is empty.
     pub fn from_trace(trace: &[Value]) -> Temporal {
         assert!(!trace.is_empty(), "trace must contain at least the initial state");
-        let eq_pred = |value: Value| {
-            move |route: &Expr| route.clone().eq(Expr::constant(value.clone()))
-        };
+        let eq_pred =
+            |value: Value| move |route: &Expr| route.clone().eq(Expr::constant(value.clone()));
         let last = trace.last().expect("nonempty").clone();
         let mut acc = Temporal::globally(eq_pred(last));
         for (t, value) in trace.iter().enumerate().rev().skip(1) {

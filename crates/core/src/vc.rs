@@ -49,12 +49,7 @@ pub fn initial_vc(net: &Network, interface: &NodeAnnotations, v: NodeId) -> Vc {
 /// merged result lies in `A(v)(t + delay + 1)`.
 ///
 /// With `delay = 0` this is exactly equation (6).
-pub fn inductive_vc(
-    net: &Network,
-    interface: &NodeAnnotations,
-    v: NodeId,
-    delay: u64,
-) -> Vc {
+pub fn inductive_vc(net: &Network, interface: &NodeAnnotations, v: NodeId, delay: u64) -> Vc {
     let t = time_var();
     let name = format!("inductive@{}", net.topology().name(v));
     let mut assumptions = net.symbolic_constraints();
@@ -117,8 +112,7 @@ mod tests {
     fn reach_interface(net: &Network) -> NodeAnnotations {
         let g = net.topology();
         let v1 = g.node_by_name("v1").unwrap();
-        let mut interface =
-            NodeAnnotations::new(g, Temporal::globally(|r| r.clone()));
+        let mut interface = NodeAnnotations::new(g, Temporal::globally(|r| r.clone()));
         interface.set(v1, Temporal::finally_at(1, Temporal::globally(|r| r.clone())));
         interface
     }
@@ -214,36 +208,24 @@ mod tests {
         let g = net.topology();
         let v1 = g.node_by_name("v1").unwrap();
         let mut interface = NodeAnnotations::new(g, Temporal::globally(|r| r.clone()));
-        interface.set(
-            v1,
-            Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())),
-        );
+        interface
+            .set(v1, Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())));
         // synchronous: fine
-        assert!(check_validity(&inductive_vc(&net, &interface, v1, 0), None)
-            .unwrap()
-            .is_valid());
+        assert!(check_validity(&inductive_vc(&net, &interface, v1, 0), None).unwrap().is_valid());
         // v0's interface admits any route at any time, so under delay the
         // exact-time interface for v1 still holds (v0 is constant) — but a
         // *tightened* v0 interface shows the delay window matters:
         let mut tight = NodeAnnotations::new(g, Temporal::globally(|r| r.clone()));
         let v0 = g.node_by_name("v0").unwrap();
-        tight.set(
-            v0,
-            Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())),
-        );
-        tight.set(
-            v1,
-            Temporal::until_at(2, |r| r.clone().not(), Temporal::globally(|r| r.clone())),
-        );
+        tight
+            .set(v0, Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())));
+        tight
+            .set(v1, Temporal::until_at(2, |r| r.clone().not(), Temporal::globally(|r| r.clone())));
         // synchronous induction holds at v1
-        assert!(check_validity(&inductive_vc(&net, &tight, v1, 0), None)
-            .unwrap()
-            .is_valid());
+        assert!(check_validity(&inductive_vc(&net, &tight, v1, 0), None).unwrap().is_valid());
         // with 1 unit of delay the stale route from v0 at t+1 can arrive
         // "early", violating v1's exact witness time
-        assert!(!check_validity(&inductive_vc(&net, &tight, v1, 1), None)
-            .unwrap()
-            .is_valid());
+        assert!(!check_validity(&inductive_vc(&net, &tight, v1, 1), None).unwrap().is_valid());
     }
 
     #[test]

@@ -111,11 +111,7 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let e = TypeError::Mismatch {
-            context: "ite",
-            expected: Type::Bool,
-            found: Type::Int,
-        };
+        let e = TypeError::Mismatch { context: "ite", expected: Type::Bool, found: Type::Int };
         assert_eq!(e.to_string(), "type mismatch in ite: expected bool, found int");
         let e = EvalError::UnboundVar("x".into());
         assert_eq!(e.to_string(), "unbound variable \"x\"");

@@ -117,11 +117,9 @@ impl Interp<'_> {
 
     fn eval_uncached(&mut self, e: &Expr) -> Result<Value, EvalError> {
         match e.kind() {
-            ExprKind::Var(name, _) => self
-                .env
-                .get(name)
-                .cloned()
-                .ok_or_else(|| EvalError::UnboundVar(name.clone())),
+            ExprKind::Var(name, _) => {
+                self.env.get(name).cloned().ok_or_else(|| EvalError::UnboundVar(name.clone()))
+            }
             ExprKind::Const(v) => Ok(v.clone()),
             ExprKind::Not(a) => Ok(Value::Bool(!self.eval_bool(a)?)),
             ExprKind::And(xs) => {
@@ -181,7 +179,10 @@ impl Interp<'_> {
                 match v {
                     Value::Record { def, mut fields } => {
                         let i = def.field_index(name).ok_or(EvalError::IllTyped(
-                            TypeError::NoSuchField { record: def.name().to_owned(), field: name.clone() },
+                            TypeError::NoSuchField {
+                                record: def.name().to_owned(),
+                                field: name.clone(),
+                            },
                         ))?;
                         fields[i] = new;
                         Ok(Value::Record { def, fields })
@@ -280,10 +281,7 @@ impl Interp<'_> {
 /// sides are `None` (matching the SMT encoding).
 fn values_equal(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (
-            Value::Option { value: va, .. },
-            Value::Option { value: vb, .. },
-        ) => match (va, vb) {
+        (Value::Option { value: va, .. }, Value::Option { value: vb, .. }) => match (va, vb) {
             (None, None) => true,
             (Some(x), Some(y)) => values_equal(x, y),
             _ => false,

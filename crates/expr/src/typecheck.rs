@@ -43,7 +43,12 @@ impl Checker {
         Ok(ty)
     }
 
-    fn expect(&mut self, e: &Expr, expected: &Type, context: &'static str) -> Result<(), TypeError> {
+    fn expect(
+        &mut self,
+        e: &Expr,
+        expected: &Type,
+        context: &'static str,
+    ) -> Result<(), TypeError> {
         let found = self.check(e)?;
         if &found == expected {
             Ok(())
@@ -168,14 +173,20 @@ impl Checker {
             ExprKind::SetContains(a, tag) => {
                 let def = self.set_def(a, "set_contains")?;
                 if def.tag_index(tag).is_none() {
-                    return Err(TypeError::NoSuchTag { set: def.name().to_owned(), tag: tag.clone() });
+                    return Err(TypeError::NoSuchTag {
+                        set: def.name().to_owned(),
+                        tag: tag.clone(),
+                    });
                 }
                 Ok(Type::Bool)
             }
             ExprKind::SetAdd(a, tag) | ExprKind::SetRemove(a, tag) => {
                 let def = self.set_def(a, "set_add/remove")?;
                 if def.tag_index(tag).is_none() {
-                    return Err(TypeError::NoSuchTag { set: def.name().to_owned(), tag: tag.clone() });
+                    return Err(TypeError::NoSuchTag {
+                        set: def.name().to_owned(),
+                        tag: tag.clone(),
+                    });
                 }
                 Ok(Type::Set(def))
             }
@@ -193,9 +204,7 @@ impl Checker {
         context: &'static str,
     ) -> Result<std::sync::Arc<crate::types::SetDef>, TypeError> {
         let t = self.check(e)?;
-        t.set_def()
-            .cloned()
-            .ok_or(TypeError::Unsupported { context, found: t })
+        t.set_def().cloned().ok_or(TypeError::Unsupported { context, found: t })
     }
 }
 
@@ -249,10 +258,7 @@ mod tests {
         let def = Arc::new(RecordDef::new("R", [("a", Type::Int), ("b", Type::Bool)]));
         let r = Expr::var("r", Type::Record(def.clone()));
         assert_eq!(r.clone().field("a").type_of().unwrap(), Type::Int);
-        assert!(matches!(
-            r.clone().field("zzz").type_of(),
-            Err(TypeError::NoSuchField { .. })
-        ));
+        assert!(matches!(r.clone().field("zzz").type_of(), Err(TypeError::NoSuchField { .. })));
         assert!(r.clone().with_field("a", Expr::bool(true)).type_of().is_err());
         let built = Expr::record(&def, vec![Expr::int(0), Expr::var("x", Type::Bool)]);
         assert_eq!(built.type_of().unwrap(), Type::Record(def));
@@ -270,10 +276,7 @@ mod tests {
         let ty = Type::set("Tags", ["x", "y"]);
         let s = Expr::var("s", ty.clone());
         assert_eq!(s.clone().contains("x").type_of().unwrap(), Type::Bool);
-        assert!(matches!(
-            s.clone().contains("zzz").type_of(),
-            Err(TypeError::NoSuchTag { .. })
-        ));
+        assert!(matches!(s.clone().contains("zzz").type_of(), Err(TypeError::NoSuchTag { .. })));
         assert_eq!(s.clone().add_tag("y").type_of().unwrap(), ty);
         assert_eq!(s.clone().union(s.clone()).type_of().unwrap(), ty);
         let other = Expr::var("t", Type::set("Other", ["x"]));

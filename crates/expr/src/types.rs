@@ -65,14 +65,14 @@ impl EnumDef {
     /// # Panics
     ///
     /// Panics if `variants` is empty or contains duplicates.
-    pub fn new(name: impl Into<String>, variants: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        variants: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         let variants: Vec<String> = variants.into_iter().map(Into::into).collect();
         assert!(!variants.is_empty(), "enum must have at least one variant");
         for (i, v) in variants.iter().enumerate() {
-            assert!(
-                !variants[..i].contains(v),
-                "duplicate enum variant {v:?}"
-            );
+            assert!(!variants[..i].contains(v), "duplicate enum variant {v:?}");
         }
         Self { name: name.into(), variants }
     }
@@ -103,13 +103,9 @@ impl RecordDef {
         name: impl Into<String>,
         fields: impl IntoIterator<Item = (impl Into<String>, Type)>,
     ) -> Self {
-        let fields: Vec<(String, Type)> =
-            fields.into_iter().map(|(n, t)| (n.into(), t)).collect();
+        let fields: Vec<(String, Type)> = fields.into_iter().map(|(n, t)| (n.into(), t)).collect();
         for (i, (n, _)) in fields.iter().enumerate() {
-            assert!(
-                !fields[..i].iter().any(|(m, _)| m == n),
-                "duplicate record field {n:?}"
-            );
+            assert!(!fields[..i].iter().any(|(m, _)| m == n), "duplicate record field {n:?}");
         }
         Self { name: name.into(), fields }
     }
@@ -141,7 +137,10 @@ impl SetDef {
     /// # Panics
     ///
     /// Panics if the universe has more than 64 tags or contains duplicates.
-    pub fn new(name: impl Into<String>, universe: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        universe: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         let universe: Vec<String> = universe.into_iter().map(Into::into).collect();
         assert!(universe.len() <= 64, "set universe limited to 64 tags");
         for (i, v) in universe.iter().enumerate() {
@@ -308,14 +307,8 @@ mod tests {
         assert_eq!(Type::Bool.to_string(), "bool");
         assert_eq!(Type::BitVec(32).to_string(), "bv32");
         assert_eq!(Type::Int.to_string(), "int");
-        assert_eq!(
-            Type::option(Type::Int).to_string(),
-            "option<int>"
-        );
-        assert_eq!(
-            Type::record("R", [("x", Type::Bool)]).to_string(),
-            "record R"
-        );
+        assert_eq!(Type::option(Type::Int).to_string(), "option<int>");
+        assert_eq!(Type::record("R", [("x", Type::Bool)]).to_string(), "record R");
     }
 
     #[test]

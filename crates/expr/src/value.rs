@@ -278,10 +278,7 @@ mod tests {
 
     #[test]
     fn default_values() {
-        let ty = Type::record(
-            "R",
-            [("a", Type::Bool), ("b", Type::option(Type::Int))],
-        );
+        let ty = Type::record("R", [("a", Type::Bool), ("b", Type::option(Type::Int))]);
         let v = Value::default_of(&ty);
         assert_eq!(v.field("a").and_then(Value::as_bool), Some(false));
         assert_eq!(v.field("b").and_then(Value::is_some_option), Some(false));

@@ -65,8 +65,7 @@ impl BgpSchema {
             ("len".into(), Type::Int),
             ("comms".into(), comm_ty),
         ];
-        let ghost_fields: Vec<String> =
-            ghost_bools.into_iter().map(str::to_owned).collect();
+        let ghost_fields: Vec<String> = ghost_bools.into_iter().map(str::to_owned).collect();
         for g in &ghost_fields {
             fields.push((g.clone(), Type::Bool));
         }
@@ -296,7 +295,11 @@ mod tests {
                 let ea = route(&s, lp_a, len_a, &[], false);
                 let eb = route(&s, lp_b, len_b, &[], false);
                 let got = eval_merge(&s, ea, eb).unwrap_or_default().unwrap();
-                assert_eq!(got.field("lp").unwrap().as_bv(), Some(winner.lp), "{lp_a},{len_a} vs {lp_b},{len_b}");
+                assert_eq!(
+                    got.field("lp").unwrap().as_bv(),
+                    Some(winner.lp),
+                    "{lp_a},{len_a} vs {lp_b},{len_b}"
+                );
                 assert_eq!(got.field("len").unwrap().as_int(), Some(winner.len as i128));
             }
         }

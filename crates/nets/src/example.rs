@@ -106,8 +106,7 @@ impl RunningExample {
                 let lp_eq = rb.clone().field("lp").eq(ra.clone().field("lp"));
                 let len_lt = rb.clone().field("len").lt(ra.clone().field("len"));
                 let b_better = lp_gt.or(lp_eq.and(len_lt));
-                let choose_b =
-                    b.clone().is_some().and(a.clone().is_none().or(b_better));
+                let choose_b = b.clone().is_some().and(a.clone().is_none().or(b_better));
                 choose_b.ite(b.clone(), a.clone())
             })
             // filter: drop all routes from n
@@ -181,11 +180,7 @@ impl RunningExample {
     }
 
     fn w_has_lp100() -> impl Fn(&Expr) -> Expr + Clone {
-        |r: &Expr| {
-            r.clone()
-                .is_some()
-                .and(r.clone().get_some().field("lp").eq(Expr::bv(100, 32)))
-        }
+        |r: &Expr| r.clone().is_some().and(r.clone().get_some().field("lp").eq(Expr::bv(100, 32)))
     }
 
     fn pred_present_tagged() -> impl Fn(&Expr) -> Expr + Clone {
@@ -198,16 +193,21 @@ impl RunningExample {
         a.set(self.w, Temporal::globally(Self::w_has_lp100()));
         a.set(
             self.v,
-            Temporal::until_at(1, |r| r.clone().is_none(), Temporal::globally(Self::pred_present_tagged())),
+            Temporal::until_at(
+                1,
+                |r| r.clone().is_none(),
+                Temporal::globally(Self::pred_present_tagged()),
+            ),
         );
         a.set(
             self.d,
-            Temporal::until_at(2, |r| r.clone().is_none(), Temporal::globally(Self::pred_present_tagged())),
+            Temporal::until_at(
+                2,
+                |r| r.clone().is_none(),
+                Temporal::globally(Self::pred_present_tagged()),
+            ),
         );
-        a.set(
-            self.e,
-            Temporal::finally_at(3, Temporal::globally(|r| r.clone().is_some())),
-        );
+        a.set(self.e, Temporal::finally_at(3, Temporal::globally(|r| r.clone().is_some())));
         a
     }
 
@@ -267,8 +267,14 @@ impl RunningExample {
                 Self::w_has_lp100()(r).and(r.clone().get_some().field("fromw"))
             }),
         );
-        a.set(self.v, Temporal::until_at(1, |r| r.clone().is_none(), Temporal::globally(fromw_tagged)));
-        a.set(self.d, Temporal::until_at(2, |r| r.clone().is_none(), Temporal::globally(fromw_tagged)));
+        a.set(
+            self.v,
+            Temporal::until_at(1, |r| r.clone().is_none(), Temporal::globally(fromw_tagged)),
+        );
+        a.set(
+            self.d,
+            Temporal::until_at(2, |r| r.clone().is_none(), Temporal::globally(fromw_tagged)),
+        );
         a.set(
             self.e,
             Temporal::finally_at(
@@ -324,10 +330,7 @@ mod tests {
     use timepiece_expr::Env;
 
     fn check(ex: &RunningExample, a: &NodeAnnotations, p: &NodeAnnotations) -> bool {
-        ModularChecker::new(CheckOptions::default())
-            .check(&ex.network, a, p)
-            .unwrap()
-            .is_verified()
+        ModularChecker::new(CheckOptions::default()).check(&ex.network, a, p).unwrap().is_verified()
     }
 
     #[test]
@@ -409,10 +412,7 @@ mod tests {
             .failures()
             .iter()
             .any(|f| f.vc == timepiece_core::VcKind::Inductive && f.node_name == "v"));
-        assert!(report
-            .failures()
-            .iter()
-            .all(|f| f.vc != timepiece_core::VcKind::Initial));
+        assert!(report.failures().iter().all(|f| f.vc != timepiece_core::VcKind::Initial));
     }
 
     #[test]
@@ -423,10 +423,7 @@ mod tests {
         let ex = RunningExample::new();
         let bad = ex.bad_interfaces(false);
         let failing = check_strawperson(&ex.network, &bad).unwrap();
-        assert!(
-            failing.is_empty(),
-            "strawperson accepted nodes should be empty, got {failing:?}"
-        );
+        assert!(failing.is_empty(), "strawperson accepted nodes should be empty, got {failing:?}");
         // the real simulation violates the bad interfaces: v gets lp=100
         let mut env = Env::new();
         env.bind(EXTERNAL_ROUTE_VAR, ex.no_route());

@@ -42,9 +42,9 @@ impl DestSpec {
     pub fn constraint(&self, ft: &FatTree) -> Option<Expr> {
         match self {
             DestSpec::Fixed(_) => None,
-            DestSpec::Symbolic => Some(Expr::or_all(
-                ft.edge_nodes().map(|e| dest_var().eq(node_id_expr(e))),
-            )),
+            DestSpec::Symbolic => {
+                Some(Expr::or_all(ft.edge_nodes().map(|e| dest_var().eq(node_id_expr(e)))))
+            }
         }
     }
 
@@ -54,13 +54,9 @@ impl DestSpec {
             DestSpec::Fixed(d) => {
                 Expr::bool(matches!(ft.role(*d), FatTreeRole::Edge { pod: p } if p == pod))
             }
-            DestSpec::Symbolic => Expr::or_all(ft.edge_nodes().filter_map(|e| {
-                match ft.role(e) {
-                    FatTreeRole::Edge { pod: p } if p == pod => {
-                        Some(dest_var().eq(node_id_expr(e)))
-                    }
-                    _ => None,
-                }
+            DestSpec::Symbolic => Expr::or_all(ft.edge_nodes().filter_map(|e| match ft.role(e) {
+                FatTreeRole::Edge { pod: p } if p == pod => Some(dest_var().eq(node_id_expr(e))),
+                _ => None,
             })),
         }
     }
@@ -74,10 +70,9 @@ impl DestSpec {
             FatTreeRole::Aggregation { pod } => {
                 self.dest_in_pod(ft, pod).ite(Expr::int(1), Expr::int(3))
             }
-            FatTreeRole::Edge { pod } => self.is_dest(v).ite(
-                Expr::int(0),
-                self.dest_in_pod(ft, pod).ite(Expr::int(2), Expr::int(4)),
-            ),
+            FatTreeRole::Edge { pod } => self
+                .is_dest(v)
+                .ite(Expr::int(0), self.dest_in_pod(ft, pod).ite(Expr::int(2), Expr::int(4))),
         }
     }
 

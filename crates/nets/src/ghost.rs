@@ -53,9 +53,8 @@ pub fn isolation(filtered: bool) -> BenchInstance {
     g.add_edge(b0, b1);
     g.add_edge(a1, b1); // the cross-domain link
 
-    let originate = |a: bool, b: bool| {
-        Expr::record(&record, vec![Expr::bool(a), Expr::bool(b)]).some()
-    };
+    let originate =
+        |a: bool, b: bool| Expr::record(&record, vec![Expr::bool(a), Expr::bool(b)]).some();
 
     let mut builder = NetworkBuilder::new(g, ty.clone())
         .merge(|a, b| a.clone().is_some().ite(a.clone(), b.clone()))
@@ -140,16 +139,17 @@ pub fn unordered_waypoints(skip_w2: bool) -> BenchInstance {
     };
     let mut interface = NodeAnnotations::new(network.topology(), Temporal::any());
     interface.set(src, Temporal::globally(|r| r.clone().is_some()));
-    interface.set(w1, arrives(1, |r| {
-        r.clone().is_some().and(r.clone().get_some().field("w1"))
-    }));
+    interface.set(w1, arrives(1, |r| r.clone().is_some().and(r.clone().get_some().field("w1"))));
     if !skip_w2 {
-        interface.set(w2, arrives(2, |r| {
-            r.clone()
-                .is_some()
-                .and(r.clone().get_some().field("w1"))
-                .and(r.clone().get_some().field("w2"))
-        }));
+        interface.set(
+            w2,
+            arrives(2, |r| {
+                r.clone()
+                    .is_some()
+                    .and(r.clone().get_some().field("w1"))
+                    .and(r.clone().get_some().field("w2"))
+            }),
+        );
     }
     let through_both = |r: &Expr| {
         r.clone()
@@ -208,10 +208,8 @@ pub fn no_transit(leaky: bool) -> BenchInstance {
                     Expr::constant(timepiece_expr::Value::enum_variant(&mark_def, "cust"));
                 let b_cust = b.clone().get_some().field("mark").eq(cust_const.clone());
                 let a_cust = a.clone().get_some().field("mark").eq(cust_const);
-                let choose_b = b
-                    .clone()
-                    .is_some()
-                    .and(a.clone().is_none().or(b_cust.and(a_cust.not())));
+                let choose_b =
+                    b.clone().is_some().and(a.clone().is_none().or(b_cust.and(a_cust.not())));
                 choose_b.ite(b.clone(), a.clone())
             }
         })
@@ -274,11 +272,8 @@ pub fn fault_tolerance(allow_double_fault: bool) -> BenchInstance {
 
     let fail_ab = Expr::var("fail-ab", Type::Bool);
     let fail_ac = Expr::var("fail-ac", Type::Bool);
-    let constraint = if allow_double_fault {
-        None
-    } else {
-        Some(fail_ab.clone().and(fail_ac.clone()).not())
-    };
+    let constraint =
+        if allow_double_fault { None } else { Some(fail_ab.clone().and(fail_ac.clone()).not()) };
 
     let network = NetworkBuilder::new(g, ty)
         .merge(|x, y| x.clone().or(y.clone()))
@@ -302,17 +297,25 @@ pub fn fault_tolerance(allow_double_fault: bool) -> BenchInstance {
     interface.set(a, Temporal::globally(|r| r.clone()));
     interface.set(
         b,
-        Temporal::until_at(1, |r| r.clone().not(), Temporal::globally({
-            let fail_ab = fail_ab.clone();
-            move |r: &Expr| r.clone().iff(fail_ab.clone().not())
-        })),
+        Temporal::until_at(
+            1,
+            |r| r.clone().not(),
+            Temporal::globally({
+                let fail_ab = fail_ab.clone();
+                move |r: &Expr| r.clone().iff(fail_ab.clone().not())
+            }),
+        ),
     );
     interface.set(
         c,
-        Temporal::until_at(1, |r| r.clone().not(), Temporal::globally({
-            let fail_ac = fail_ac.clone();
-            move |r: &Expr| r.clone().iff(fail_ac.clone().not())
-        })),
+        Temporal::until_at(
+            1,
+            |r| r.clone().not(),
+            Temporal::globally({
+                let fail_ac = fail_ac.clone();
+                move |r: &Expr| r.clone().iff(fail_ac.clone().not())
+            }),
+        ),
     );
     interface.set(
         d,
@@ -322,9 +325,7 @@ pub fn fault_tolerance(allow_double_fault: bool) -> BenchInstance {
             Temporal::globally({
                 let fail_ab = fail_ab.clone();
                 let fail_ac = fail_ac.clone();
-                move |r: &Expr| {
-                    r.clone().iff(fail_ab.clone().not().or(fail_ac.clone().not()))
-                }
+                move |r: &Expr| r.clone().iff(fail_ab.clone().not().or(fail_ac.clone().not()))
             }),
         ),
     );

@@ -109,14 +109,11 @@ impl HijackBench {
                 let pb = schema.destination(&b.clone().get_some()).eq(Self::prefix());
                 let b_wins_prefix = pb.clone().and(pa.clone().not());
                 let same_class = pa.clone().iff(pb);
-                let b_better_attrs =
-                    schema.prefer(&b.clone().get_some(), &a.clone().get_some());
-                let choose_b = b.clone().is_some().and(
-                    a.clone()
-                        .is_none()
-                        .or(b_wins_prefix)
-                        .or(same_class.and(b_better_attrs)),
-                );
+                let b_better_attrs = schema.prefer(&b.clone().get_some(), &a.clone().get_some());
+                let choose_b = b
+                    .clone()
+                    .is_some()
+                    .and(a.clone().is_none().or(b_wins_prefix).or(same_class.and(b_better_attrs)));
                 choose_b.ite(b.clone(), a.clone())
             });
         }
@@ -129,18 +126,13 @@ impl HijackBench {
                 builder = builder.transfer((u, v), move |r| {
                     let payload_ty = schema.route_type().option_payload().unwrap().clone();
                     let incremented = schema.transfer_increment(r);
-                    let claims_p = schema
-                        .destination(&incremented.clone().get_some())
-                        .eq(Self::prefix());
-                    let marked = incremented.clone().match_option(
-                        Expr::none(payload_ty.clone()),
-                        |route| route.with_field(EXTERNAL_TAG, Expr::bool(true)).some(),
-                    );
-                    incremented
-                        .clone()
-                        .is_some()
-                        .and(claims_p)
-                        .ite(Expr::none(payload_ty), marked)
+                    let claims_p =
+                        schema.destination(&incremented.clone().get_some()).eq(Self::prefix());
+                    let marked =
+                        incremented.clone().match_option(Expr::none(payload_ty.clone()), |route| {
+                            route.with_field(EXTERNAL_TAG, Expr::bool(true)).some()
+                        });
+                    incremented.clone().is_some().and(claims_p).ite(Expr::none(payload_ty), marked)
                 });
             } else {
                 builder = builder.transfer((u, v), move |r| schema.transfer_increment(r));
@@ -152,8 +144,7 @@ impl HijackBench {
                 builder = builder.init(v, Expr::var(HIJACK_ROUTE_VAR, schema.route_type()));
             } else {
                 let originated = schema.originate(Self::prefix());
-                let none =
-                    Expr::constant(timepiece_expr::Value::default_of(&schema.route_type()));
+                let none = Expr::constant(timepiece_expr::Value::default_of(&schema.route_type()));
                 builder = builder.init(v, self.dest.is_dest(v).ite(originated, none));
             }
         }
@@ -255,8 +246,7 @@ mod tests {
         let bench = HijackBench::single_dest(4, 0);
         let good = bench.build();
         let schema = bench.schema.clone();
-        let mut builder =
-            NetworkBuilder::new(bench.topology.clone(), schema.route_type());
+        let mut builder = NetworkBuilder::new(bench.topology.clone(), schema.route_type());
         {
             let schema = schema.clone();
             builder = builder.merge(move |a, b| {
@@ -264,8 +254,7 @@ mod tests {
                 let pb = schema.destination(&b.clone().get_some()).eq(HijackBench::prefix());
                 let b_wins_prefix = pb.clone().and(pa.clone().not());
                 let same_class = pa.clone().iff(pb);
-                let b_better =
-                    schema.prefer(&b.clone().get_some(), &a.clone().get_some());
+                let b_better = schema.prefer(&b.clone().get_some(), &a.clone().get_some());
                 let choose_b = b
                     .clone()
                     .is_some()
@@ -279,10 +268,9 @@ mod tests {
                 // BUG: marks external routes but forgets the prefix filter
                 builder = builder.transfer((u, v), move |r| {
                     let payload_ty = schema.route_type().option_payload().unwrap().clone();
-                    schema.transfer_increment(r).match_option(
-                        Expr::none(payload_ty),
-                        |route| route.with_field(EXTERNAL_TAG, Expr::bool(true)).some(),
-                    )
+                    schema.transfer_increment(r).match_option(Expr::none(payload_ty), |route| {
+                        route.with_field(EXTERNAL_TAG, Expr::bool(true)).some()
+                    })
                 });
             } else {
                 builder = builder.transfer((u, v), move |r| schema.transfer_increment(r));
@@ -293,8 +281,7 @@ mod tests {
                 builder = builder.init(v, Expr::var(HIJACK_ROUTE_VAR, schema.route_type()));
             } else {
                 let originated = schema.originate(HijackBench::prefix());
-                let none =
-                    Expr::constant(timepiece_expr::Value::default_of(&schema.route_type()));
+                let none = Expr::constant(timepiece_expr::Value::default_of(&schema.route_type()));
                 builder = builder.init(v, bench.dest.is_dest(v).ite(originated, none));
             }
         }

@@ -44,7 +44,11 @@ impl LenBench {
 
     /// `ApLen`: the destination is a symbolic edge node.
     pub fn all_pairs(k: usize) -> LenBench {
-        LenBench { fattree: FatTree::new(k), dest: DestSpec::Symbolic, schema: BgpSchema::new([], []) }
+        LenBench {
+            fattree: FatTree::new(k),
+            dest: DestSpec::Symbolic,
+            schema: BgpSchema::new([], []),
+        }
     }
 
     /// The underlying fattree.
@@ -64,8 +68,7 @@ impl LenBench {
     /// Same network as `Reach` (plain eBGP, incrementing transfer).
     pub fn network(&self) -> Network {
         let schema = self.schema.clone();
-        let mut builder =
-            NetworkBuilder::new(self.fattree.topology().clone(), schema.route_type());
+        let mut builder = NetworkBuilder::new(self.fattree.topology().clone(), schema.route_type());
         {
             let schema = schema.clone();
             builder = builder.default_transfer(move |r| schema.transfer_increment(r));
@@ -100,8 +103,7 @@ impl LenBench {
                 Temporal::finally(
                     dist.clone(),
                     Temporal::globally(move |r| {
-                        let len_ok =
-                            schema.len(&r.clone().get_some()).le(dist.clone());
+                        let len_ok = schema.len(&r.clone().get_some()).le(dist.clone());
                         r.clone().is_some().and(len_ok)
                     }),
                 )
@@ -163,9 +165,7 @@ mod tests {
             Temporal::finally(
                 dist,
                 Temporal::globally(move |r| {
-                    r.clone()
-                        .is_some()
-                        .and(schema.len(&r.clone().get_some()).le(dist2.clone()))
+                    r.clone().is_some().and(schema.len(&r.clone().get_some()).le(dist2.clone()))
                 }),
             )
         });
@@ -187,9 +187,7 @@ mod tests {
             Temporal::finally_at(
                 4,
                 Temporal::globally(move |r| {
-                    r.clone()
-                        .is_some()
-                        .and(schema.len(&r.clone().get_some()).le(Expr::int(3)))
+                    r.clone().is_some().and(schema.len(&r.clone().get_some()).le(Expr::int(3)))
                 }),
             ),
         );
@@ -197,9 +195,6 @@ mod tests {
             .check(&inst.network, &inst.interface, &too_tight)
             .unwrap();
         assert!(!report.is_verified());
-        assert!(report
-            .failures()
-            .iter()
-            .all(|f| f.vc == timepiece_core::VcKind::Safety));
+        assert!(report.failures().iter().all(|f| f.vc == timepiece_core::VcKind::Safety));
     }
 }

@@ -31,7 +31,11 @@ impl ReachBench {
 
     /// `ApReach`: the destination is a symbolic edge node.
     pub fn all_pairs(k: usize) -> ReachBench {
-        ReachBench { fattree: FatTree::new(k), dest: DestSpec::Symbolic, schema: ReachBench::schema() }
+        ReachBench {
+            fattree: FatTree::new(k),
+            dest: DestSpec::Symbolic,
+            schema: ReachBench::schema(),
+        }
     }
 
     fn schema() -> BgpSchema {
@@ -54,8 +58,7 @@ impl ReachBench {
     /// The network alone (plain eBGP with incrementing transfer).
     pub fn network(&self) -> Network {
         let schema = self.schema.clone();
-        let mut builder =
-            NetworkBuilder::new(self.fattree.topology().clone(), schema.route_type());
+        let mut builder = NetworkBuilder::new(self.fattree.topology().clone(), schema.route_type());
         {
             let schema = schema.clone();
             builder = builder.default_transfer(move |r| schema.transfer_increment(r));
@@ -149,11 +152,8 @@ mod tests {
             .unwrap();
         assert!(!report.is_verified());
         // the initial condition pinpoints every non-destination node
-        let initial_failures = report
-            .failures()
-            .iter()
-            .filter(|f| f.vc == timepiece_core::VcKind::Initial)
-            .count();
+        let initial_failures =
+            report.failures().iter().filter(|f| f.vc == timepiece_core::VcKind::Initial).count();
         assert_eq!(initial_failures, inst.network.topology().node_count() - 1);
     }
 

@@ -66,8 +66,7 @@ impl VfBench {
     /// routes.
     pub fn network(&self) -> Network {
         let schema = self.schema.clone();
-        let mut builder =
-            NetworkBuilder::new(self.fattree.topology().clone(), schema.route_type());
+        let mut builder = NetworkBuilder::new(self.fattree.topology().clone(), schema.route_type());
         {
             let schema = schema.clone();
             builder = builder.merge(move |a, b| schema.merge(a, b));
@@ -78,21 +77,17 @@ impl VfBench {
                 // tag D going down
                 builder = builder.transfer((u, v), move |r| {
                     let payload_ty = schema.route_type().option_payload().unwrap().clone();
-                    schema.transfer_increment(r).match_option(
-                        Expr::none(payload_ty),
-                        |route| {
-                            let tagged = route.clone().field("comms").add_tag(DOWN);
-                            route.with_field("comms", tagged).some()
-                        },
-                    )
+                    schema.transfer_increment(r).match_option(Expr::none(payload_ty), |route| {
+                        let tagged = route.clone().field("comms").add_tag(DOWN);
+                        route.with_field("comms", tagged).some()
+                    })
                 });
             } else {
                 // drop tagged routes going up
                 builder = builder.transfer((u, v), move |r| {
                     let payload_ty = schema.route_type().option_payload().unwrap().clone();
                     let incremented = schema.transfer_increment(r);
-                    let has_down =
-                        schema.has_community(&incremented.clone().get_some(), DOWN);
+                    let has_down = schema.has_community(&incremented.clone().get_some(), DOWN);
                     incremented
                         .clone()
                         .is_some()
@@ -126,7 +121,10 @@ impl VfBench {
                 |r| r.clone().is_none(),
                 Temporal::globally(move |r| {
                     let payload = r.clone().get_some();
-                    let attrs = payload.clone().field("ad").eq(Expr::bv(DEFAULT_AD, 32))
+                    let attrs = payload
+                        .clone()
+                        .field("ad")
+                        .eq(Expr::bv(DEFAULT_AD, 32))
                         .and(schema.lp(&payload).eq(Expr::bv(DEFAULT_LP, 32)))
                         .and(payload.clone().field("med").eq(Expr::bv(DEFAULT_MED, 32)));
                     let exact_len = schema.len(&payload).eq(dist2.clone());

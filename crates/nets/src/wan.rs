@@ -100,11 +100,9 @@ impl WanBench {
                 // export to a peer: drop BTE-tagged routes
                 (true, false) => {
                     builder = builder.transfer((u, v), move |r| {
-                        let payload_ty =
-                            schema.route_type().option_payload().unwrap().clone();
+                        let payload_ty = schema.route_type().option_payload().unwrap().clone();
                         let incremented = schema.transfer_increment(r);
-                        let has_bte =
-                            schema.has_community(&incremented.clone().get_some(), BTE);
+                        let has_bte = schema.has_community(&incremented.clone().get_some(), BTE);
                         incremented
                             .clone()
                             .is_some()
@@ -117,8 +115,7 @@ impl WanBench {
                     let class = self.wan.peer_class(u);
                     let scrub = SCRUBBED[u.index() % SCRUBBED.len()];
                     builder = builder.transfer((u, v), move |r| {
-                        let payload_ty =
-                            schema.route_type().option_payload().unwrap().clone();
+                        let payload_ty = schema.route_type().option_payload().unwrap().clone();
                         let incremented = schema.transfer_increment(r);
                         let carries_scrubbed =
                             schema.has_community(&incremented.clone().get_some(), scrub);
@@ -152,14 +149,13 @@ impl WanBench {
             } else {
                 // externals do not start with BTE-tagged routes
                 let payload = var.clone().get_some();
-                Some(var.clone().is_none().or(self
-                    .schema
-                    .has_community(&payload, BTE)
-                    .not()))
+                Some(var.clone().is_none().or(self.schema.has_community(&payload, BTE).not()))
             };
-            builder = builder
-                .init(v, var)
-                .symbolic(Symbolic::new(name, self.schema.route_type(), constraint));
+            builder = builder.init(v, var).symbolic(Symbolic::new(
+                name,
+                self.schema.route_type(),
+                constraint,
+            ));
         }
         builder.build().expect("wan network is well-typed")
     }
@@ -186,7 +182,9 @@ impl WanBench {
         let externals = self.wan.external_nodes().count();
         // export: 2 terms (match BTE, drop) per internal→external edge;
         // import: 4 terms (scrub match/drop, set lp, add tag) per edge
-        externals * 2 + externals * 4 + self.wan.topology().edge_count().saturating_sub(externals * 2) // backbone increments
+        externals * 2
+            + externals * 4
+            + self.wan.topology().edge_count().saturating_sub(externals * 2) // backbone increments
     }
 }
 
@@ -240,9 +238,8 @@ mod tests {
                 let payload = var.clone().get_some();
                 Some(var.clone().is_none().or(schema.has_community(&payload, BTE).not()))
             };
-            builder = builder
-                .init(v, var)
-                .symbolic(Symbolic::new(name, schema.route_type(), constraint));
+            builder =
+                builder.init(v, var).symbolic(Symbolic::new(name, schema.route_type(), constraint));
         }
         let buggy = builder.build().unwrap();
         let interface = bench.block_to_external();

@@ -102,11 +102,8 @@ mod tests {
         let dest = g.node_by_name("v0").unwrap();
         let alg = ShortestPath::new(dest);
         let sync = crate::concrete::simulate_algebra(&g, &alg, 64);
-        let delayed = simulate_with_delay(
-            &g,
-            &alg,
-            DelayOptions { max_delay: 0, seed: 1, max_steps: 64 },
-        );
+        let delayed =
+            simulate_with_delay(&g, &alg, DelayOptions { max_delay: 0, seed: 1, max_steps: 64 });
         assert_eq!(sync.stable_state(), delayed.stable_state());
     }
 
@@ -118,11 +115,8 @@ mod tests {
         let sync = crate::concrete::simulate_algebra(&g, &alg, 256);
         for seed in 0..10 {
             for max_delay in [1usize, 2, 3] {
-                let delayed = simulate_with_delay(
-                    &g,
-                    &alg,
-                    DelayOptions { max_delay, seed, max_steps: 512 },
-                );
+                let delayed =
+                    simulate_with_delay(&g, &alg, DelayOptions { max_delay, seed, max_steps: 512 });
                 assert!(
                     delayed.converged_at().is_some(),
                     "unconverged at delay {max_delay} seed {seed}"
@@ -142,11 +136,8 @@ mod tests {
         let dest = g.node_by_name("v0").unwrap();
         let alg = ShortestPath::new(dest);
         let sync = crate::concrete::simulate_algebra(&g, &alg, 256);
-        let delayed = simulate_with_delay(
-            &g,
-            &alg,
-            DelayOptions { max_delay: 3, seed: 11, max_steps: 512 },
-        );
+        let delayed =
+            simulate_with_delay(&g, &alg, DelayOptions { max_delay: 3, seed: 11, max_steps: 512 });
         assert!(delayed.converged_at().unwrap() >= sync.converged_at().unwrap());
     }
 }

@@ -103,21 +103,16 @@ impl Trace {
 /// ```
 pub fn simulate(net: &Network, inputs: &Env, max_steps: usize) -> Result<Trace, SimError> {
     let g = net.topology();
-    let initial: Vec<Value> = g
-        .nodes()
-        .map(|v| net.init(v).eval(inputs))
-        .collect::<Result<_, _>>()?;
+    let initial: Vec<Value> =
+        g.nodes().map(|v| net.init(v).eval(inputs)).collect::<Result<_, _>>()?;
     let mut states = vec![initial];
     let mut converged_at = None;
     for t in 1..=max_steps {
         let prev = &states[t - 1];
         let mut next = Vec::with_capacity(g.node_count());
         for v in g.nodes() {
-            let neighbor_routes: Vec<Expr> = g
-                .preds(v)
-                .iter()
-                .map(|&u| Expr::constant(prev[u.index()].clone()))
-                .collect();
+            let neighbor_routes: Vec<Expr> =
+                g.preds(v).iter().map(|&u| Expr::constant(prev[u.index()].clone())).collect();
             let stepped = net.step(v, &neighbor_routes);
             next.push(stepped.eval(inputs)?);
         }
@@ -145,10 +140,7 @@ mod tests {
         NetworkBuilder::new(g, Type::option(Type::Int))
             .merge(|a, b| {
                 let a_better = a.clone().get_some().le(b.clone().get_some());
-                b.clone()
-                    .is_none()
-                    .or(a.clone().is_some().and(a_better))
-                    .ite(a.clone(), b.clone())
+                b.clone().is_none().or(a.clone().is_some().and(a_better)).ite(a.clone(), b.clone())
             })
             .default_transfer(|r| {
                 r.clone().match_option(Expr::none(Type::Int), |h| h.add(Expr::int(1)).some())

@@ -140,10 +140,7 @@ pub fn check_validity(vc: &Vc, timeout: Option<Duration>) -> Result<Validity, Sm
                 .get_model()
                 .ok_or_else(|| SmtError::ModelDecode("missing model".to_owned()))?;
             let assignment = enc.decode_model(&model)?;
-            Ok(Validity::Invalid(Box::new(CounterExample {
-                vc_name: vc.name.clone(),
-                assignment,
-            })))
+            Ok(Validity::Invalid(Box::new(CounterExample { vc_name: vc.name.clone(), assignment })))
         }
         SatResult::Unknown => Ok(Validity::Unknown(
             solver.get_reason_unknown().unwrap_or_else(|| "unknown".to_owned()),

@@ -174,10 +174,9 @@ impl Encoder {
                 is_some: Bool::from_bool(false),
                 payload: Box::new(Sym::constant(&Value::default_of(payload))?),
             },
-            ExprKind::Some(a) => Sym::Option {
-                is_some: Bool::from_bool(true),
-                payload: Box::new(self.compile(a)?),
-            },
+            ExprKind::Some(a) => {
+                Sym::Option { is_some: Bool::from_bool(true), payload: Box::new(self.compile(a)?) }
+            }
             ExprKind::IsSome(a) => match self.compile(a)? {
                 Sym::Option { is_some, .. } => Sym::Bool(is_some),
                 _ => return Err(unsupported("is_some", e.type_of()?)),
@@ -257,11 +256,9 @@ impl Encoder {
 }
 
 fn tag_index(def: &timepiece_expr::SetDef, tag: &str) -> Result<u32, SmtError> {
-    def.tag_index(tag)
-        .map(|i| i as u32)
-        .ok_or_else(|| {
-            SmtError::IllTyped(TypeError::NoSuchTag { set: def.name().to_owned(), tag: tag.to_owned() })
-        })
+    def.tag_index(tag).map(|i| i as u32).ok_or_else(|| {
+        SmtError::IllTyped(TypeError::NoSuchTag { set: def.name().to_owned(), tag: tag.to_owned() })
+    })
 }
 
 fn mask_all(width: u32) -> u64 {
@@ -343,11 +340,7 @@ mod tests {
         assert_valid(&s.clone().add_tag("x").contains("x"));
         assert_valid(&s.clone().remove_tag("y").contains("y").not());
         assert_valid(
-            &s.clone()
-                .add_tag("x")
-                .remove_tag("x")
-                .contains("y")
-                .iff(s.clone().contains("y")),
+            &s.clone().add_tag("x").remove_tag("x").contains("y").iff(s.clone().contains("y")),
         );
         let t = Expr::var("t", Type::set("T2", ["x", "y", "z"]));
         let _ = t; // different defs cannot mix (checked by typechecker)
@@ -361,9 +354,11 @@ mod tests {
         let o = Expr::var("o", ty.clone());
         let def = ty.enum_def().unwrap();
         // valid: o is one of the three variants (requires well-formedness)
-        let one_of = Expr::or_all(def.variants().iter().map(|v| {
-            o.clone().eq(Expr::constant(Value::enum_variant(def, v)))
-        }));
+        let one_of = Expr::or_all(
+            def.variants()
+                .iter()
+                .map(|v| o.clone().eq(Expr::constant(Value::enum_variant(def, v)))),
+        );
         assert_valid(&one_of);
     }
 

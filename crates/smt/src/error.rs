@@ -19,7 +19,9 @@ impl fmt::Display for SmtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SmtError::IllTyped(e) => write!(f, "ill-typed term: {e}"),
-            SmtError::IntTooLarge(i) => write!(f, "integer constant {i} exceeds the solver binding range"),
+            SmtError::IntTooLarge(i) => {
+                write!(f, "integer constant {i} exceeds the solver binding range")
+            }
             SmtError::ModelDecode(what) => write!(f, "could not decode model value for {what}"),
         }
     }

@@ -185,21 +185,18 @@ impl Sym {
             (Sym::Bool(a), Sym::Bool(b)) => Sym::Bool(cond.ite(a, b)),
             (Sym::BV(a), Sym::BV(b)) => Sym::BV(cond.ite(a, b)),
             (Sym::Int(a), Sym::Int(b)) => Sym::Int(cond.ite(a, b)),
-            (Sym::Enum { variants, index: a }, Sym::Enum { index: b, .. }) => Sym::Enum {
-                variants: *variants,
-                index: cond.ite(a, b),
-            },
-            (Sym::Set { def, mask: a }, Sym::Set { mask: b, .. }) => Sym::Set {
-                def: Arc::clone(def),
-                mask: cond.ite(a, b),
-            },
+            (Sym::Enum { variants, index: a }, Sym::Enum { index: b, .. }) => {
+                Sym::Enum { variants: *variants, index: cond.ite(a, b) }
+            }
+            (Sym::Set { def, mask: a }, Sym::Set { mask: b, .. }) => {
+                Sym::Set { def: Arc::clone(def), mask: cond.ite(a, b) }
+            }
             (
                 Sym::Option { is_some: sa, payload: pa },
                 Sym::Option { is_some: sb, payload: pb },
-            ) => Sym::Option {
-                is_some: cond.ite(sa, sb),
-                payload: Box::new(Sym::ite(cond, pa, pb)),
-            },
+            ) => {
+                Sym::Option { is_some: cond.ite(sa, sb), payload: Box::new(Sym::ite(cond, pa, pb)) }
+            }
             (Sym::Record { def, fields: fa }, Sym::Record { fields: fb, .. }) => Sym::Record {
                 def: Arc::clone(def),
                 fields: fa.iter().zip(fb).map(|(a, b)| Sym::ite(cond, a, b)).collect(),
@@ -251,10 +248,9 @@ impl Sym {
                 model.eval(i, true).and_then(|v| v.as_i64()).ok_or_else(|| fail("int"))? as i128,
             ),
             (Sym::Enum { index, .. }, Type::Enum(def)) => {
-                let raw = model
-                    .eval(index, true)
-                    .and_then(|v| v.as_u64())
-                    .ok_or_else(|| fail("enum"))? as usize;
+                let raw =
+                    model.eval(index, true).and_then(|v| v.as_u64()).ok_or_else(|| fail("enum"))?
+                        as usize;
                 let n = def.variants().len();
                 Value::Enum { def: Arc::clone(def), index: raw.min(n - 1) }
             }
@@ -279,10 +275,8 @@ impl Sym {
                 Value::Record { def: Arc::clone(def), fields: vals }
             }
             (Sym::Set { def, mask }, Type::Set(_)) => {
-                let raw = model
-                    .eval(mask, true)
-                    .and_then(|v| v.as_u64())
-                    .ok_or_else(|| fail("set"))?;
+                let raw =
+                    model.eval(mask, true).and_then(|v| v.as_u64()).ok_or_else(|| fail("set"))?;
                 Value::Set { def: Arc::clone(def), mask: raw }
             }
             _ => return Err(fail("shape mismatch")),
@@ -312,10 +306,7 @@ mod tests {
 
     #[test]
     fn declare_matches_shape() {
-        let ty = Type::option(Type::record(
-            "R",
-            [("a", Type::Bool), ("b", Type::BitVec(8))],
-        ));
+        let ty = Type::option(Type::record("R", [("a", Type::Bool), ("b", Type::BitVec(8))]));
         let s = Sym::declare("x", &ty);
         match s {
             Sym::Option { payload, .. } => match *payload {

@@ -127,9 +127,7 @@ impl FatTree {
 
     /// Iterates over aggregation nodes.
     pub fn aggregation_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.topology
-            .nodes()
-            .filter(|&v| matches!(self.role(v), FatTreeRole::Aggregation { .. }))
+        self.topology.nodes().filter(|&v| matches!(self.role(v), FatTreeRole::Aggregation { .. }))
     }
 
     /// Iterates over edge (top-of-rack) nodes.

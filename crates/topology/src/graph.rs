@@ -172,9 +172,7 @@ impl Topology {
     /// The graph diameter (longest finite shortest-path distance), or `None`
     /// for an empty graph.
     pub fn diameter(&self) -> Option<u32> {
-        self.nodes()
-            .flat_map(|v| self.bfs_distances(v).into_iter().flatten())
-            .max()
+        self.nodes().flat_map(|v| self.bfs_distances(v).into_iter().flatten()).max()
     }
 
     /// Renders the topology in Graphviz DOT format.

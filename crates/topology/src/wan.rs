@@ -16,25 +16,24 @@ use rand::SeedableRng;
 use crate::graph::{NodeId, Topology};
 
 /// The ten Abilene/Internet2 backbone router sites.
-const BACKBONE: [&str; 10] = [
-    "ATLA", "CHIC", "DENV", "HSTN", "IPLS", "KSCY", "LOSA", "NYCM", "SNVA", "WASH",
-];
+const BACKBONE: [&str; 10] =
+    ["ATLA", "CHIC", "DENV", "HSTN", "IPLS", "KSCY", "LOSA", "NYCM", "SNVA", "WASH"];
 
 /// The Abilene backbone links (bidirectional), by index into [`BACKBONE`].
 const BACKBONE_LINKS: [(usize, usize); 13] = [
-    (0, 3),  // ATLA–HSTN
-    (0, 4),  // ATLA–IPLS
-    (0, 9),  // ATLA–WASH
-    (1, 4),  // CHIC–IPLS
-    (1, 7),  // CHIC–NYCM
-    (1, 9),  // CHIC–WASH
-    (2, 5),  // DENV–KSCY
-    (2, 8),  // DENV–SNVA
-    (2, 6),  // DENV–LOSA
-    (3, 5),  // HSTN–KSCY
-    (4, 5),  // IPLS–KSCY
-    (6, 8),  // LOSA–SNVA
-    (7, 9),  // NYCM–WASH
+    (0, 3), // ATLA–HSTN
+    (0, 4), // ATLA–IPLS
+    (0, 9), // ATLA–WASH
+    (1, 4), // CHIC–IPLS
+    (1, 7), // CHIC–NYCM
+    (1, 9), // CHIC–WASH
+    (2, 5), // DENV–KSCY
+    (2, 8), // DENV–SNVA
+    (2, 6), // DENV–LOSA
+    (3, 5), // HSTN–KSCY
+    (4, 5), // IPLS–KSCY
+    (6, 8), // LOSA–SNVA
+    (7, 9), // NYCM–WASH
 ];
 
 /// The class of an external peer, which determines its synthetic policy.

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = simulate(&ex.network, &env, 16)?;
     println!("Fig. 3 — simulation (n sends ∞):");
     let names = ["n", "w", "v", "d", "e"];
-    println!("  {:>4} {:>22} {:>22} {:>22} {:>22} {:>22}", "time", names[0], names[1], names[2], names[3], names[4]);
+    println!(
+        "  {:>4} {:>22} {:>22} {:>22} {:>22} {:>22}",
+        "time", names[0], names[1], names[2], names[3], names[4]
+    );
     for t in 0..=4 {
         print!("  {t:>4}");
         for v in ex.network.topology().nodes() {

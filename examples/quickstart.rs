@@ -72,11 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v2 = network.topology().node_by_name("v2").expect("generated node");
     buggy.set(
         v2,
-        Temporal::until_at(
-            1,
-            |r| r.clone().is_none(),
-            Temporal::globally(|r| r.clone().is_some()),
-        ),
+        Temporal::until_at(1, |r| r.clone().is_none(), Temporal::globally(|r| r.clone().is_some())),
     );
     let report = checker.check(&network, &buggy, &property)?;
     assert!(!report.is_verified());

@@ -1,0 +1,152 @@
+//! Offline shim for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! A minimal wall-clock timing harness exposing the API subset this
+//! workspace's benches use (`benchmark_group`, `sample_size`,
+//! `measurement_time`, `bench_function`, `iter`, and the `criterion_group!`
+//! / `criterion_main!` macros). It reports min/mean per benchmark to stdout;
+//! there is no statistical analysis, warm-up modelling, or HTML report.
+//!
+//! To keep `cargo bench` tractable on heavyweight bodies, a benchmark stops
+//! sampling once it exceeds either `sample_size` iterations or half the
+//! group's `measurement_time`, whichever comes first.
+
+use std::time::{Duration, Instant};
+
+/// The top-level harness handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the body to time.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            max_samples: self.sample_size,
+            budget: self.measurement_time / 2,
+        };
+        f(&mut bencher);
+        let n = bencher.samples.len().max(1);
+        let total: Duration = bencher.samples.iter().sum();
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "  {}/{name}: {} samples, mean {:.3?}, min {:.3?}",
+            self.name,
+            bencher.samples.len(),
+            total / n as u32,
+            min,
+        );
+        self
+    }
+
+    /// Ends the group (drop would do; kept for criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Repeatedly times `body`, recording one sample per call, until the
+    /// sample target or time budget is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let started = Instant::now();
+        loop {
+            let t = Instant::now();
+            let out = body();
+            self.samples.push(t.elapsed());
+            std::hint::black_box(&out);
+            drop(out);
+            if self.samples.len() >= self.max_samples || started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single runner fn (criterion parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (criterion parity).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group.sample_size(3).measurement_time(Duration::from_secs(1));
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!((1..=3).contains(&runs), "ran {runs} times");
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline shim for [`parking_lot`](https://crates.io/crates/parking_lot).
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's infallible API: `lock()`
+//! returns the guard directly. Like real parking_lot, there is no poisoning —
+//! if a thread panicked while holding the lock, later lockers just see the
+//! value as it was left (`into_inner` on the poison error).
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// A mutual-exclusion primitive with parking_lot's `lock() -> Guard` shape.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquires the lock, blocking the calling thread until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 800);
+    }
+}

@@ -1,0 +1,287 @@
+//! AST term wrappers: [`Bool`], [`Int`], [`BV`].
+//!
+//! Every term holds the raw context pointer of the thread that created it
+//! (making the types `!Send`), and owns one Z3 reference which is released
+//! on drop.
+
+use std::borrow::Borrow;
+use std::ffi::CStr;
+use std::fmt;
+
+use crate::cstring;
+use crate::ctx;
+use crate::ffi::*;
+
+/// Common interface of Z3 term wrappers, used by
+/// [`Model::eval`](crate::Model::eval) and [`Bool::ite`].
+pub trait Ast: Sized {
+    /// The raw Z3 ast pointer.
+    fn raw(&self) -> Z3_ast;
+    /// Wraps a raw ast, taking a new reference on it.
+    ///
+    /// # Safety
+    ///
+    /// `ast` must be a live ast of the matching sort on context `c`, owned by
+    /// the calling thread.
+    unsafe fn wrap(c: Z3_context, ast: Z3_ast) -> Self;
+}
+
+macro_rules! ast_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        pub struct $name {
+            pub(crate) ctx: Z3_context,
+            pub(crate) ast: Z3_ast,
+        }
+
+        impl Ast for $name {
+            fn raw(&self) -> Z3_ast {
+                self.ast
+            }
+
+            unsafe fn wrap(c: Z3_context, ast: Z3_ast) -> Self {
+                // With the silent error handler installed, libz3 signals
+                // errors (sort mismatch, allocation failure) by returning
+                // NULL; fail loudly here rather than hand Z3 a null later.
+                assert!(!ast.is_null(), "libz3 returned NULL building a {}", stringify!($name));
+                Z3_inc_ref(c, ast);
+                $name { ctx: c, ast }
+            }
+        }
+
+        impl Clone for $name {
+            fn clone(&self) -> Self {
+                unsafe { <$name as Ast>::wrap(self.ctx, self.ast) }
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                unsafe { Z3_dec_ref(self.ctx, self.ast) }
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let s = unsafe {
+                    let p = Z3_ast_to_string(self.ctx, self.ast);
+                    if p.is_null() {
+                        "<null>".to_owned()
+                    } else {
+                        CStr::from_ptr(p).to_string_lossy().into_owned()
+                    }
+                };
+                write!(f, "{}({s})", stringify!($name))
+            }
+        }
+
+        impl $name {
+            /// Structural equality term between two values of this sort.
+            pub fn eq(&self, other: impl Borrow<$name>) -> Bool {
+                unsafe {
+                    let c = self.ctx;
+                    Bool::wrap(c, Z3_mk_eq(c, self.ast, other.borrow().ast))
+                }
+            }
+        }
+    };
+}
+
+ast_type! {
+    /// A boolean term.
+    Bool
+}
+ast_type! {
+    /// An unbounded integer term.
+    Int
+}
+ast_type! {
+    /// A fixed-width bitvector term.
+    BV
+}
+
+/// Builds a fresh constant of sort `sort` named `name` on the thread context.
+fn fresh_const(name: &str, sort: Z3_sort) -> Z3_ast {
+    let c = ctx();
+    let n = cstring(name);
+    unsafe {
+        let sym = Z3_mk_string_symbol(c, n.as_ptr());
+        Z3_mk_const(c, sym, sort)
+    }
+}
+
+impl Bool {
+    /// Declares a boolean constant.
+    pub fn new_const(name: impl AsRef<str>) -> Bool {
+        let c = ctx();
+        unsafe {
+            let sort = Z3_mk_bool_sort(c);
+            Bool::wrap(c, fresh_const(name.as_ref(), sort))
+        }
+    }
+
+    /// The constant `true` or `false`.
+    pub fn from_bool(b: bool) -> Bool {
+        let c = ctx();
+        unsafe { Bool::wrap(c, if b { Z3_mk_true(c) } else { Z3_mk_false(c) }) }
+    }
+
+    /// N-ary conjunction (empty: `true`).
+    pub fn and(items: &[Bool]) -> Bool {
+        if items.is_empty() {
+            return Bool::from_bool(true);
+        }
+        let c = items[0].ctx;
+        let raw: Vec<Z3_ast> = items.iter().map(|b| b.ast).collect();
+        unsafe { Bool::wrap(c, Z3_mk_and(c, raw.len() as u32, raw.as_ptr())) }
+    }
+
+    /// N-ary disjunction (empty: `false`).
+    pub fn or(items: &[Bool]) -> Bool {
+        if items.is_empty() {
+            return Bool::from_bool(false);
+        }
+        let c = items[0].ctx;
+        let raw: Vec<Z3_ast> = items.iter().map(|b| b.ast).collect();
+        unsafe { Bool::wrap(c, Z3_mk_or(c, raw.len() as u32, raw.as_ptr())) }
+    }
+
+    /// Negation.
+    pub fn not(&self) -> Bool {
+        unsafe { Bool::wrap(self.ctx, Z3_mk_not(self.ctx, self.ast)) }
+    }
+
+    /// Implication `self → other`.
+    pub fn implies(&self, other: impl Borrow<Bool>) -> Bool {
+        unsafe { Bool::wrap(self.ctx, Z3_mk_implies(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// If-then-else over any term sort.
+    pub fn ite<T: Ast>(&self, then: &T, otherwise: &T) -> T {
+        unsafe { T::wrap(self.ctx, Z3_mk_ite(self.ctx, self.ast, then.raw(), otherwise.raw())) }
+    }
+
+    /// The concrete value, if this term is the literal `true`/`false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match unsafe { Z3_get_bool_value(self.ctx, self.ast) } {
+            Z3_L_TRUE => Some(true),
+            Z3_L_FALSE => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl Int {
+    /// Declares an integer constant.
+    pub fn new_const(name: impl AsRef<str>) -> Int {
+        let c = ctx();
+        unsafe {
+            let sort = Z3_mk_int_sort(c);
+            Int::wrap(c, fresh_const(name.as_ref(), sort))
+        }
+    }
+
+    /// An integer literal.
+    pub fn from_i64(v: i64) -> Int {
+        let c = ctx();
+        unsafe {
+            let sort = Z3_mk_int_sort(c);
+            Int::wrap(c, Z3_mk_int64(c, v, sort))
+        }
+    }
+
+    /// N-ary sum.
+    pub fn add(items: &[Int]) -> Int {
+        assert!(!items.is_empty(), "Int::add needs at least one operand");
+        let c = items[0].ctx;
+        let raw: Vec<Z3_ast> = items.iter().map(|b| b.ast).collect();
+        unsafe { Int::wrap(c, Z3_mk_add(c, raw.len() as u32, raw.as_ptr())) }
+    }
+
+    /// N-ary left-associated subtraction.
+    pub fn sub(items: &[Int]) -> Int {
+        assert!(!items.is_empty(), "Int::sub needs at least one operand");
+        let c = items[0].ctx;
+        let raw: Vec<Z3_ast> = items.iter().map(|b| b.ast).collect();
+        unsafe { Int::wrap(c, Z3_mk_sub(c, raw.len() as u32, raw.as_ptr())) }
+    }
+
+    /// Strictly-less-than term.
+    pub fn lt(&self, other: impl Borrow<Int>) -> Bool {
+        unsafe { Bool::wrap(self.ctx, Z3_mk_lt(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// Less-than-or-equal term.
+    pub fn le(&self, other: impl Borrow<Int>) -> Bool {
+        unsafe { Bool::wrap(self.ctx, Z3_mk_le(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// The concrete value, if this term is an integer literal that fits i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        let mut out: i64 = 0;
+        let ok = unsafe { Z3_get_numeral_int64(self.ctx, self.ast, &mut out) };
+        ok.then_some(out)
+    }
+}
+
+impl BV {
+    /// Declares a bitvector constant of the given width.
+    pub fn new_const(name: impl AsRef<str>, width: u32) -> BV {
+        let c = ctx();
+        unsafe {
+            let sort = Z3_mk_bv_sort(c, width);
+            BV::wrap(c, fresh_const(name.as_ref(), sort))
+        }
+    }
+
+    /// A bitvector literal of the given width.
+    pub fn from_u64(v: u64, width: u32) -> BV {
+        let c = ctx();
+        unsafe {
+            let sort = Z3_mk_bv_sort(c, width);
+            BV::wrap(c, Z3_mk_unsigned_int64(c, v, sort))
+        }
+    }
+
+    /// Unsigned less-than term.
+    pub fn bvult(&self, other: impl Borrow<BV>) -> Bool {
+        unsafe { Bool::wrap(self.ctx, Z3_mk_bvult(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// Unsigned less-than-or-equal term.
+    pub fn bvule(&self, other: impl Borrow<BV>) -> Bool {
+        unsafe { Bool::wrap(self.ctx, Z3_mk_bvule(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// Wrapping addition.
+    pub fn bvadd(&self, other: impl Borrow<BV>) -> BV {
+        unsafe { BV::wrap(self.ctx, Z3_mk_bvadd(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// Wrapping subtraction.
+    pub fn bvsub(&self, other: impl Borrow<BV>) -> BV {
+        unsafe { BV::wrap(self.ctx, Z3_mk_bvsub(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// Bitwise or.
+    pub fn bvor(&self, other: impl Borrow<BV>) -> BV {
+        unsafe { BV::wrap(self.ctx, Z3_mk_bvor(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// Bitwise and.
+    pub fn bvand(&self, other: impl Borrow<BV>) -> BV {
+        unsafe { BV::wrap(self.ctx, Z3_mk_bvand(self.ctx, self.ast, other.borrow().ast)) }
+    }
+
+    /// Bit extraction: bits `high..=low` as a `(high − low + 1)`-wide vector.
+    pub fn extract(&self, high: u32, low: u32) -> BV {
+        unsafe { BV::wrap(self.ctx, Z3_mk_extract(self.ctx, high, low, self.ast)) }
+    }
+
+    /// The concrete value, if this term is a bitvector literal.
+    pub fn as_u64(&self) -> Option<u64> {
+        let mut out: u64 = 0;
+        let ok = unsafe { Z3_get_numeral_uint64(self.ctx, self.ast, &mut out) };
+        ok.then_some(out)
+    }
+}

@@ -1,0 +1,107 @@
+//! Raw C bindings to the subset of the Z3 4.x API this shim uses.
+//!
+//! Hand-written against `/usr/include/z3_api.h`; all signatures match the
+//! `def_API` declarations in that header (`Z3_bool` is C `bool`, `Z3_lbool`
+//! is a C `int` enum).
+
+#![allow(non_camel_case_types)]
+
+use std::os::raw::{c_char, c_int, c_uint, c_void};
+
+macro_rules! opaque {
+    ($($name:ident),* $(,)?) => {
+        $(pub type $name = *mut c_void;)*
+    };
+}
+
+opaque!(Z3_config, Z3_context, Z3_symbol, Z3_sort, Z3_ast, Z3_solver, Z3_model, Z3_params);
+
+pub type Z3_string = *const c_char;
+pub type Z3_lbool = c_int;
+
+pub const Z3_L_FALSE: Z3_lbool = -1;
+pub const Z3_L_UNDEF: Z3_lbool = 0;
+pub const Z3_L_TRUE: Z3_lbool = 1;
+
+pub type Z3_error_code = c_int;
+pub type Z3_error_handler = extern "C" fn(c: Z3_context, e: Z3_error_code);
+
+extern "C" {
+    // context lifecycle
+    pub fn Z3_mk_config() -> Z3_config;
+    pub fn Z3_del_config(c: Z3_config);
+    pub fn Z3_mk_context_rc(c: Z3_config) -> Z3_context;
+    pub fn Z3_del_context(c: Z3_context);
+    pub fn Z3_set_error_handler(c: Z3_context, h: Option<Z3_error_handler>);
+
+    // reference counting (contexts made with Z3_mk_context_rc)
+    pub fn Z3_inc_ref(c: Z3_context, a: Z3_ast);
+    pub fn Z3_dec_ref(c: Z3_context, a: Z3_ast);
+
+    // sorts and symbols
+    pub fn Z3_mk_string_symbol(c: Z3_context, s: Z3_string) -> Z3_symbol;
+    pub fn Z3_mk_bool_sort(c: Z3_context) -> Z3_sort;
+    pub fn Z3_mk_int_sort(c: Z3_context) -> Z3_sort;
+    pub fn Z3_mk_bv_sort(c: Z3_context, sz: c_uint) -> Z3_sort;
+
+    // terms
+    pub fn Z3_mk_const(c: Z3_context, s: Z3_symbol, ty: Z3_sort) -> Z3_ast;
+    pub fn Z3_mk_true(c: Z3_context) -> Z3_ast;
+    pub fn Z3_mk_false(c: Z3_context) -> Z3_ast;
+    pub fn Z3_mk_eq(c: Z3_context, l: Z3_ast, r: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_not(c: Z3_context, a: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_ite(c: Z3_context, t1: Z3_ast, t2: Z3_ast, t3: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_and(c: Z3_context, n: c_uint, args: *const Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_or(c: Z3_context, n: c_uint, args: *const Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_implies(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+
+    // arithmetic
+    pub fn Z3_mk_add(c: Z3_context, n: c_uint, args: *const Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_sub(c: Z3_context, n: c_uint, args: *const Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_lt(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_le(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_int64(c: Z3_context, v: i64, ty: Z3_sort) -> Z3_ast;
+    pub fn Z3_mk_unsigned_int64(c: Z3_context, v: u64, ty: Z3_sort) -> Z3_ast;
+
+    // bitvectors
+    pub fn Z3_mk_bvult(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_bvule(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_bvadd(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_bvsub(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_bvor(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_bvand(c: Z3_context, t1: Z3_ast, t2: Z3_ast) -> Z3_ast;
+    pub fn Z3_mk_extract(c: Z3_context, high: c_uint, low: c_uint, t1: Z3_ast) -> Z3_ast;
+
+    // inspection
+    pub fn Z3_get_bool_value(c: Z3_context, a: Z3_ast) -> Z3_lbool;
+    pub fn Z3_get_numeral_uint64(c: Z3_context, v: Z3_ast, u: *mut u64) -> bool;
+    pub fn Z3_get_numeral_int64(c: Z3_context, v: Z3_ast, i: *mut i64) -> bool;
+    pub fn Z3_ast_to_string(c: Z3_context, a: Z3_ast) -> Z3_string;
+
+    // params
+    pub fn Z3_mk_params(c: Z3_context) -> Z3_params;
+    pub fn Z3_params_inc_ref(c: Z3_context, p: Z3_params);
+    pub fn Z3_params_dec_ref(c: Z3_context, p: Z3_params);
+    pub fn Z3_params_set_uint(c: Z3_context, p: Z3_params, k: Z3_symbol, v: c_uint);
+
+    // solver
+    pub fn Z3_mk_solver(c: Z3_context) -> Z3_solver;
+    pub fn Z3_solver_inc_ref(c: Z3_context, s: Z3_solver);
+    pub fn Z3_solver_dec_ref(c: Z3_context, s: Z3_solver);
+    pub fn Z3_solver_set_params(c: Z3_context, s: Z3_solver, p: Z3_params);
+    pub fn Z3_solver_assert(c: Z3_context, s: Z3_solver, a: Z3_ast);
+    pub fn Z3_solver_check(c: Z3_context, s: Z3_solver) -> Z3_lbool;
+    pub fn Z3_solver_get_model(c: Z3_context, s: Z3_solver) -> Z3_model;
+    pub fn Z3_solver_get_reason_unknown(c: Z3_context, s: Z3_solver) -> Z3_string;
+
+    // model
+    pub fn Z3_model_inc_ref(c: Z3_context, m: Z3_model);
+    pub fn Z3_model_dec_ref(c: Z3_context, m: Z3_model);
+    pub fn Z3_model_eval(
+        c: Z3_context,
+        m: Z3_model,
+        t: Z3_ast,
+        model_completion: bool,
+        v: *mut Z3_ast,
+    ) -> bool;
+}

@@ -1,0 +1,200 @@
+//! Offline shim for the [`z3`](https://crates.io/crates/z3) crate.
+//!
+//! Implements the thread-local-context flavour of the z3 crate API (0.13+)
+//! for exactly the subset this workspace uses, directly over the system
+//! `libz3` via hand-written FFI (see [`ffi`]). Each OS thread lazily creates
+//! its own `Z3_context`; AST values hold raw context pointers and are
+//! therefore `!Send`/`!Sync`, so independent checks on separate threads
+//! share no solver state — which is what makes Timepiece's modular checks
+//! embarrassingly parallel.
+//!
+//! The context is destroyed from a thread-local destructor at thread exit;
+//! since AST/solver/model values cannot leave their creating thread, all of
+//! their `Drop` impls (which dereference the context) run strictly before
+//! that destructor.
+
+mod ffi;
+
+pub mod ast;
+
+use std::ffi::CStr;
+
+use ast::Ast;
+use ffi::*;
+
+/// A no-op error handler: without one, libz3's default handler aborts the
+/// process. Errors instead surface as null/`false` returns, which the safe
+/// wrappers turn into `None` (model queries) or a panic (term construction,
+/// which is type-correct by construction in this workspace).
+extern "C" fn silent_error_handler(_c: Z3_context, _e: Z3_error_code) {}
+
+struct CtxHandle(Z3_context);
+
+impl Drop for CtxHandle {
+    fn drop(&mut self) {
+        unsafe { Z3_del_context(self.0) }
+    }
+}
+
+thread_local! {
+    static CTX: CtxHandle = unsafe {
+        let cfg = Z3_mk_config();
+        let ctx = Z3_mk_context_rc(cfg);
+        Z3_del_config(cfg);
+        Z3_set_error_handler(ctx, Some(silent_error_handler));
+        CtxHandle(ctx)
+    };
+}
+
+/// The calling thread's Z3 context.
+pub(crate) fn ctx() -> Z3_context {
+    CTX.with(|c| c.0)
+}
+
+pub(crate) fn cstring(s: &str) -> std::ffi::CString {
+    // interior NULs cannot occur in the identifiers this workspace generates;
+    // replace defensively rather than panic.
+    std::ffi::CString::new(s.replace('\0', "␀")).expect("NUL-free after replacement")
+}
+
+/// The result of a satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// The assertions are satisfiable.
+    Sat,
+    /// The assertions are unsatisfiable.
+    Unsat,
+    /// The solver could not decide (timeout, incompleteness).
+    Unknown,
+}
+
+/// Solver parameters (currently: `timeout` in milliseconds).
+#[derive(Debug)]
+pub struct Params {
+    ctx: Z3_context,
+    raw: Z3_params,
+}
+
+impl Params {
+    /// Creates an empty parameter set on the thread's context.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Params {
+        let ctx = ctx();
+        unsafe {
+            let raw = Z3_mk_params(ctx);
+            Z3_params_inc_ref(ctx, raw);
+            Params { ctx, raw }
+        }
+    }
+
+    /// Sets an unsigned parameter, e.g. `timeout` (milliseconds).
+    pub fn set_u32(&mut self, key: &str, value: u32) {
+        let k = cstring(key);
+        unsafe {
+            let sym = Z3_mk_string_symbol(self.ctx, k.as_ptr());
+            Z3_params_set_uint(self.ctx, self.raw, sym, value);
+        }
+    }
+}
+
+impl Drop for Params {
+    fn drop(&mut self) {
+        unsafe { Z3_params_dec_ref(self.ctx, self.raw) }
+    }
+}
+
+/// An incremental SMT solver on the calling thread's context.
+#[derive(Debug)]
+pub struct Solver {
+    ctx: Z3_context,
+    raw: Z3_solver,
+}
+
+impl Solver {
+    /// Creates a fresh solver on the thread's context.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Solver {
+        let ctx = ctx();
+        unsafe {
+            let raw = Z3_mk_solver(ctx);
+            Z3_solver_inc_ref(ctx, raw);
+            Solver { ctx, raw }
+        }
+    }
+
+    /// Applies parameters (e.g. a timeout) to this solver.
+    pub fn set_params(&self, params: &Params) {
+        unsafe { Z3_solver_set_params(self.ctx, self.raw, params.raw) }
+    }
+
+    /// Asserts a boolean term.
+    pub fn assert(&self, b: impl std::borrow::Borrow<ast::Bool>) {
+        unsafe { Z3_solver_assert(self.ctx, self.raw, b.borrow().raw()) }
+    }
+
+    /// Checks satisfiability of the asserted terms.
+    pub fn check(&self) -> SatResult {
+        match unsafe { Z3_solver_check(self.ctx, self.raw) } {
+            Z3_L_TRUE => SatResult::Sat,
+            Z3_L_FALSE => SatResult::Unsat,
+            other => {
+                debug_assert_eq!(other, Z3_L_UNDEF);
+                SatResult::Unknown
+            }
+        }
+    }
+
+    /// The model from the last `Sat` check, if available.
+    pub fn get_model(&self) -> Option<Model> {
+        let raw = unsafe { Z3_solver_get_model(self.ctx, self.raw) };
+        if raw.is_null() {
+            return None;
+        }
+        unsafe { Z3_model_inc_ref(self.ctx, raw) };
+        Some(Model { ctx: self.ctx, raw })
+    }
+
+    /// Why the last check returned `Unknown`, if the solver says.
+    pub fn get_reason_unknown(&self) -> Option<String> {
+        unsafe {
+            let p = Z3_solver_get_reason_unknown(self.ctx, self.raw);
+            if p.is_null() {
+                return None;
+            }
+            Some(CStr::from_ptr(p).to_string_lossy().into_owned())
+        }
+    }
+}
+
+impl Drop for Solver {
+    fn drop(&mut self) {
+        unsafe { Z3_solver_dec_ref(self.ctx, self.raw) }
+    }
+}
+
+/// A satisfying assignment produced by [`Solver::get_model`].
+#[derive(Debug)]
+pub struct Model {
+    ctx: Z3_context,
+    raw: Z3_model,
+}
+
+impl Model {
+    /// Evaluates a term under the model. With `model_completion`,
+    /// unconstrained subterms get arbitrary (but fixed) values, so the
+    /// result is always a constant for the sorts this workspace uses.
+    pub fn eval<T: ast::Ast>(&self, t: &T, model_completion: bool) -> Option<T> {
+        let mut out: Z3_ast = std::ptr::null_mut();
+        let ok = unsafe { Z3_model_eval(self.ctx, self.raw, t.raw(), model_completion, &mut out) };
+        if !ok || out.is_null() {
+            return None;
+        }
+        Some(unsafe { T::wrap(self.ctx, out) })
+    }
+}
+
+impl Drop for Model {
+    fn drop(&mut self) {
+        unsafe { Z3_model_dec_ref(self.ctx, self.raw) }
+    }
+}

@@ -6,7 +6,10 @@ use std::time::Duration;
 use timepiece::core::check::{CheckOptions, ModularChecker};
 use timepiece::core::monolithic::check_monolithic;
 use timepiece::core::{NodeAnnotations, Temporal};
-use timepiece::nets::{hijack::HijackBench, len::LenBench, reach::ReachBench, vf::VfBench, wan::WanBench, BenchInstance};
+use timepiece::nets::{
+    hijack::HijackBench, len::LenBench, reach::ReachBench, vf::VfBench, wan::WanBench,
+    BenchInstance,
+};
 
 fn modular(inst: &BenchInstance) -> timepiece::core::CheckReport {
     ModularChecker::new(CheckOptions::default())
@@ -72,8 +75,7 @@ fn monolithic_rejects_a_false_property() {
                 .and(schema.len(&r.clone().get_some()).eq(timepiece::expr::Expr::int(0)))
         }),
     );
-    let mono =
-        check_monolithic(&inst.network, &false_property, None).expect("check runs");
+    let mono = check_monolithic(&inst.network, &false_property, None).expect("check runs");
     assert!(!mono.outcome.is_verified());
 }
 
@@ -123,7 +125,10 @@ fn delay_tolerant_interfaces_for_reach() {
     // interfaces need not hold — but they may; what must never happen is an
     // encoding error. Accept either verdict, require decodable failures.
     for f in report.failures() {
-        assert!(f.counterexample().is_some() || matches!(&f.reason, timepiece::core::check::FailureReason::Unknown(_)));
+        assert!(
+            f.counterexample().is_some()
+                || matches!(&f.reason, timepiece::core::check::FailureReason::Unknown(_))
+        );
     }
 }
 

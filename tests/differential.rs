@@ -22,9 +22,7 @@ fn backends_agree(term: &Expr, env: &Env) -> bool {
         assumptions.push(var.eq(Expr::constant(value.clone())));
     }
     let goal = term.clone().eq(Expr::constant(interpreted));
-    match check_validity(&Vc::new("differential", assumptions, goal), None)
-        .expect("term encodes")
-    {
+    match check_validity(&Vc::new("differential", assumptions, goal), None).expect("term encodes") {
         Validity::Valid => true,
         other => panic!("backends disagree on {term}: {other:?}"),
     }
@@ -34,8 +32,8 @@ fn arb_route(schema: &BgpSchema) -> impl Strategy<Value = Value> {
     let def = schema.record_def().clone();
     let comm_def = def.field_type("comms").unwrap().set_def().unwrap().clone();
     let origin_def = def.field_type("origin").unwrap().enum_def().unwrap().clone();
-    proptest::option::of((0u64..4, 0u64..300, 0i64..6, 0u8..4, 0usize..3))
-        .prop_map(move |fields| match fields {
+    proptest::option::of((0u64..4, 0u64..300, 0i64..6, 0u8..4, 0usize..3)).prop_map(move |fields| {
+        match fields {
             None => Value::default_of(&Type::option_of(&def)),
             Some((dest, lp, len, comms, origin)) => Value::some(Value::record(
                 &def,
@@ -49,7 +47,8 @@ fn arb_route(schema: &BgpSchema) -> impl Strategy<Value = Value> {
                     Value::Set { def: comm_def.clone(), mask: u64::from(comms) },
                 ],
             )),
-        })
+        }
+    })
 }
 
 /// tiny helper: the option-of-record type for `Value::default_of`.

@@ -66,13 +66,8 @@ fn build(desc: &RandomNet) -> Network {
         .init(ids[desc.origin], Expr::bool(true));
     for (i, (u, v)) in edges.into_iter().enumerate() {
         let dropped = desc.dropped_edges.get(i).copied().unwrap_or(false);
-        builder = builder.transfer((u, v), move |r| {
-            if dropped {
-                Expr::bool(false)
-            } else {
-                r.clone()
-            }
-        });
+        builder =
+            builder.transfer((u, v), move |r| if dropped { Expr::bool(false) } else { r.clone() });
     }
     builder.build().expect("random reach network is well-typed")
 }
@@ -89,7 +84,9 @@ fn node_traces(net: &Network) -> Vec<Vec<Value>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    // The explicit rng_seed pins every generated network: CI runs are
+    // reproducible and a failure here always replays locally.
+    #![proptest_config(ProptestConfig { cases: 12, rng_seed: 0x0071_313e_9ece_0001 })]
 
     /// Theorem 3.3: exact trace interfaces always verify.
     #[test]
