@@ -219,7 +219,13 @@ impl Network {
     /// A fresh variable denoting the route of node `u` (used as a neighbor
     /// input when building verification conditions).
     pub fn route_var(&self, u: NodeId) -> Expr {
-        Expr::var(format!("route-{}", self.topology.name(u)), self.route_type.clone())
+        Expr::var(self.route_var_name(u), self.route_type.clone())
+    }
+
+    /// The name of [`Network::route_var`]'s variable for node `u` — the key
+    /// a counterexample assignment binds that node's route under.
+    pub fn route_var_name(&self, u: NodeId) -> String {
+        format!("route-{}", self.topology.name(u))
     }
 
     /// The one-step update `I(v) ⊕ ⨁_u f_{uv}(r_u)` of equation (4), given a

@@ -1,4 +1,5 @@
-//! Regenerates every table and figure of the paper as text output.
+//! Regenerates every table and figure of the paper as text output, plus the
+//! interface-inference pipeline of `timepiece-infer`.
 //!
 //! ```text
 //! repro fig1      [--max-k N] [--timeout-secs S] [--threads T]
@@ -10,6 +11,7 @@
 //! repro table3
 //! repro wan       [--peers N] [--timeout-secs S]
 //! repro keyideas
+//! repro infer     [--bench reach|len|all] [--max-k N] [--no-roles]
 //! repro all
 //! ```
 //!
@@ -28,42 +30,91 @@ use timepiece_nets::ghost;
 use timepiece_nets::wan::WanBench;
 use timepiece_topology::FatTree;
 
+const USAGE: &str = "usage: repro <subcommand> [flags]
+
+subcommands:
+  fig1       modular vs monolithic sweep on SpHijack
+  fig3       running example simulation table
+  fig13      example 4-fattree with Vf down-edge tagging
+  fig14      the eight fattree benchmark sweeps
+  table1     ghost-state property encodings
+  table2     lines of code per benchmark definition
+  table3     eBGP route fields modelled in SMT
+  wan        BlockToExternal on the synthetic Internet2
+  keyideas   the Figs. 4-10 demonstrations
+  infer      infer interfaces from simulation, verify, compare to hand-written
+  all        everything above (except infer)
+
+flags:
+  --max-k N          largest fattree parameter to sweep (default 12; infer: 8)
+  --timeout-secs S   per-engine solver budget in seconds (default 60)
+  --threads T        worker threads for the modular checker (default: all cores)
+  --bench NAME       restrict fig14 to matching benchmarks / infer to reach|len
+  --no-ms            skip the monolithic baseline in sweeps
+  --no-roles         infer without fattree role generalization
+  --peers N          external peer count for the wan subcommand (default 253)";
+
 struct Args {
-    max_k: usize,
+    max_k: Option<usize>,
     timeout: Duration,
     threads: Option<usize>,
     bench: String,
     run_ms: bool,
+    use_roles: bool,
     peers: usize,
 }
 
-fn parse_args(argv: &[String]) -> Args {
+/// The next flag value, or a usage error naming the flag and what it wants.
+fn next_value(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+    what: &str,
+) -> Result<String, String> {
+    it.next().cloned().ok_or_else(|| format!("{flag} requires a value ({what})"))
+}
+
+/// The next flag value parsed as `T`, or a usage error.
+fn parse_value<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+    what: &str,
+) -> Result<T, String> {
+    let raw = next_value(it, flag, what)?;
+    raw.parse().map_err(|_| format!("{flag}: cannot parse {raw:?} as {what}"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
-        max_k: 12,
+        max_k: None,
         timeout: Duration::from_secs(60),
         threads: None,
         bench: "all".to_owned(),
         run_ms: true,
+        use_roles: true,
         peers: 253,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
-        let mut next = |what: &str| {
-            it.next().unwrap_or_else(|| panic!("{flag} requires a value ({what})")).clone()
-        };
         match flag.as_str() {
-            "--max-k" => args.max_k = next("k").parse().expect("integer k"),
+            "--max-k" => args.max_k = Some(parse_value(&mut it, flag, "integer k")?),
             "--timeout-secs" => {
-                args.timeout = Duration::from_secs(next("seconds").parse().expect("seconds"))
+                args.timeout = Duration::from_secs(parse_value(&mut it, flag, "seconds")?)
             }
-            "--threads" => args.threads = Some(next("threads").parse().expect("threads")),
-            "--bench" => args.bench = next("benchmark name"),
+            "--threads" => args.threads = Some(parse_value(&mut it, flag, "thread count")?),
+            "--bench" => args.bench = next_value(&mut it, flag, "benchmark name")?,
             "--no-ms" => args.run_ms = false,
-            "--peers" => args.peers = next("peers").parse().expect("peers"),
-            other => panic!("unknown flag {other}"),
+            "--no-roles" => args.use_roles = false,
+            "--peers" => args.peers = parse_value(&mut it, flag, "peer count")?,
+            other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    args
+    Ok(args)
+}
+
+impl Args {
+    fn max_k(&self) -> usize {
+        self.max_k.unwrap_or(12)
+    }
 }
 
 fn ks(max_k: usize) -> Vec<usize> {
@@ -78,7 +129,7 @@ fn sweep(kind: BenchKind, args: &Args) {
     );
     let options =
         SweepOptions { timeout: args.timeout, run_monolithic: args.run_ms, threads: args.threads };
-    for k in ks(args.max_k) {
+    for k in ks(args.max_k()) {
         let row = run_row(kind, k, &options);
         println!(
             "{:>4} {:>6} {:>12} {:>12} {:>12} {:>12}",
@@ -304,10 +355,122 @@ fn fig14(args: &Args) {
     }
 }
 
+/// One inference run: build the property-only spec, infer, verify, and
+/// compare against the hand-written interface of the same benchmark.
+fn infer_row(name: &str, k: usize, args: &Args) {
+    use timepiece_infer::{InferOptions, InferenceEngine, RoleMap};
+    use timepiece_nets::{len::LenBench, reach::ReachBench};
+
+    let (spec, instance, fattree, dest) = match name {
+        "SpReach" => {
+            let bench = ReachBench::single_dest(k, 0);
+            let dest = bench.dest_node().expect("fixed destination");
+            (bench.spec(), bench.build(), bench.fattree().clone(), dest)
+        }
+        "SpLen" => {
+            let bench = LenBench::single_dest(k, 0);
+            let dest = bench.dest_node().expect("fixed destination");
+            (bench.spec(), bench.build(), bench.fattree().clone(), dest)
+        }
+        other => unreachable!("unknown inference benchmark {other}"),
+    };
+    let roles = if args.use_roles {
+        RoleMap::fattree(&fattree, dest)
+    } else {
+        RoleMap::singleton(fattree.topology())
+    };
+    // templates are indexed by role; keep the node → role mapping for the
+    // quality comparison below
+    let node_role = roles.clone();
+    let engine = InferenceEngine::new(InferOptions {
+        check: CheckOptions {
+            timeout: Some(args.timeout),
+            threads: args.threads,
+            ..CheckOptions::default()
+        },
+        ..InferOptions::default()
+    });
+    let result = engine
+        .infer(&spec.network, &spec.property, roles, &[Env::new()])
+        .expect("benchmark specs simulate and encode");
+    let report = &result.report;
+
+    // hand-written comparison: same property, same checker options
+    let checker = ModularChecker::new(CheckOptions {
+        timeout: Some(args.timeout),
+        threads: args.threads,
+        ..CheckOptions::default()
+    });
+    let hand_start = std::time::Instant::now();
+    let hand = checker
+        .check(&instance.network, &instance.interface, &instance.property)
+        .expect("hand-written interfaces encode");
+    let hand_wall = hand_start.elapsed();
+
+    // annotation quality: how many nodes got exactly the paper's witness time
+    let tau_matches = fattree
+        .topology()
+        .nodes()
+        .filter(|&v| report.role_templates[node_role.role_of(v)].tau == fattree.dist(v, dest))
+        .count();
+    println!(
+        "{:>8} {:>3} {:>6} {:>9} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        name,
+        k,
+        fattree.topology().node_count(),
+        if report.verified { "yes" } else { "NO" },
+        report.rounds,
+        report.total_repairs(),
+        format!("{:.2}s", report.wall.as_secs_f64()),
+        format!("{:.2}s", hand_wall.as_secs_f64()),
+        format!("{tau_matches}/{}", fattree.topology().node_count()),
+        if hand.is_verified() { "yes" } else { "NO" },
+    );
+}
+
+fn infer(args: &Args) {
+    println!("=== timepiece-infer — interfaces from simulation, repaired by CEGIS ===");
+    println!(
+        "(property-only specs; role generalization {}; {} templates per instance)",
+        if args.use_roles { "on" } else { "off" },
+        if args.use_roles { "6" } else { "1.25k²" },
+    );
+    println!(
+        "{:>8} {:>3} {:>6} {:>9} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "bench",
+        "k",
+        "nodes",
+        "verified",
+        "rounds",
+        "repairs",
+        "infer+chk",
+        "hand chk",
+        "τ match",
+        "hand ok"
+    );
+    let spec = args.bench.to_lowercase();
+    let benches: Vec<&str> = ["SpReach", "SpLen"]
+        .into_iter()
+        .filter(|b| spec == "all" || b.to_lowercase().contains(&spec))
+        .collect();
+    assert!(!benches.is_empty(), "no inference benchmark matches {spec:?}");
+    for name in benches {
+        for k in (4..=args.max_k.unwrap_or(8)).step_by(2) {
+            infer_row(name, k, args);
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = argv.split_first().map(|(c, r)| (c.as_str(), r)).unwrap_or(("all", &[]));
-    let args = parse_args(rest);
+    let args = match parse_args(rest) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     match cmd {
         "fig1" => fig1(&args),
         "fig3" => fig3(),
@@ -318,6 +481,7 @@ fn main() {
         "table3" => table3(),
         "wan" => wan(&args),
         "keyideas" => keyideas(),
+        "infer" => infer(&args),
         "all" => {
             fig3();
             fig13();
@@ -330,7 +494,7 @@ fn main() {
             wan(&args);
         }
         other => {
-            eprintln!("unknown subcommand {other}; see the module docs for usage");
+            eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");
             std::process::exit(2);
         }
     }

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use timepiece_algebra::Network;
 use timepiece_expr::Env;
-use timepiece_smt::{check_validity, Validity};
+use timepiece_smt::{SolverSession, Validity};
 use timepiece_topology::NodeId;
 
 use crate::error::CoreError;
@@ -146,9 +146,12 @@ impl ModularChecker {
             (VcKind::Inductive, inductive_vc(net, interface, v, self.options.delay)),
             (VcKind::Safety, safety_vc(net, interface, property, v)),
         ];
+        // one solver discharges all three conditions via push/pop, sharing
+        // variable declarations and the compiled-term cache across them
+        let mut session = SolverSession::new(self.options.timeout);
         let mut failures = Vec::new();
         for (kind, vc) in conditions {
-            match check_validity(&vc, self.options.timeout)? {
+            match session.check(&vc)? {
                 Validity::Valid => {}
                 Validity::Invalid(cex) => failures.push(Failure {
                     node: v,
@@ -337,6 +340,43 @@ mod tests {
         assert!(!report.is_verified());
         // with fail-fast and one thread, scheduling stops after the first bad node
         assert!(report.node_durations().len() < 8);
+    }
+
+    #[test]
+    fn fail_fast_schedules_nothing_after_the_first_failure() {
+        let net = reach_net(6);
+        // every node's conditions fail
+        let interface =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone().not()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = ModularChecker::new(CheckOptions {
+            fail_fast: true,
+            threads: Some(1),
+            ..CheckOptions::default()
+        })
+        .check(&net, &interface, &property)
+        .unwrap();
+        // with one worker the queue stops immediately: exactly one node ran
+        assert_eq!(report.node_durations().len(), 1);
+        assert!(!report.is_verified());
+    }
+
+    #[test]
+    fn without_fail_fast_every_node_is_checked() {
+        let net = reach_net(6);
+        let interface =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone().not()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = ModularChecker::new(CheckOptions { threads: Some(1), ..Default::default() })
+            .check(&net, &interface, &property)
+            .unwrap();
+        // every node is checked even though v0 fails early in the schedule
+        assert_eq!(report.node_durations().len(), 6);
+        // and the failure stays localized: only the origin violates the
+        // "no route ever" interface (its initial route is the route)
+        let failing: std::collections::BTreeSet<&str> =
+            report.failures().iter().map(|f| f.node_name.as_str()).collect();
+        assert_eq!(failing.into_iter().collect::<Vec<_>>(), ["v0"]);
     }
 
     #[test]

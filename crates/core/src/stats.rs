@@ -70,10 +70,35 @@ mod tests {
     #[test]
     fn single_sample() {
         let s = TimingStats::from_durations(&[ms(5)]);
+        assert_eq!(s.count, 1);
         assert_eq!(s.median, ms(5));
         assert_eq!(s.p99, ms(5));
         assert_eq!(s.max, ms(5));
         assert_eq!(s.total, ms(5));
+    }
+
+    #[test]
+    fn two_samples() {
+        // nearest-rank conventions at n = 2: the median is the upper sample
+        // (index n/2), the 99th percentile is the maximum
+        let s = TimingStats::from_durations(&[ms(10), ms(2)]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total, ms(12));
+        assert_eq!(s.median, ms(10));
+        assert_eq!(s.p99, ms(10));
+        assert_eq!(s.max, ms(10));
+    }
+
+    #[test]
+    fn all_equal_samples_collapse() {
+        for n in [2usize, 3, 17] {
+            let s = TimingStats::from_durations(&vec![ms(7); n]);
+            assert_eq!(s.count, n);
+            assert_eq!(s.median, ms(7), "n = {n}");
+            assert_eq!(s.p99, ms(7), "n = {n}");
+            assert_eq!(s.max, ms(7), "n = {n}");
+            assert_eq!(s.total, ms(7 * n as u64), "n = {n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Atomic route predicates, the building blocks of inferred interfaces.
+//!
+//! An [`Atom`] is a small predicate over a route — "the route is present",
+//! "the `lp` field is 100", "the AS-path length is at most 3", "the `down`
+//! community is absent" — that can be both *evaluated* on the concrete
+//! values a simulation produces and *compiled* to an expression the SMT
+//! backend understands. Inferred interface candidates are conjunctions of
+//! atoms; the CEGIS loop strengthens a candidate by adding an atom that
+//! separates the observed traces from a counterexample, and weakens it by
+//! dropping atoms a counterexample step violates.
+//!
+//! Atoms are generated from *observations*: [`atoms_for`] produces every
+//! atom of the fixed grammar that holds on all given values, and
+//! [`separating_atoms`] filters those down to atoms that additionally rule
+//! out one bad value.
+
+use timepiece_expr::{Expr, Type, Value};
+
+/// A test applied to one (possibly nested) component of a route.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FieldTest {
+    /// The component equals the value.
+    Eq(Value),
+    /// The component is at most the value (numeric components).
+    Le(Value),
+    /// The component is at least the value (numeric components).
+    Ge(Value),
+    /// The component (a set) contains the tag.
+    Has(String),
+    /// The component (a set) lacks the tag.
+    Lacks(String),
+}
+
+impl FieldTest {
+    fn holds(&self, v: &Value) -> bool {
+        match self {
+            FieldTest::Eq(c) => v == c,
+            FieldTest::Le(c) => cmp_numeric(v, c).is_some_and(|o| o.is_le()),
+            FieldTest::Ge(c) => cmp_numeric(v, c).is_some_and(|o| o.is_ge()),
+            FieldTest::Has(tag) => v.contains_tag(tag) == Some(true),
+            FieldTest::Lacks(tag) => v.contains_tag(tag) == Some(false),
+        }
+    }
+
+    fn expr(&self, component: Expr) -> Expr {
+        match self {
+            FieldTest::Eq(c) => component.eq(Expr::constant(c.clone())),
+            FieldTest::Le(c) => component.le(Expr::constant(c.clone())),
+            FieldTest::Ge(c) => component.ge(Expr::constant(c.clone())),
+            FieldTest::Has(tag) => component.contains(tag.clone()),
+            FieldTest::Lacks(tag) => component.contains(tag.clone()).not(),
+        }
+    }
+}
+
+/// Compares two numeric values of the same type, `None` otherwise.
+fn cmp_numeric(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        (Value::BitVec { width: wa, bits: x }, Value::BitVec { width: wb, bits: y })
+            if wa == wb =>
+        {
+            Some(x.cmp(y))
+        }
+        _ => None,
+    }
+}
+
+/// An atomic predicate over a route value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// The route equals a value exactly.
+    EqRoute(Value),
+    /// The (option-typed) route is present.
+    IsSome,
+    /// The (option-typed) route is absent.
+    IsNone,
+    /// For option-typed routes: absent, **or** the payload component at
+    /// `path` passes the test. The guard makes the atom hold vacuously on
+    /// `∞`, which is what interface conjuncts that constrain "whatever route
+    /// you might have" need (compare the paper's `s = ∞ ∨ …` interfaces).
+    Guarded {
+        /// Record field path into the payload (empty: the payload itself).
+        path: Vec<String>,
+        /// The test applied to the addressed component.
+        test: FieldTest,
+    },
+    /// For non-option routes: the component at `path` passes the test
+    /// (empty path: the route itself).
+    Direct {
+        /// Record field path into the route (empty: the route itself).
+        path: Vec<String>,
+        /// The test applied to the addressed component.
+        test: FieldTest,
+    },
+}
+
+fn project<'v>(mut v: &'v Value, path: &[String]) -> Option<&'v Value> {
+    for f in path {
+        v = v.field(f)?;
+    }
+    Some(v)
+}
+
+fn project_expr(mut e: Expr, path: &[String]) -> Expr {
+    for f in path {
+        e = e.field(f.clone());
+    }
+    e
+}
+
+impl Atom {
+    /// Does the atom hold on a concrete route value?
+    pub fn holds(&self, route: &Value) -> bool {
+        match self {
+            Atom::EqRoute(v) => route == v,
+            Atom::IsSome => route.is_some_option() == Some(true),
+            Atom::IsNone => route.is_some_option() == Some(false),
+            Atom::Guarded { path, test } => match route.is_some_option() {
+                Some(false) => true,
+                Some(true) => {
+                    let payload = route.unwrap_or_default().expect("present option");
+                    project(&payload, path).is_some_and(|c| test.holds(c))
+                }
+                None => false,
+            },
+            Atom::Direct { path, test } => project(route, path).is_some_and(|c| test.holds(c)),
+        }
+    }
+
+    /// The atom as a boolean expression over a route term.
+    pub fn expr(&self, route: &Expr) -> Expr {
+        match self {
+            Atom::EqRoute(v) => route.clone().eq(Expr::constant(v.clone())),
+            Atom::IsSome => route.clone().is_some(),
+            Atom::IsNone => route.clone().is_none(),
+            Atom::Guarded { path, test } => {
+                let component = project_expr(route.clone().get_some(), path);
+                route.clone().is_none().or(test.expr(component))
+            }
+            Atom::Direct { path, test } => test.expr(project_expr(route.clone(), path)),
+        }
+    }
+
+    /// A human-readable rendering (used in reports).
+    pub fn describe(&self) -> String {
+        let test = |t: &FieldTest, path: &[String]| {
+            let at = if path.is_empty() { ".".to_owned() } else { path.join(".") };
+            match t {
+                FieldTest::Eq(v) => format!("{at} = {v}"),
+                FieldTest::Le(v) => format!("{at} ≤ {v}"),
+                FieldTest::Ge(v) => format!("{at} ≥ {v}"),
+                FieldTest::Has(tag) => format!("{tag} ∈ {at}"),
+                FieldTest::Lacks(tag) => format!("{tag} ∉ {at}"),
+            }
+        };
+        match self {
+            Atom::EqRoute(v) => format!("route = {v}"),
+            Atom::IsSome => "route ≠ ∞".to_owned(),
+            Atom::IsNone => "route = ∞".to_owned(),
+            Atom::Guarded { path, test: t } => format!("(route = ∞ ∨ {})", test(t, path)),
+            Atom::Direct { path, test: t } => test(t, path),
+        }
+    }
+}
+
+/// The conjunction of a set of atoms over a route term (`true` when empty).
+pub fn conjunction(atoms: &[Atom], route: &Expr) -> Expr {
+    Expr::and_all(atoms.iter().map(|a| a.expr(route)))
+}
+
+/// Generates every atom of the grammar that holds on **all** of `values`.
+///
+/// The grammar, driven by the route type:
+///
+/// * exact equality, when all values coincide;
+/// * `IsSome`/`IsNone` for option routes with uniform presence;
+/// * per-component tests (recursing through records): equality when a
+///   component is constant across observations, `Le(max)`/`Ge(min)` bounds
+///   for numeric components, membership/absence per set tag. For option
+///   routes the component tests are guarded (`∞ ∨ …`) and range over the
+///   *present* observations only.
+///
+/// Returns an empty vector for an empty observation set (nothing can be
+/// justified by no evidence).
+pub fn atoms_for(values: &[&Value]) -> Vec<Atom> {
+    let Some(first) = values.first() else { return Vec::new() };
+    let mut atoms = Vec::new();
+    if values.iter().all(|v| v == first) {
+        atoms.push(Atom::EqRoute((*first).clone()));
+    }
+    match first.is_some_option() {
+        Some(_) => {
+            // option route: uniform-presence atoms + guarded payload tests
+            if values.iter().all(|v| v.is_some_option() == Some(true)) {
+                atoms.push(Atom::IsSome);
+            }
+            if values.iter().all(|v| v.is_some_option() == Some(false)) {
+                atoms.push(Atom::IsNone);
+            }
+            let payloads: Vec<Value> = values
+                .iter()
+                .filter(|v| v.is_some_option() == Some(true))
+                .filter_map(|v| v.unwrap_or_default())
+                .collect();
+            if !payloads.is_empty() {
+                let refs: Vec<&Value> = payloads.iter().collect();
+                component_atoms(&refs, &mut Vec::new(), &mut |path, test| {
+                    atoms.push(Atom::Guarded { path, test });
+                });
+            }
+        }
+        None => {
+            component_atoms(values, &mut Vec::new(), &mut |path, test| {
+                atoms.push(Atom::Direct { path, test });
+            });
+        }
+    }
+    atoms
+}
+
+/// Emits every component test consistent with all of `values` (which share a
+/// type), recursing through record fields.
+fn component_atoms(
+    values: &[&Value],
+    path: &mut Vec<String>,
+    emit: &mut impl FnMut(Vec<String>, FieldTest),
+) {
+    let first = values[0];
+    match first {
+        Value::Record { def, .. } => {
+            for (name, _) in def.fields() {
+                let fields: Vec<&Value> = values.iter().filter_map(|v| v.field(name)).collect();
+                if fields.len() == values.len() {
+                    path.push(name.clone());
+                    component_atoms(&fields, path, emit);
+                    path.pop();
+                }
+            }
+        }
+        Value::Set { def, .. } => {
+            let def = def.clone();
+            for tag in def.universe() {
+                if values.iter().all(|v| v.contains_tag(tag) == Some(true)) {
+                    emit(path.clone(), FieldTest::Has(tag.clone()));
+                }
+                if values.iter().all(|v| v.contains_tag(tag) == Some(false)) {
+                    emit(path.clone(), FieldTest::Lacks(tag.clone()));
+                }
+            }
+        }
+        Value::Int(_) | Value::BitVec { .. } => {
+            // equality when constant, PLUS the interval bounds either way:
+            // the bounds are deliberately redundant so that when a repair
+            // drops the (too-strong) equality, the one-sided bounds survive
+            // — e.g. "len = 2" weakens to "len ≥ 2", not to nothing
+            if values.iter().all(|v| v == &first) {
+                emit(path.clone(), FieldTest::Eq(first.clone()));
+            }
+            let mut lo = first;
+            let mut hi = first;
+            for v in values {
+                if cmp_numeric(v, lo).is_some_and(|o| o.is_lt()) {
+                    lo = v;
+                }
+                if cmp_numeric(v, hi).is_some_and(|o| o.is_gt()) {
+                    hi = v;
+                }
+            }
+            emit(path.clone(), FieldTest::Le(hi.clone()));
+            emit(path.clone(), FieldTest::Ge(lo.clone()));
+        }
+        Value::Bool(_) | Value::Enum { .. } => {
+            if values.iter().all(|v| v == &first) {
+                emit(path.clone(), FieldTest::Eq(first.clone()));
+            }
+        }
+        Value::Option { .. } => {
+            // nested options do not occur in the benchmark schemas; pin
+            // exactly when constant
+            if values.iter().all(|v| v == &first) {
+                emit(path.clone(), FieldTest::Eq(first.clone()));
+            }
+        }
+    }
+}
+
+/// Atoms consistent with all of `values` that additionally **rule out**
+/// `bad`: the strengthening moves available to the CEGIS loop when a
+/// counterexample exhibits a route the observations never showed.
+pub fn separating_atoms(values: &[&Value], bad: &Value) -> Vec<Atom> {
+    atoms_for(values).into_iter().filter(|a| !a.holds(bad)).collect()
+}
+
+/// Whether `ty` is a route type the atom grammar can describe (everything the
+/// expression IR can type, in practice).
+pub fn supported_route_type(_ty: &Type) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_expr::Env;
+
+    fn eval(atom: &Atom, v: &Value) -> bool {
+        let r = Expr::var("r", v.type_of());
+        let mut env = Env::new();
+        env.bind("r", v.clone());
+        atom.expr(&r).eval_bool(&env).unwrap()
+    }
+
+    #[test]
+    fn bool_route_atoms() {
+        let t = Value::Bool(true);
+        let f = Value::Bool(false);
+        let atoms = atoms_for(&[&t]);
+        assert!(atoms.contains(&Atom::EqRoute(t.clone())));
+        for a in &atoms {
+            assert!(a.holds(&t));
+            assert_eq!(a.holds(&t), eval(a, &t), "{a:?}");
+            assert_eq!(a.holds(&f), eval(a, &f), "{a:?}");
+        }
+        // mixed observations: no equality atom survives
+        let atoms = atoms_for(&[&t, &f]);
+        assert!(atoms.iter().all(|a| a.holds(&t) && a.holds(&f)));
+        assert!(!atoms.contains(&Atom::EqRoute(t)));
+    }
+
+    #[test]
+    fn option_int_atoms_guard_absence() {
+        let none = Value::none(Type::Int);
+        let two = Value::some(Value::int(2));
+        let three = Value::some(Value::int(3));
+        let atoms = atoms_for(&[&none, &two, &three]);
+        // every generated atom holds on every observation
+        for a in &atoms {
+            for v in [&none, &two, &three] {
+                assert!(a.holds(v), "{a:?} on {v:?}");
+                assert_eq!(a.holds(v), eval(a, v), "{a:?} on {v:?}");
+            }
+        }
+        // the numeric bounds are over the present payloads
+        assert!(atoms.contains(&Atom::Guarded { path: vec![], test: FieldTest::Le(Value::int(3)) }));
+        assert!(atoms.contains(&Atom::Guarded { path: vec![], test: FieldTest::Ge(Value::int(2)) }));
+        // a spuriously short route is ruled out by the lower bound
+        let one = Value::some(Value::int(1));
+        let sep = separating_atoms(&[&none, &two, &three], &one);
+        assert!(sep.contains(&Atom::Guarded { path: vec![], test: FieldTest::Ge(Value::int(2)) }));
+        // but `none` cannot be separated from guarded atoms — only IsSome-style
+        let sep_none = separating_atoms(&[&two, &three], &none);
+        assert!(sep_none.contains(&Atom::IsSome));
+    }
+
+    #[test]
+    fn record_atoms_recurse_and_separate() {
+        let ty = Type::record("R", [("lp", Type::BitVec(32)), ("len", Type::Int)]);
+        let def = ty.record_def().unwrap().clone();
+        let mk = |lp: u64, len: i64| {
+            Value::some(Value::record(&def, vec![Value::bv(lp, 32), Value::int(len)]))
+        };
+        let a = mk(100, 2);
+        let b = mk(100, 3);
+        let atoms = atoms_for(&[&a, &b]);
+        let lp_eq =
+            Atom::Guarded { path: vec!["lp".into()], test: FieldTest::Eq(Value::bv(100, 32)) };
+        let len_le = Atom::Guarded { path: vec!["len".into()], test: FieldTest::Le(Value::int(3)) };
+        assert!(atoms.contains(&lp_eq));
+        assert!(atoms.contains(&len_le));
+        // a higher-lp "better" route is separated by the lp pin
+        let better = mk(200, 1);
+        let sep = separating_atoms(&[&a, &b], &better);
+        assert!(sep.contains(&lp_eq));
+        assert!(!sep.contains(&len_le) || !len_le.holds(&better));
+        // semantics agree with the interpreter on all atoms and values
+        for atom in &atoms {
+            for v in [&a, &b, &better] {
+                assert_eq!(atom.holds(v), eval(atom, v), "{atom:?} on {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_atoms_track_membership() {
+        let ty = Type::set("T", ["down", "bte"]);
+        let def = ty.set_def().unwrap().clone();
+        let with_down = Value::set_of(&def, ["down"]);
+        let empty = Value::set_of(&def, []);
+        let atoms = atoms_for(&[&with_down]);
+        assert!(atoms.contains(&Atom::Direct { path: vec![], test: FieldTest::Has("down".into()) }));
+        assert!(
+            atoms.contains(&Atom::Direct { path: vec![], test: FieldTest::Lacks("bte".into()) })
+        );
+        let sep = separating_atoms(&[&empty], &with_down);
+        assert!(sep.contains(&Atom::Direct { path: vec![], test: FieldTest::Lacks("down".into()) }));
+    }
+
+    #[test]
+    fn conjunction_is_true_when_empty() {
+        let r = Expr::var("r", Type::Bool);
+        let e = conjunction(&[], &r);
+        let mut env = Env::new();
+        env.bind("r", Value::Bool(false));
+        assert!(e.eval_bool(&env).unwrap());
+    }
+
+    #[test]
+    fn describe_is_total() {
+        let atoms = [
+            Atom::IsSome,
+            Atom::IsNone,
+            Atom::EqRoute(Value::Bool(true)),
+            Atom::Guarded { path: vec!["lp".into()], test: FieldTest::Le(Value::bv(100, 32)) },
+            Atom::Direct { path: vec![], test: FieldTest::Has("down".into()) },
+            Atom::Direct { path: vec!["comms".into()], test: FieldTest::Lacks("bte".into()) },
+            Atom::Guarded { path: vec![], test: FieldTest::Ge(Value::int(1)) },
+            Atom::Direct { path: vec![], test: FieldTest::Eq(Value::int(0)) },
+        ];
+        for a in atoms {
+            assert!(!a.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Interface candidates: a witness time plus two conjunctions of atoms.
+//!
+//! A [`Candidate`] denotes the temporal operator
+//!
+//! ```text
+//! G(always₁ ∧ … ∧ alwaysₘ)  ⊓  F^τ G(after₁ ∧ … ∧ afterₙ)
+//! ```
+//!
+//! — "the `always` atoms hold at every time; from the witness time `τ` on,
+//! the `after` atoms hold too". This is the `finally_at(τ, G φ)` shape the
+//! paper uses for its hand-written fattree interfaces, generalized with a
+//! global guard (compare `A_Len`'s `G(s = ∞ ∨ attrs-default)` conjunct).
+//!
+//! Candidates form a lattice the CEGIS loop moves through monotonically:
+//! *strengthening* adds an atom to `always`, *weakening* drops atoms from
+//! `after`/`always` or raises `τ`. All three moves are bounded (atoms come
+//! from a finite observation-derived pool; `τ` is capped by the simulated
+//! stabilization time), so repair terminates.
+
+use timepiece_core::Temporal;
+use timepiece_expr::Expr;
+
+use crate::atoms::{conjunction, Atom};
+
+/// One node's (or one role's) inferred interface candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Witness time: the `after` atoms hold from `tau` on.
+    pub tau: u64,
+    /// Atoms holding at *every* time (the global guard).
+    pub always: Vec<Atom>,
+    /// Atoms holding from `tau` on.
+    pub after: Vec<Atom>,
+}
+
+impl Candidate {
+    /// The trivial candidate `G(true)` (admits anything, forever).
+    pub fn any() -> Candidate {
+        Candidate { tau: 0, always: Vec::new(), after: Vec::new() }
+    }
+
+    /// Adds an atom to the global guard, if not already present. Returns
+    /// whether the candidate changed.
+    pub fn strengthen_always(&mut self, atom: Atom) -> bool {
+        if self.always.contains(&atom) {
+            return false;
+        }
+        self.always.push(atom);
+        true
+    }
+
+    /// Adds an atom to the post-witness conjunction, if not already present.
+    /// Returns whether the candidate changed.
+    pub fn strengthen_after(&mut self, atom: Atom) -> bool {
+        if self.after.contains(&atom) {
+            return false;
+        }
+        self.after.push(atom);
+        true
+    }
+
+    /// Drops every atom the observed bad route violates — always from the
+    /// global guard, and from the post-witness conjunction too when the
+    /// failing time is at or past `tau`. Returns the dropped atoms, per
+    /// conjunction, so callers can blocklist them.
+    pub fn weaken_against(
+        &mut self,
+        bad: &timepiece_expr::Value,
+        at_or_after_tau: bool,
+    ) -> (Vec<Atom>, Vec<Atom>) {
+        let mut dropped_always = Vec::new();
+        self.always.retain(|a| {
+            let keep = a.holds(bad);
+            if !keep {
+                dropped_always.push(a.clone());
+            }
+            keep
+        });
+        let mut dropped_after = Vec::new();
+        if at_or_after_tau {
+            self.after.retain(|a| {
+                let keep = a.holds(bad);
+                if !keep {
+                    dropped_after.push(a.clone());
+                }
+                keep
+            });
+        }
+        (dropped_always, dropped_after)
+    }
+
+    /// Raises the witness time. Returns whether it changed.
+    pub fn raise_tau(&mut self, tau: u64) -> bool {
+        if tau > self.tau {
+            self.tau = tau;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The candidate as a [`Temporal`] operator.
+    pub fn temporal(&self) -> Temporal {
+        let after = self.after.clone();
+        let tail = Temporal::globally(move |r: &Expr| conjunction(&after, r));
+        let timed =
+            if self.tau == 0 { tail } else { Temporal::finally(Expr::int(self.tau as i64), tail) };
+        if self.always.is_empty() {
+            timed
+        } else {
+            let always = self.always.clone();
+            Temporal::globally(move |r: &Expr| conjunction(&always, r)).and(timed)
+        }
+    }
+
+    /// A human-readable rendering (used in reports).
+    pub fn describe(&self) -> String {
+        let join = |atoms: &[Atom]| {
+            if atoms.is_empty() {
+                "true".to_owned()
+            } else {
+                atoms.iter().map(Atom::describe).collect::<Vec<_>>().join(" ∧ ")
+            }
+        };
+        match (self.always.is_empty(), self.tau) {
+            (true, 0) => format!("G({})", join(&self.after)),
+            (true, t) => format!("F^{t} G({})", join(&self.after)),
+            (false, 0) => format!("G({}) ⊓ G({})", join(&self.always), join(&self.after)),
+            (false, t) => format!("G({}) ⊓ F^{t} G({})", join(&self.always), join(&self.after)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::FieldTest;
+    use timepiece_expr::{Env, Type, Value};
+
+    fn holds(op: &Temporal, t: i64, route: Value) -> bool {
+        let r = Expr::var("r", route.type_of());
+        let tv = Expr::var("t", Type::Int);
+        let e = op.at(&tv, &r);
+        let mut env = Env::new();
+        env.bind("r", route);
+        env.bind("t", Value::int(t));
+        e.eval_bool(&env).unwrap()
+    }
+
+    fn ge_atom(n: i64) -> Atom {
+        Atom::Direct { path: vec![], test: FieldTest::Ge(Value::int(n)) }
+    }
+
+    #[test]
+    fn temporal_switches_at_tau() {
+        let cand = Candidate { tau: 3, always: vec![ge_atom(0)], after: vec![ge_atom(5)] };
+        let op = cand.temporal();
+        // before tau only the guard applies
+        assert!(holds(&op, 0, Value::int(1)));
+        assert!(!holds(&op, 0, Value::int(-1)));
+        // from tau on both apply
+        assert!(holds(&op, 3, Value::int(7)));
+        assert!(!holds(&op, 3, Value::int(4)));
+    }
+
+    #[test]
+    fn tau_zero_has_no_until() {
+        let cand = Candidate { tau: 0, always: Vec::new(), after: vec![ge_atom(5)] };
+        assert!(holds(&cand.temporal(), 0, Value::int(5)));
+        assert!(!holds(&cand.temporal(), 0, Value::int(4)));
+    }
+
+    #[test]
+    fn lattice_moves() {
+        let mut cand = Candidate::any();
+        assert!(cand.strengthen_after(ge_atom(5)));
+        assert!(!cand.strengthen_after(ge_atom(5)), "no duplicate atoms");
+        assert!(cand.strengthen_always(ge_atom(0)));
+        assert!(cand.raise_tau(2));
+        assert!(!cand.raise_tau(1), "tau only rises");
+        // a bad route at/after tau drops both violated conjuncts
+        let (dropped_always, dropped_after) = cand.weaken_against(&Value::int(-3), true);
+        assert_eq!(dropped_always, vec![ge_atom(0)]);
+        assert_eq!(dropped_after, vec![ge_atom(5)]);
+        assert!(cand.always.is_empty() && cand.after.is_empty());
+    }
+
+    #[test]
+    fn weaken_before_tau_spares_after() {
+        let mut cand = Candidate { tau: 2, always: vec![ge_atom(0)], after: vec![ge_atom(5)] };
+        let (dropped_always, dropped_after) = cand.weaken_against(&Value::int(1), false);
+        assert!(dropped_always.is_empty(), "guard holds on the bad route");
+        assert!(dropped_after.is_empty());
+        let (dropped_always, dropped_after) = cand.weaken_against(&Value::int(-1), false);
+        assert_eq!(dropped_always, vec![ge_atom(0)]);
+        assert!(dropped_after.is_empty());
+        assert_eq!(cand.after.len(), 1, "after conjunct untouched before tau");
+    }
+
+    #[test]
+    fn describe_shapes() {
+        assert_eq!(Candidate::any().describe(), "G(true)");
+        let c = Candidate { tau: 4, always: vec![ge_atom(0)], after: vec![ge_atom(5)] };
+        let s = c.describe();
+        assert!(s.contains("F^4"), "{s}");
+        assert!(s.contains("⊓"), "{s}");
+    }
+}

@@ -1,0 +1,639 @@
+//! The inference engine: simulate, lift, generalize, check, repair.
+//!
+//! The pipeline (see the crate docs for the full story):
+//!
+//! 1. **Simulate** the network to convergence with the reference simulator,
+//!    once per closing input environment.
+//! 2. **Lift** each node's trace into a candidate `G(always) ⊓ F^τ G(after)`
+//!    interface: `τ` is the observed stabilization time, `always`/`after`
+//!    are every atom of the grammar consistent with the whole trace /
+//!    the stable tail (cf. [`timepiece_core::Temporal::from_trace`], which
+//!    is the exact, single-node version of this lifting).
+//! 3. **Generalize** across a [`RoleMap`]: one candidate per symmetry role,
+//!    justified by the union of the members' observations.
+//! 4. **Check** the candidates with the modular checker and **repair**
+//!    CEGIS-style on counterexamples — strengthen a neighbor whose
+//!    falsifying route the simulation never exhibited, weaken the failing
+//!    node (raise `τ` toward the simulated stabilization time, drop violated
+//!    atoms) otherwise — re-checking only the nodes a repair affects, until
+//!    a fixpoint or a bounded give-up.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use timepiece_algebra::Network;
+use timepiece_core::check::{CheckOptions, Failure, FailureReason, ModularChecker};
+use timepiece_core::stats::TimingStats;
+use timepiece_core::{CoreError, NodeAnnotations, Temporal, VcKind};
+use timepiece_expr::{Env, Expr, Value};
+use timepiece_sim::{simulate, SimError};
+use timepiece_topology::NodeId;
+
+use crate::atoms::{atoms_for, Atom};
+use crate::candidate::Candidate;
+use crate::roles::RoleMap;
+
+/// Options controlling inference.
+#[derive(Debug, Clone)]
+pub struct InferOptions {
+    /// Simulation step budget; inference fails on non-convergent networks.
+    pub max_steps: usize,
+    /// Bound on CEGIS repair rounds before giving up.
+    pub max_rounds: usize,
+    /// Checker options used for candidate validation (delay, timeout, …).
+    pub check: CheckOptions,
+}
+
+impl Default for InferOptions {
+    fn default() -> InferOptions {
+        InferOptions { max_steps: 64, max_rounds: 64, check: CheckOptions::default() }
+    }
+}
+
+/// An error that aborts inference entirely (per-node trouble is reported as
+/// a give-up instead).
+#[derive(Debug)]
+pub enum InferError {
+    /// The reference simulator failed (unbound symbolic input, ill-typed
+    /// network function).
+    Sim(SimError),
+    /// The simulation did not converge within the step budget.
+    Unconverged {
+        /// The exhausted budget.
+        steps: usize,
+    },
+    /// A verification condition could not be encoded.
+    Check(CoreError),
+    /// Inference needs at least one closing input environment.
+    NoInputs,
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::Sim(e) => write!(f, "simulation failed: {e}"),
+            InferError::Unconverged { steps } => {
+                write!(f, "simulation did not converge within {steps} steps")
+            }
+            InferError::Check(e) => write!(f, "candidate validation failed: {e}"),
+            InferError::NoInputs => write!(f, "inference requires at least one input environment"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InferError::Sim(e) => Some(e),
+            InferError::Check(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for InferError {
+    fn from(e: SimError) -> InferError {
+        InferError::Sim(e)
+    }
+}
+
+impl From<CoreError> for InferError {
+    fn from(e: CoreError) -> InferError {
+        InferError::Check(e)
+    }
+}
+
+/// One role's final inferred template, for reporting and quality
+/// comparisons against hand-written interfaces.
+#[derive(Debug, Clone)]
+pub struct RoleTemplate {
+    /// The role's display name.
+    pub role: String,
+    /// How many nodes share the template.
+    pub members: usize,
+    /// The inferred witness time `τ`.
+    pub tau: u64,
+    /// Conjuncts in the global guard.
+    pub always_atoms: usize,
+    /// Conjuncts in the post-witness predicate.
+    pub after_atoms: usize,
+    /// A human-readable rendering of the whole template.
+    pub rendering: String,
+}
+
+/// What the CEGIS loop did to arrive at the final annotations.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    /// Did the modular checker verify the final annotations?
+    pub verified: bool,
+    /// Repair rounds performed (0: the seeded candidates verified as-is).
+    pub rounds: usize,
+    /// Per-node repair counts (only nodes that triggered at least one).
+    pub node_repairs: Vec<(NodeId, usize)>,
+    /// Nodes whose failures no available repair could address.
+    pub gave_up: Vec<NodeId>,
+    /// Failures outstanding at the end (empty when verified).
+    pub failures: Vec<Failure>,
+    /// One final template per role.
+    pub role_templates: Vec<RoleTemplate>,
+    /// Wall time of the simulations.
+    pub sim_wall: Duration,
+    /// Cumulative wall time of all node checks (initial + incremental).
+    pub check_wall: Duration,
+    /// Total node checks performed across all rounds.
+    pub checks: usize,
+    /// End-to-end inference wall time.
+    pub wall: Duration,
+    /// Statistics over the *final* per-node check durations.
+    pub stats: TimingStats,
+}
+
+impl InferenceReport {
+    /// Total repairs across all nodes.
+    pub fn total_repairs(&self) -> usize {
+        self.node_repairs.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The outcome of inference: annotations plus the report.
+#[derive(Debug, Clone)]
+pub struct Inferred {
+    /// The inferred per-node interfaces.
+    pub interface: NodeAnnotations,
+    /// How inference went.
+    pub report: InferenceReport,
+}
+
+/// Synthesizes [`NodeAnnotations`] from simulation and counterexamples.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceEngine {
+    options: InferOptions,
+}
+
+impl InferenceEngine {
+    /// Creates an engine with the given options.
+    pub fn new(options: InferOptions) -> InferenceEngine {
+        InferenceEngine { options }
+    }
+
+    /// Runs the full pipeline: [`InferenceEngine::prepare`] then
+    /// [`Inference::solve`].
+    ///
+    /// # Errors
+    ///
+    /// See [`InferenceEngine::prepare`] and [`Inference::solve`].
+    pub fn infer(
+        &self,
+        net: &Network,
+        property: &NodeAnnotations,
+        roles: RoleMap,
+        inputs: &[Env],
+    ) -> Result<Inferred, InferError> {
+        self.prepare(net, property, roles, inputs)?.solve()
+    }
+
+    /// Simulates the network and seeds one candidate per role, without
+    /// validating anything yet. The returned [`Inference`] exposes the seeds
+    /// for inspection (or deliberate sabotage, in tests) before
+    /// [`Inference::solve`] runs the check/repair loop.
+    ///
+    /// `inputs` must close the network: one environment binding every
+    /// symbolic per scenario to cover (pass `&[Env::new()]` for networks
+    /// without symbolics). Candidates are justified against *all* scenarios.
+    ///
+    /// # Errors
+    ///
+    /// * [`InferError::NoInputs`] for an empty input slice;
+    /// * [`InferError::Sim`] / [`InferError::Unconverged`] when simulation
+    ///   fails or exhausts its budget.
+    pub fn prepare<'n>(
+        &self,
+        net: &'n Network,
+        property: &'n NodeAnnotations,
+        roles: RoleMap,
+        inputs: &[Env],
+    ) -> Result<Inference<'n>, InferError> {
+        if inputs.is_empty() {
+            return Err(InferError::NoInputs);
+        }
+        let sim_start = Instant::now();
+        let mut traces = Vec::with_capacity(inputs.len());
+        for env in inputs {
+            let trace = simulate(net, env, self.options.max_steps)?;
+            if trace.converged_at().is_none() {
+                return Err(InferError::Unconverged { steps: self.options.max_steps });
+            }
+            traces.push(trace);
+        }
+        let sim_wall = sim_start.elapsed();
+
+        let g = net.topology();
+        // per-node stabilization time: the first step from which the trace
+        // no longer changes, maximized over scenarios
+        let mut stab = vec![0u64; g.node_count()];
+        for trace in &traces {
+            let states = trace.states();
+            let last = states.last().expect("nonempty trace");
+            for v in g.nodes() {
+                let i = v.index();
+                let mut s = 0;
+                for t in (0..states.len() - 1).rev() {
+                    if states[t][i] != last[i] {
+                        s = (t + 1) as u64;
+                        break;
+                    }
+                }
+                stab[i] = stab[i].max(s);
+            }
+        }
+
+        // per-role observation sets and seeded candidates
+        let mut role_all: Vec<Vec<&Value>> = vec![Vec::new(); roles.role_count()];
+        let mut role_stable: Vec<Vec<&Value>> = vec![Vec::new(); roles.role_count()];
+        let mut role_stab = vec![0u64; roles.role_count()];
+        for v in g.nodes() {
+            let role = roles.role_of(v);
+            for trace in &traces {
+                for state in trace.states() {
+                    role_all[role].push(&state[v.index()]);
+                }
+                role_stable[role].push(&trace.states().last().expect("nonempty")[v.index()]);
+            }
+            role_stab[role] = role_stab[role].max(stab[v.index()]);
+        }
+        // the justified atom pools are fixed from here on: compute them once
+        // per role, seed the candidates from them, and let repairs filter the
+        // pools per counterexample instead of re-deriving them
+        let pool_always: Vec<Vec<Atom>> = role_all.iter().map(|vs| atoms_for(vs)).collect();
+        let pool_after: Vec<Vec<Atom>> = role_stable.iter().map(|vs| atoms_for(vs)).collect();
+        let candidates: Vec<Candidate> = (0..roles.role_count())
+            .map(|role| Candidate {
+                tau: role_stab[role],
+                always: pool_always[role].clone(),
+                after: pool_after[role].clone(),
+            })
+            .collect();
+        let roles_count = roles.role_count();
+
+        Ok(Inference {
+            options: self.options.clone(),
+            net,
+            property,
+            roles,
+            candidates,
+            pool_always,
+            pool_after,
+            role_stab,
+            blocked_always: vec![HashSet::new(); roles_count],
+            blocked_after: vec![HashSet::new(); roles_count],
+            sim_wall,
+        })
+    }
+}
+
+/// A prepared inference problem: seeded candidates awaiting the check/repair
+/// loop. Produced by [`InferenceEngine::prepare`].
+#[derive(Debug)]
+pub struct Inference<'n> {
+    options: InferOptions,
+    net: &'n Network,
+    property: &'n NodeAnnotations,
+    roles: RoleMap,
+    candidates: Vec<Candidate>,
+    /// Per role, every atom justified by all the members ever exhibited
+    /// (the `always` strengthening pool — fixed after [`prepare`]).
+    ///
+    /// [`prepare`]: InferenceEngine::prepare
+    pool_always: Vec<Vec<Atom>>,
+    /// Per role, every atom justified by the members' stable tails (the
+    /// `after` strengthening pool).
+    pool_after: Vec<Vec<Atom>>,
+    /// The maximal member stabilization time per role (the `τ` ceiling).
+    role_stab: Vec<u64>,
+    /// Atoms weakening dropped from a role's `always` guard; strengthening
+    /// never re-adds them there (termination of the add/drop interplay).
+    blocked_always: Vec<HashSet<Atom>>,
+    /// Likewise for the post-witness conjunction.
+    blocked_after: Vec<HashSet<Atom>>,
+    sim_wall: Duration,
+}
+
+impl Inference<'_> {
+    /// The seeded (or current) candidate of a role.
+    pub fn candidate(&self, role: usize) -> &Candidate {
+        &self.candidates[role]
+    }
+
+    /// Replaces a role's candidate — the hook tests use to plant a
+    /// deliberately broken seed and watch the repair loop fix it.
+    pub fn set_candidate(&mut self, role: usize, candidate: Candidate) {
+        self.candidates[role] = candidate;
+    }
+
+    /// The role map.
+    pub fn roles(&self) -> &RoleMap {
+        &self.roles
+    }
+
+    /// The current candidates as annotations.
+    pub fn annotations(&self) -> NodeAnnotations {
+        NodeAnnotations::from_fn(self.net.topology(), |v| {
+            self.candidates[self.roles.role_of(v)].temporal()
+        })
+    }
+
+    /// Runs the counterexample-guided check/repair loop to a fixpoint (every
+    /// node verified) or a bounded give-up, and assembles the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::Check`] if a verification condition cannot be
+    /// encoded — candidate atoms compile by construction, so this indicates
+    /// an ill-typed network or property.
+    pub fn solve(mut self) -> Result<Inferred, InferError> {
+        let start = Instant::now();
+        let g = self.net.topology();
+        let checker = ModularChecker::new(self.options.check.clone());
+
+        let mut interface = self.annotations();
+        // latest check result per node; a node's conditions depend only on
+        // its own and its predecessors' annotations, so results stay valid
+        // until one of those changes
+        let mut latest: BTreeMap<NodeId, (Vec<Failure>, Duration)> = BTreeMap::new();
+        let mut pending: BTreeSet<NodeId> = g.nodes().collect();
+        let mut repairs: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut gave_up: BTreeSet<NodeId> = BTreeSet::new();
+        let mut check_wall = Duration::ZERO;
+        let mut checks = 0usize;
+        let mut rounds = 0usize;
+
+        loop {
+            for v in std::mem::take(&mut pending) {
+                let t0 = Instant::now();
+                let result = checker.check_node(self.net, &interface, self.property, v)?;
+                check_wall += t0.elapsed();
+                checks += 1;
+                latest.insert(v, result);
+            }
+            let failing: Vec<NodeId> =
+                latest.iter().filter(|(_, (fs, _))| !fs.is_empty()).map(|(&v, _)| v).collect();
+            if failing.is_empty() || rounds >= self.options.max_rounds {
+                break;
+            }
+            rounds += 1;
+
+            let mut changed_roles: BTreeSet<usize> = BTreeSet::new();
+            gave_up.clear();
+            for v in failing {
+                // a repair this round may have already invalidated the
+                // counterexample; skip and let the re-check decide
+                let stale = changed_roles.contains(&self.roles.role_of(v))
+                    || g.preds(v).iter().any(|&u| changed_roles.contains(&self.roles.role_of(u)));
+                if stale {
+                    continue;
+                }
+                let failure = latest[&v].0.first().expect("failing node has a failure").clone();
+                match self.repair(&failure) {
+                    Some(roles) if !roles.is_empty() => {
+                        *repairs.entry(v).or_insert(0) += 1;
+                        changed_roles.extend(roles);
+                    }
+                    _ => {
+                        gave_up.insert(v);
+                    }
+                }
+            }
+            if changed_roles.is_empty() {
+                break;
+            }
+            interface = self.annotations();
+            // re-check the members of every modified role and their
+            // successors (whose inductive conditions assumed the old
+            // interfaces); everything else keeps its latest result
+            for &role in &changed_roles {
+                for m in self.roles.members(role) {
+                    pending.insert(m);
+                    pending.extend(g.succs(m).iter().copied());
+                }
+            }
+        }
+
+        let failures: Vec<Failure> =
+            latest.values().flat_map(|(fs, _)| fs.iter().cloned()).collect();
+        let durations: Vec<Duration> = latest.values().map(|(_, d)| *d).collect();
+        let verified = failures.is_empty();
+        let report = InferenceReport {
+            verified,
+            rounds,
+            node_repairs: repairs.into_iter().collect(),
+            gave_up: gave_up.into_iter().collect(),
+            failures,
+            role_templates: (0..self.roles.role_count())
+                .map(|r| RoleTemplate {
+                    role: self.roles.name(r).to_owned(),
+                    members: self.roles.members(r).count(),
+                    tau: self.candidates[r].tau,
+                    always_atoms: self.candidates[r].always.len(),
+                    after_atoms: self.candidates[r].after.len(),
+                    rendering: self.candidates[r].describe(),
+                })
+                .collect(),
+            sim_wall: self.sim_wall,
+            check_wall,
+            checks,
+            wall: start.elapsed(),
+            stats: TimingStats::from_durations(&durations),
+        };
+        Ok(Inferred { interface, report })
+    }
+
+    /// Attempts one repair for a failure, returning the modified roles
+    /// (`None`/empty: nothing this loop can do about it).
+    fn repair(&mut self, failure: &Failure) -> Option<Vec<usize>> {
+        let env = match &failure.reason {
+            FailureReason::CounterExample(cex) => cex.assignment.clone(),
+            // solver gave up: no counterexample to learn from
+            FailureReason::Unknown(_) => return None,
+        };
+        let v = failure.node;
+        let role = self.roles.role_of(v);
+        match failure.vc {
+            VcKind::Initial => self.repair_initial(v, role, &env),
+            VcKind::Inductive => self.repair_inductive(v, role, &env),
+            VcKind::Safety => self.repair_safety(v, role, &env),
+        }
+    }
+
+    /// Initial condition: `I(v) ∈ A(v)(0)`. The initial value is (by
+    /// construction of the seeds) in every trace, so a failure means a
+    /// sabotaged or over-generalized candidate: raise `τ` back to the
+    /// simulated stabilization time, then drop atoms `I(v)` violates.
+    fn repair_initial(&mut self, v: NodeId, role: usize, env: &Env) -> Option<Vec<usize>> {
+        let init = self.net.init(v).eval(env).ok()?;
+        let cand = &mut self.candidates[role];
+        let mut changed = false;
+        if cand.tau == 0 && cand.raise_tau(self.role_stab[role]) {
+            changed = true;
+        }
+        if cand.tau == 0 || !cand.always.iter().all(|a| a.holds(&init)) {
+            let at_zero = cand.tau == 0;
+            let dropped = self.weaken(role, &init, at_zero);
+            changed |= dropped > 0;
+        }
+        changed.then(|| vec![role])
+    }
+
+    /// Inductive condition: merged neighbor routes drawn from the interfaces
+    /// at `t` must land in `A(v)(t + delay + 1)`. Prefer *strengthening* a
+    /// neighbor whose falsifying route the simulation never exhibited (the
+    /// counterexample is spurious noise the neighbor's candidate is too weak
+    /// to exclude); otherwise *weaken* `v` itself.
+    fn repair_inductive(&mut self, v: NodeId, role: usize, env: &Env) -> Option<Vec<usize>> {
+        let g = self.net.topology();
+        let t_val = env.get("t").and_then(|t| t.as_int()).unwrap_or(0);
+        let mut modified = Vec::new();
+        for &u in g.preds(v) {
+            let Some(r_u) = env.get(&self.net.route_var_name(u)) else { continue };
+            let r_u = r_u.clone();
+            let u_role = self.roles.role_of(u);
+            if let Some(atom) = self.pick_strengthening(u_role, &r_u) {
+                if self.candidates[u_role].strengthen_always(atom) {
+                    modified.push(u_role);
+                    continue;
+                }
+            }
+            // the counterexample time is past `u`'s simulated stabilization,
+            // yet the route differs from everything the stable tail showed:
+            // `u`'s post-witness conjunction is too weak (or its witness time
+            // was sabotaged below the stabilization time)
+            if t_val >= i128::from(self.role_stab[u_role]) {
+                if let Some(atom) = self.pick_after_strengthening(u_role, &r_u) {
+                    if self.strengthen_after_role(u_role, atom) {
+                        modified.push(u_role);
+                    }
+                }
+            }
+        }
+        if !modified.is_empty() {
+            modified.sort_unstable();
+            modified.dedup();
+            return Some(modified);
+        }
+
+        // no neighbor to blame: weaken v
+        let t_goal = t_val + i128::from(self.options.check.delay) + 1;
+        let cand = &self.candidates[role];
+        let at_or_after = t_goal >= i128::from(cand.tau);
+        if at_or_after && cand.tau < self.role_stab[role] {
+            // the candidate claims stability earlier than the simulation
+            // ever showed: push the witness time back out
+            self.candidates[role].raise_tau(self.role_stab[role]);
+            return Some(vec![role]);
+        }
+        let neighbor_routes: Vec<Expr> =
+            g.preds(v).iter().map(|&u| self.net.route_var(u)).collect();
+        let stepped = self.net.step(v, &neighbor_routes).eval(env).ok()?;
+        let dropped = self.weaken(role, &stepped, at_or_after);
+        (dropped > 0).then(|| vec![role])
+    }
+
+    /// Safety condition: `A(v)(t) ⊆ P(v)(t)`. The candidate admits a route
+    /// the property rejects; the only sound move is to strengthen the
+    /// candidate with an atom the observations justify. If none separates
+    /// the counterexample, the property disagrees with the simulated
+    /// behavior itself and the node is beyond repair.
+    fn repair_safety(&mut self, v: NodeId, role: usize, env: &Env) -> Option<Vec<usize>> {
+        // read exactly the failing node's own route variable: the shared
+        // solver session decodes *every* variable earlier conditions
+        // declared, so the counterexample also carries arbitrary completion
+        // values for predecessor routes — which may belong to this role too
+        let r = env.get(&self.net.route_var_name(v))?.clone();
+        let t = env.get("t").and_then(|t| t.as_int()).unwrap_or(0);
+        let at_or_after = t >= i128::from(self.candidates[role].tau);
+        if at_or_after {
+            let atom = self.pick_after_strengthening(role, &r)?;
+            self.strengthen_after_role(role, atom).then(|| vec![role])
+        } else {
+            let atom = self.pick_strengthening(role, &r)?;
+            self.candidates[role].strengthen_always(atom).then(|| vec![role])
+        }
+    }
+
+    /// An atom consistent with the stable tails of `role`'s members that
+    /// rules out `bad`, if any separator is still available.
+    fn pick_after_strengthening(&self, role: usize, bad: &Value) -> Option<Atom> {
+        self.pool_after[role]
+            .iter()
+            .find(|a| {
+                !a.holds(bad)
+                    && !self.blocked_after[role].contains(*a)
+                    && !self.candidates[role].after.contains(*a)
+            })
+            .cloned()
+    }
+
+    /// Adds an atom to a role's post-witness conjunction and restores the
+    /// witness time to the simulated stabilization time (the atom is only
+    /// justified from there on).
+    fn strengthen_after_role(&mut self, role: usize, atom: Atom) -> bool {
+        let stab = self.role_stab[role];
+        let cand = &mut self.candidates[role];
+        let added = cand.strengthen_after(atom);
+        let raised = cand.raise_tau(stab);
+        added || raised
+    }
+
+    /// An atom consistent with everything `role`'s members ever exhibited
+    /// that rules out `bad` — `None` when `bad` is itself consistent with
+    /// the observations (nothing to learn) or every separator was already
+    /// spent.
+    fn pick_strengthening(&self, role: usize, bad: &Value) -> Option<Atom> {
+        self.pool_always[role]
+            .iter()
+            .find(|a| {
+                !a.holds(bad)
+                    && !self.blocked_always[role].contains(*a)
+                    && !self.candidates[role].always.contains(*a)
+            })
+            .cloned()
+    }
+
+    /// Drops every atom of `role`'s candidate that `bad` violates,
+    /// blocklisting them per conjunction so later strengthening cannot
+    /// reintroduce them there (guaranteeing termination of the add/drop
+    /// interplay).
+    fn weaken(&mut self, role: usize, bad: &Value, at_or_after_tau: bool) -> usize {
+        let (dropped_always, dropped_after) =
+            self.candidates[role].weaken_against(bad, at_or_after_tau);
+        let dropped = dropped_always.len() + dropped_after.len();
+        self.blocked_always[role].extend(dropped_always);
+        self.blocked_after[role].extend(dropped_after);
+        dropped
+    }
+}
+
+/// The exact stepwise interface of Theorem 3.3, per node, via
+/// [`Temporal::from_trace`]: `A(v)(t) = {σ(v)(t)}` with the stable value
+/// pinned globally from the end of the trace. Maximally precise and valid
+/// for the closed synchronous semantics, but tied to one input environment
+/// and one node — the generalizing pipeline above is what scales.
+///
+/// # Errors
+///
+/// [`InferError::Sim`] / [`InferError::Unconverged`] as for inference.
+pub fn exact_interface(
+    net: &Network,
+    input: &Env,
+    max_steps: usize,
+) -> Result<NodeAnnotations, InferError> {
+    let trace = simulate(net, input, max_steps)?;
+    if trace.converged_at().is_none() {
+        return Err(InferError::Unconverged { steps: max_steps });
+    }
+    Ok(NodeAnnotations::from_fn(net.topology(), |v| {
+        let values: Vec<Value> =
+            trace.states().iter().map(|state| state[v.index()].clone()).collect();
+        Temporal::from_trace(&values)
+    }))
+}

@@ -1,0 +1,261 @@
+//! `timepiece-infer`: simulation-guided inference of temporal interfaces.
+//!
+//! The paper's modular checker (Algorithm 1) needs a per-node temporal
+//! interface `A : V → N → 2^S` — and writing one is the human bottleneck:
+//! every benchmark in `timepiece-nets` ships a hand-proved annotation. This
+//! crate synthesizes the annotations automatically from the two ingredients
+//! the codebase already has:
+//!
+//! * the **reference simulator** (`timepiece-sim`), which produces per-node
+//!   traces `σ(v)(0), σ(v)(1), …` and convergence times for any closed
+//!   network instance, and
+//! * the **modular checker** (`timepiece-core`), whose counterexamples are
+//!   decodable assignments the inference loop can learn from.
+//!
+//! # Pipeline
+//!
+//! 1. **Simulate and lift.** Run the network to convergence; lift each
+//!    node's trace into a candidate interface of shape
+//!    `G(always) ⊓ F^τ G(after)` — `τ` the observed stabilization time,
+//!    `always`/`after` conjunctions of [`Atom`]s justified by the whole
+//!    trace / its stable tail. (The exact single-trace version of this
+//!    lifting is `Temporal::from_trace`, Theorem 3.3; see
+//!    [`exact_interface`].)
+//! 2. **Generalize.** Group symmetric nodes with a [`RoleMap`] (for
+//!    fattrees: the six destination-relative symmetry classes of
+//!    `FatTree::symmetry_class`) and keep one candidate per role, justified
+//!    by the union of the members' observations. Annotation size becomes
+//!    independent of the topology parameter `k`.
+//! 3. **Check and repair (CEGIS).** Validate candidates with the modular
+//!    checker. On a counterexample at node `v`: *strengthen* a neighbor
+//!    whose falsifying route the simulation never exhibited (add a
+//!    separating atom to its `always` guard), else *weaken* `v` (raise
+//!    `τ` toward the simulated stabilization time, drop the atoms the
+//!    counterexample's step violates). Only the modified roles' members and
+//!    their successors are re-checked. Atoms move through a finite,
+//!    blocklisted lattice, so the loop reaches a fixpoint or a bounded
+//!    give-up, summarized in an [`InferenceReport`].
+//!
+//! # Example
+//!
+//! Infer interfaces for boolean reachability on a 3-node path, with zero
+//! hand-written annotations:
+//!
+//! ```
+//! use timepiece_algebra::NetworkBuilder;
+//! use timepiece_core::{NodeAnnotations, Temporal};
+//! use timepiece_expr::{Env, Expr, Type};
+//! use timepiece_infer::{InferenceEngine, RoleMap};
+//! use timepiece_topology::gen;
+//!
+//! let g = gen::undirected_path(3);
+//! let v0 = g.node_by_name("v0").unwrap();
+//! let net = NetworkBuilder::new(g, Type::Bool)
+//!     .merge(|a, b| a.clone().or(b.clone()))
+//!     .default_transfer(|r| r.clone())
+//!     .init(v0, Expr::bool(true))
+//!     .build()?;
+//! // property: every node eventually holds the route, forever
+//! let property = NodeAnnotations::new(
+//!     net.topology(),
+//!     Temporal::finally_at(2, Temporal::globally(|r| r.clone())),
+//! );
+//! let roles = RoleMap::singleton(net.topology());
+//! let result = InferenceEngine::default().infer(&net, &property, roles, &[Env::new()])?;
+//! assert!(result.report.verified);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod atoms;
+pub mod candidate;
+pub mod engine;
+pub mod roles;
+
+pub use atoms::{atoms_for, separating_atoms, Atom, FieldTest};
+pub use candidate::Candidate;
+pub use engine::{
+    exact_interface, InferError, InferOptions, Inference, InferenceEngine, InferenceReport,
+    Inferred, RoleTemplate,
+};
+pub use roles::RoleMap;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_algebra::{Network, NetworkBuilder};
+    use timepiece_core::check::{CheckOptions, ModularChecker};
+    use timepiece_core::{NodeAnnotations, Temporal};
+    use timepiece_expr::{Env, Expr, Type, Value};
+    use timepiece_topology::gen;
+
+    /// Boolean reachability on an undirected path: v0 originates, everyone
+    /// else eventually learns the route.
+    fn reach_net(n: usize) -> Network {
+        let g = gen::undirected_path(n);
+        let v0 = g.node_by_name("v0").unwrap();
+        NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(v0, Expr::bool(true))
+            .build()
+            .unwrap()
+    }
+
+    fn reach_property(net: &Network) -> NodeAnnotations {
+        let horizon = (net.topology().node_count() - 1) as u64;
+        NodeAnnotations::new(
+            net.topology(),
+            Temporal::finally_at(horizon, Temporal::globally(|r| r.clone())),
+        )
+    }
+
+    #[test]
+    fn infers_path_reachability_without_annotations() {
+        let net = reach_net(5);
+        let property = reach_property(&net);
+        let roles = RoleMap::singleton(net.topology());
+        let result =
+            InferenceEngine::default().infer(&net, &property, roles, &[Env::new()]).unwrap();
+        assert!(result.report.verified, "failures: {:?}", result.report.failures);
+        // the checker agrees with the engine's own verdict
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&net, &result.interface, &property)
+            .unwrap();
+        assert!(report.is_verified());
+        // witness times match the simulated arrival times exactly
+        let mut env = Env::new();
+        env.bind("t", Value::int(0));
+        env.bind("r", Value::Bool(false));
+        for v in net.topology().nodes() {
+            let holds_nothing_at_0 = result
+                .interface
+                .get(v)
+                .at(&Expr::var("t", Type::Int), &Expr::var("r", Type::Bool))
+                .eval_bool(&env)
+                .unwrap();
+            // only the origin pins the route at time 0
+            assert_eq!(holds_nothing_at_0, v.index() != 0, "node {v}");
+        }
+    }
+
+    #[test]
+    fn cegis_repairs_a_deliberately_weakened_seed() {
+        let net = reach_net(4);
+        let property = reach_property(&net);
+        let roles = RoleMap::singleton(net.topology());
+        let engine = InferenceEngine::default();
+        let mut prepared = engine.prepare(&net, &property, roles, &[Env::new()]).unwrap();
+        // sabotage node v2's seed: claim the route arrives at time 0 and
+        // throw away every learned atom — the candidate now admits
+        // everything, so its successor's induction and its own safety break
+        let v2 = net.topology().node_by_name("v2").unwrap();
+        let role = prepared.roles().role_of(v2);
+        prepared.set_candidate(role, Candidate::any());
+        let result = prepared.solve().unwrap();
+        assert!(result.report.verified, "failures: {:?}", result.report.failures);
+        assert!(result.report.rounds >= 1, "repair must take at least one round");
+        assert!(
+            result.report.total_repairs() >= 1,
+            "the weakened seed must be repaired: {:?}",
+            result.report.node_repairs
+        );
+        // and the repaired annotations really verify
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&net, &result.interface, &property)
+            .unwrap();
+        assert!(report.is_verified());
+    }
+
+    #[test]
+    fn cegis_repairs_a_too_early_witness_time() {
+        let net = reach_net(4);
+        let property = reach_property(&net);
+        let engine = InferenceEngine::default();
+        let mut prepared = engine
+            .prepare(&net, &property, RoleMap::singleton(net.topology()), &[Env::new()])
+            .unwrap();
+        // claim v3 stabilizes at time 1; the simulation says 3
+        let v3 = net.topology().node_by_name("v3").unwrap();
+        let role = prepared.roles().role_of(v3);
+        let mut sabotaged = prepared.candidate(role).clone();
+        sabotaged.tau = 1;
+        prepared.set_candidate(role, sabotaged);
+        let result = prepared.solve().unwrap();
+        assert!(result.report.verified, "failures: {:?}", result.report.failures);
+        // the repair raised the witness time back to the simulated value
+        assert!(result.report.total_repairs() >= 1);
+    }
+
+    #[test]
+    fn unconverged_simulation_is_an_error() {
+        let net = reach_net(8);
+        let property = reach_property(&net);
+        let engine = InferenceEngine::new(InferOptions {
+            max_steps: 2, // too few for a 7-hop path
+            ..InferOptions::default()
+        });
+        let err = engine
+            .infer(&net, &property, RoleMap::singleton(net.topology()), &[Env::new()])
+            .unwrap_err();
+        assert!(matches!(err, InferError::Unconverged { steps: 2 }), "{err}");
+        assert!(err.to_string().contains("converge"));
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let net = reach_net(2);
+        let property = reach_property(&net);
+        let err = InferenceEngine::default()
+            .infer(&net, &property, RoleMap::singleton(net.topology()), &[])
+            .unwrap_err();
+        assert!(matches!(err, InferError::NoInputs));
+    }
+
+    #[test]
+    fn unsatisfiable_property_gives_up_instead_of_looping() {
+        let net = reach_net(3);
+        // property demands the route is *never* held — contradicts v0's
+        // origination, so no trace-justified strengthening can help
+        let property =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone().not()));
+        let result = InferenceEngine::default()
+            .infer(&net, &property, RoleMap::singleton(net.topology()), &[Env::new()])
+            .unwrap();
+        assert!(!result.report.verified);
+        assert!(!result.report.gave_up.is_empty());
+        assert!(!result.report.failures.is_empty());
+    }
+
+    #[test]
+    fn exact_interface_reproduces_theorem_3_3() {
+        let net = reach_net(4);
+        let interface = exact_interface(&net, &Env::new(), 16).unwrap();
+        // the exact stepwise interface is self-inductive and safe for the
+        // anything-goes property
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = ModularChecker::new(CheckOptions::default())
+            .check(&net, &interface, &property)
+            .unwrap();
+        assert!(report.is_verified(), "failures: {:?}", report.failures());
+    }
+
+    #[test]
+    fn report_renders_role_templates() {
+        let net = reach_net(3);
+        let property = reach_property(&net);
+        let result = InferenceEngine::default()
+            .infer(&net, &property, RoleMap::singleton(net.topology()), &[Env::new()])
+            .unwrap();
+        assert_eq!(result.report.role_templates.len(), 3);
+        for template in &result.report.role_templates {
+            assert!(!template.role.is_empty());
+            assert!(!template.rendering.is_empty());
+            assert_eq!(template.members, 1);
+        }
+        assert!(result.report.checks >= net.topology().node_count());
+        assert!(result.report.stats.count == net.topology().node_count());
+    }
+}

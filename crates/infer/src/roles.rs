@@ -1,0 +1,142 @@
+//! Role maps: grouping symmetric nodes under one interface template.
+//!
+//! Inference scales to large topologies by exploiting symmetry: nodes
+//! related by a destination-fixing automorphism satisfy the same temporal
+//! interface, so one *template* per role both shrinks the candidate space
+//! and yields annotations whose size is independent of the topology
+//! parameter (six templates cover a fattree of any `k`).
+//!
+//! A [`RoleMap`] assigns every node a role index. Candidates are maintained
+//! per role; a CEGIS repair triggered at one member applies to the whole
+//! role, and re-checking visits all members.
+
+use timepiece_topology::{FatTree, NodeId, Topology};
+
+/// A partition of the node set into symmetry roles.
+#[derive(Debug, Clone)]
+pub struct RoleMap {
+    role_of: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl RoleMap {
+    /// The discrete partition: every node is its own role (no
+    /// generalization). Always sound; the fallback for topologies without
+    /// known symmetry.
+    pub fn singleton(topology: &Topology) -> RoleMap {
+        RoleMap {
+            role_of: (0..topology.node_count()).collect(),
+            names: topology.nodes().map(|v| topology.name(v).to_owned()).collect(),
+        }
+    }
+
+    /// The fattree partition relative to a destination edge node: the six
+    /// classes of [`FatTree::symmetry_class`] (destination, same-pod
+    /// aggregation/edge, core, other-pod aggregation/edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is not an edge node of `ft`.
+    pub fn fattree(ft: &FatTree, dest: NodeId) -> RoleMap {
+        use timepiece_topology::FatTreeClass;
+        let class_index =
+            |c: FatTreeClass| FatTreeClass::ALL.iter().position(|&x| x == c).expect("class in ALL");
+        let role_of: Vec<usize> =
+            ft.topology().nodes().map(|v| class_index(ft.symmetry_class(v, dest))).collect();
+        let names = FatTreeClass::ALL.iter().map(|c| format!("{c:?}")).collect();
+        RoleMap { role_of, names }
+    }
+
+    /// Builds a role map from an arbitrary keying function; nodes with equal
+    /// keys share a role.
+    pub fn by_key<K: Eq + std::hash::Hash + std::fmt::Debug>(
+        topology: &Topology,
+        mut key: impl FnMut(NodeId) -> K,
+    ) -> RoleMap {
+        let mut index = std::collections::HashMap::new();
+        let mut names = Vec::new();
+        let role_of = topology
+            .nodes()
+            .map(|v| {
+                let k = key(v);
+                *index.entry(k).or_insert_with_key(|k| {
+                    names.push(format!("{k:?}"));
+                    names.len() - 1
+                })
+            })
+            .collect();
+        RoleMap { role_of, names }
+    }
+
+    /// The number of roles.
+    pub fn role_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The role of a node.
+    pub fn role_of(&self, v: NodeId) -> usize {
+        self.role_of[v.index()]
+    }
+
+    /// A display name for a role.
+    pub fn name(&self, role: usize) -> &str {
+        &self.names[role]
+    }
+
+    /// All members of a role.
+    pub fn members(&self, role: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.role_of
+            .iter()
+            .enumerate()
+            .filter(move |(_, &r)| r == role)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_topology::gen;
+
+    #[test]
+    fn singleton_partition() {
+        let g = gen::path(4);
+        let roles = RoleMap::singleton(&g);
+        assert_eq!(roles.role_count(), 4);
+        for v in g.nodes() {
+            assert_eq!(roles.members(roles.role_of(v)).collect::<Vec<_>>(), vec![v]);
+            assert_eq!(roles.name(roles.role_of(v)), g.name(v));
+        }
+    }
+
+    #[test]
+    fn fattree_partition_covers_and_agrees_with_classes() {
+        let ft = FatTree::new(4);
+        let dest = ft.edge_nodes().next().unwrap();
+        let roles = RoleMap::fattree(&ft, dest);
+        assert_eq!(roles.role_count(), 6);
+        let mut seen = 0;
+        for role in 0..roles.role_count() {
+            for v in roles.members(role) {
+                seen += 1;
+                assert_eq!(roles.role_of(v), role);
+                // all members share the witness distance
+                assert_eq!(
+                    ft.dist(v, dest),
+                    ft.symmetry_class(v, dest).dist(),
+                    "member {}",
+                    ft.topology().name(v)
+                );
+            }
+        }
+        assert_eq!(seen, ft.topology().node_count());
+    }
+
+    #[test]
+    fn by_key_groups_equal_keys() {
+        let g = gen::path(5);
+        let roles = RoleMap::by_key(&g, |v| v.index() % 2);
+        assert_eq!(roles.role_count(), 2);
+        assert_eq!(roles.members(roles.role_of(g.node_by_name("v0").unwrap())).count(), 3);
+    }
+}

@@ -24,7 +24,7 @@ use timepiece_topology::{FatTree, NodeId, Topology};
 
 use crate::bgp::BgpSchema;
 use crate::fattree_common::{DestSpec, DEST_VAR};
-use crate::BenchInstance;
+use crate::{BenchInstance, PropertySpec};
 
 /// The symbolic internal prefix variable.
 pub const PREFIX_VAR: &str = "prefix";
@@ -90,6 +90,11 @@ impl HijackBench {
             interface: self.interface(),
             property: self.property(),
         }
+    }
+
+    /// The property-only form (no interface annotations), for inference.
+    pub fn spec(&self) -> PropertySpec {
+        PropertySpec { network: self.network(), property: self.property() }
     }
 
     fn prefix() -> Expr {

@@ -14,7 +14,7 @@ use timepiece_topology::FatTree;
 
 use crate::bgp::{BgpSchema, DEFAULT_AD, DEFAULT_LP, DEFAULT_MED};
 use crate::fattree_common::{DestSpec, DEST_VAR};
-use crate::BenchInstance;
+use crate::{BenchInstance, PropertySpec};
 
 /// Builder for `SpLen`/`ApLen` instances.
 #[derive(Debug, Clone)]
@@ -56,6 +56,14 @@ impl LenBench {
         &self.fattree
     }
 
+    /// The fixed destination node (`None` for the all-pairs variant).
+    pub fn dest_node(&self) -> Option<timepiece_topology::NodeId> {
+        match self.dest {
+            DestSpec::Fixed(d) => Some(d),
+            DestSpec::Symbolic => None,
+        }
+    }
+
     /// Assembles the network, interface and property.
     pub fn build(&self) -> BenchInstance {
         BenchInstance {
@@ -63,6 +71,11 @@ impl LenBench {
             interface: self.interface(),
             property: self.property(),
         }
+    }
+
+    /// The property-only form (no interface annotations), for inference.
+    pub fn spec(&self) -> PropertySpec {
+        PropertySpec { network: self.network(), property: self.property() }
     }
 
     /// Same network as `Reach` (plain eBGP, incrementing transfer).

@@ -32,6 +32,27 @@ pub mod reach;
 pub mod vf;
 pub mod wan;
 
+/// A benchmark in its *property-only* form: the network and the property to
+/// prove, with no interface annotations.
+///
+/// This is the input shape of interface **inference** (`timepiece-infer`):
+/// everything a verification problem needs except the hand-written per-node
+/// interfaces. Every benchmark builder exposes a `spec()` constructor for
+/// this form alongside its annotated [`BenchInstance`].
+#[derive(Debug, Clone)]
+pub struct PropertySpec {
+    /// The network `N = (G, S, I, F, ⊕)`.
+    pub network: timepiece_algebra::Network,
+    /// The per-node properties `P`.
+    pub property: timepiece_core::NodeAnnotations,
+}
+
+impl From<BenchInstance> for PropertySpec {
+    fn from(inst: BenchInstance) -> PropertySpec {
+        inst.into_spec()
+    }
+}
+
 /// A benchmark instance ready for the modular or monolithic checker.
 #[derive(Debug)]
 pub struct BenchInstance {
@@ -41,4 +62,17 @@ pub struct BenchInstance {
     pub interface: timepiece_core::NodeAnnotations,
     /// The per-node properties `P`.
     pub property: timepiece_core::NodeAnnotations,
+}
+
+impl BenchInstance {
+    /// The property-only form: surrenders the hand-written interface so an
+    /// inference engine can synthesize its own.
+    pub fn into_spec(self) -> PropertySpec {
+        PropertySpec { network: self.network, property: self.property }
+    }
+
+    /// A cloning variant of [`BenchInstance::into_spec`].
+    pub fn spec(&self) -> PropertySpec {
+        PropertySpec { network: self.network.clone(), property: self.property.clone() }
+    }
 }

@@ -11,7 +11,7 @@ use timepiece_topology::FatTree;
 
 use crate::bgp::BgpSchema;
 use crate::fattree_common::{DestSpec, DEST_VAR};
-use crate::BenchInstance;
+use crate::{BenchInstance, PropertySpec};
 
 /// Builder for `SpReach`/`ApReach` instances.
 #[derive(Debug, Clone)]
@@ -47,12 +47,25 @@ impl ReachBench {
         &self.fattree
     }
 
+    /// The fixed destination node (`None` for the all-pairs variant).
+    pub fn dest_node(&self) -> Option<timepiece_topology::NodeId> {
+        match self.dest {
+            DestSpec::Fixed(d) => Some(d),
+            DestSpec::Symbolic => None,
+        }
+    }
+
     /// Assembles the network, interface and property.
     pub fn build(&self) -> BenchInstance {
         let network = self.network();
         let interface = self.interface();
         let property = self.property();
         BenchInstance { network, interface, property }
+    }
+
+    /// The property-only form (no interface annotations), for inference.
+    pub fn spec(&self) -> PropertySpec {
+        PropertySpec { network: self.network(), property: self.property() }
     }
 
     /// The network alone (plain eBGP with incrementing transfer).

@@ -87,11 +87,104 @@ impl Validity {
     }
 }
 
+/// An incremental validity-checking session: one Z3 solver (and one term
+/// encoder) discharging a *sequence* of verification conditions.
+///
+/// Each [`SolverSession::check`] runs inside a `push`/`pop` scope, so the
+/// conditions stay logically independent while the solver context, variable
+/// declarations and compiled-term cache are reused. The modular checker
+/// discharges a node's three conditions on one session instead of three
+/// fresh solvers.
+///
+/// Sessions live on the calling thread's Z3 context and cannot move between
+/// threads; create one per worker.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_expr::{Expr, Type};
+/// use timepiece_smt::{SolverSession, Vc};
+///
+/// let x = Expr::var("x", Type::Int);
+/// let mut session = SolverSession::new(None);
+/// let good = Vc::new("good", [x.clone().gt(Expr::int(2))], x.clone().gt(Expr::int(1)));
+/// let bad = Vc::new("bad", [], x.ge(Expr::int(0)));
+/// assert!(session.check(&good)?.is_valid());
+/// assert!(!session.check(&bad)?.is_valid());
+/// # Ok::<(), timepiece_smt::SmtError>(())
+/// ```
+#[derive(Debug)]
+pub struct SolverSession {
+    enc: Encoder,
+    solver: Solver,
+}
+
+impl SolverSession {
+    /// Creates a session on the thread's Z3 context, optionally bounding each
+    /// check's solver time.
+    pub fn new(timeout: Option<Duration>) -> SolverSession {
+        let solver = Solver::new();
+        if let Some(t) = timeout {
+            let mut params = z3::Params::new();
+            // round sub-millisecond budgets up so a tiny timeout stays a timeout
+            params.set_u32("timeout", t.as_millis().clamp(1, u128::from(u32::MAX)) as u32);
+            solver.set_params(&params);
+        }
+        SolverSession { enc: Encoder::new(), solver }
+    }
+
+    /// Checks whether one verification condition is valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmtError`] if the condition is ill-typed or a counterexample
+    /// model cannot be decoded.
+    pub fn check(&mut self, vc: &Vc) -> Result<Validity, SmtError> {
+        self.solver.push();
+        let result = self.check_pushed(vc);
+        self.solver.pop(1);
+        result
+    }
+
+    fn check_pushed(&mut self, vc: &Vc) -> Result<Validity, SmtError> {
+        for a in &vc.assumptions {
+            let compiled = self.enc.compile_bool(a)?;
+            self.solver.assert(compiled);
+        }
+        let goal = self.enc.compile_bool(&vc.goal)?;
+        // well-formedness constraints are per-variable and the variable set
+        // only grows across checks; re-asserting them inside the scope keeps
+        // each check self-contained after the pop.
+        for wf in self.enc.well_formed() {
+            self.solver.assert(wf);
+        }
+        self.solver.assert(goal.not());
+        match self.solver.check() {
+            SatResult::Unsat => Ok(Validity::Valid),
+            SatResult::Sat => {
+                let model = self
+                    .solver
+                    .get_model()
+                    .ok_or_else(|| SmtError::ModelDecode("missing model".to_owned()))?;
+                let assignment = self.enc.decode_model(&model)?;
+                Ok(Validity::Invalid(Box::new(CounterExample {
+                    vc_name: vc.name().to_owned(),
+                    assignment,
+                })))
+            }
+            SatResult::Unknown => Ok(Validity::Unknown(
+                self.solver.get_reason_unknown().unwrap_or_else(|| "unknown".to_owned()),
+            )),
+        }
+    }
+}
+
 /// Checks whether a verification condition is valid, optionally bounding
 /// solver time.
 ///
-/// The check runs on the calling thread's Z3 context; independent conditions
-/// may be checked concurrently from different threads.
+/// One-shot convenience over [`SolverSession`]: a fresh solver per call. The
+/// check runs on the calling thread's Z3 context; independent conditions may
+/// be checked concurrently from different threads.
 ///
 /// # Errors
 ///
@@ -116,36 +209,7 @@ impl Validity {
 /// # Ok::<(), timepiece_smt::SmtError>(())
 /// ```
 pub fn check_validity(vc: &Vc, timeout: Option<Duration>) -> Result<Validity, SmtError> {
-    let mut enc = Encoder::new();
-    let solver = Solver::new();
-    if let Some(t) = timeout {
-        let mut params = z3::Params::new();
-        // round sub-millisecond budgets up so a tiny timeout stays a timeout
-        params.set_u32("timeout", t.as_millis().clamp(1, u128::from(u32::MAX)) as u32);
-        solver.set_params(&params);
-    }
-    for a in &vc.assumptions {
-        let compiled = enc.compile_bool(a)?;
-        solver.assert(compiled);
-    }
-    let goal = enc.compile_bool(&vc.goal)?;
-    for wf in enc.well_formed() {
-        solver.assert(wf);
-    }
-    solver.assert(goal.not());
-    match solver.check() {
-        SatResult::Unsat => Ok(Validity::Valid),
-        SatResult::Sat => {
-            let model = solver
-                .get_model()
-                .ok_or_else(|| SmtError::ModelDecode("missing model".to_owned()))?;
-            let assignment = enc.decode_model(&model)?;
-            Ok(Validity::Invalid(Box::new(CounterExample { vc_name: vc.name.clone(), assignment })))
-        }
-        SatResult::Unknown => Ok(Validity::Unknown(
-            solver.get_reason_unknown().unwrap_or_else(|| "unknown".to_owned()),
-        )),
-    }
+    SolverSession::new(timeout).check(vc)
 }
 
 #[cfg(test)]
@@ -194,6 +258,48 @@ mod tests {
             }
             other => panic!("expected invalid, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn session_isolates_conditions_across_pops() {
+        let x = Expr::var("x", Type::Int);
+        let mut session = SolverSession::new(None);
+        // a condition with an unsatisfiable assumption is vacuously valid...
+        let vacuous = Vc::new("vacuous", [Expr::bool(false)], x.clone().gt(Expr::int(10)));
+        assert!(session.check(&vacuous).unwrap().is_valid());
+        // ...and must NOT leak its `false` assumption into later checks
+        let bad = Vc::new("bad", [], x.clone().gt(Expr::int(10)));
+        assert!(!session.check(&bad).unwrap().is_valid());
+        // nor must the previous negated goal constrain this valid one
+        let good = Vc::new("good", [x.clone().gt(Expr::int(2))], x.gt(Expr::int(1)));
+        assert!(session.check(&good).unwrap().is_valid());
+    }
+
+    #[test]
+    fn session_reuses_declarations_consistently() {
+        // the same variable appears in many conditions; the shared encoder
+        // must keep one declaration and still decode models per check
+        let x = Expr::var("x", Type::Int);
+        let mut session = SolverSession::new(None);
+        for bound in [0i64, 5, 50] {
+            let vc = Vc::new(format!("gt-{bound}"), [], x.clone().gt(Expr::int(bound)));
+            match session.check(&vc).unwrap() {
+                Validity::Invalid(cex) => {
+                    let v = cex.assignment.get("x").unwrap().as_int().unwrap();
+                    assert!(v <= i128::from(bound), "cex {v} for bound {bound}");
+                }
+                other => panic!("expected invalid, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn session_rejects_inconsistent_redeclaration() {
+        let mut session = SolverSession::new(None);
+        let ok = Vc::new("int", [], Expr::var("x", Type::Int).ge(Expr::int(0)));
+        let clash = Vc::new("bool", [], Expr::var("x", Type::Bool));
+        assert!(session.check(&ok).is_ok());
+        assert!(session.check(&clash).is_err());
     }
 
     #[test]

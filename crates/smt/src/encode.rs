@@ -29,7 +29,12 @@ use crate::sym::{set_width, Sym};
 #[derive(Debug, Default)]
 pub struct Encoder {
     vars: HashMap<String, (Sym, Type)>,
-    cache: HashMap<usize, Sym>,
+    /// Compiled subterms by node identity. The cached [`Expr`] handle keeps
+    /// the node alive: identities are `Arc` addresses, so an entry for a
+    /// dropped term could otherwise alias a *new* term allocated at the same
+    /// address (encoders now outlive single conditions via
+    /// `SolverSession`).
+    cache: HashMap<usize, (Expr, Sym)>,
 }
 
 impl Encoder {
@@ -96,11 +101,11 @@ impl Encoder {
     /// Returns [`SmtError::IllTyped`] for ill-typed terms and
     /// [`SmtError::IntTooLarge`] for out-of-range integer literals.
     pub fn compile(&mut self, e: &Expr) -> Result<Sym, SmtError> {
-        if let Some(s) = self.cache.get(&e.node_id()) {
+        if let Some((_, s)) = self.cache.get(&e.node_id()) {
             return Ok(s.clone());
         }
         let s = self.compile_uncached(e)?;
-        self.cache.insert(e.node_id(), s.clone());
+        self.cache.insert(e.node_id(), (e.clone(), s.clone()));
         Ok(s)
     }
 

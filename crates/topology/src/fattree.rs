@@ -37,6 +37,49 @@ impl FatTreeRole {
     }
 }
 
+/// The symmetry class of a fattree node relative to a destination edge node:
+/// the five `dist` classes of §6, with the destination split out from its
+/// pod-mates. See [`FatTree::symmetry_class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FatTreeClass {
+    /// The destination edge node itself (`dist = 0`).
+    Destination,
+    /// Aggregation switches in the destination pod (`dist = 1`).
+    AggSamePod,
+    /// Edge switches in the destination pod, other than the destination
+    /// (`dist = 2`).
+    EdgeSamePod,
+    /// Core switches (`dist = 2`).
+    Core,
+    /// Aggregation switches outside the destination pod (`dist = 3`).
+    AggOtherPod,
+    /// Edge switches outside the destination pod (`dist = 4`).
+    EdgeOtherPod,
+}
+
+impl FatTreeClass {
+    /// All classes, in increasing `dist` order.
+    pub const ALL: [FatTreeClass; 6] = [
+        FatTreeClass::Destination,
+        FatTreeClass::AggSamePod,
+        FatTreeClass::EdgeSamePod,
+        FatTreeClass::Core,
+        FatTreeClass::AggOtherPod,
+        FatTreeClass::EdgeOtherPod,
+    ];
+
+    /// The paper's `dist` witness time of every member of this class.
+    pub fn dist(&self) -> u64 {
+        match self {
+            FatTreeClass::Destination => 0,
+            FatTreeClass::AggSamePod => 1,
+            FatTreeClass::EdgeSamePod | FatTreeClass::Core => 2,
+            FatTreeClass::AggOtherPod => 3,
+            FatTreeClass::EdgeOtherPod => 4,
+        }
+    }
+}
+
 /// A generated `k`-fattree with role metadata.
 ///
 /// # Example
@@ -169,6 +212,30 @@ impl FatTree {
         }
     }
 
+    /// The symmetry class of a node relative to a destination edge node: all
+    /// members of a class are related by an automorphism of the fattree that
+    /// fixes the destination, so they share witness times and invariant
+    /// shapes (§6, "Witness times"). One inferred interface template per
+    /// class therefore covers the whole fattree, independent of `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is not an edge node.
+    pub fn symmetry_class(&self, v: NodeId, dest: NodeId) -> FatTreeClass {
+        let dest_pod = match self.role(dest) {
+            FatTreeRole::Edge { pod } => pod,
+            other => panic!("destination must be an edge node, got {other:?}"),
+        };
+        match self.role(v) {
+            _ if v == dest => FatTreeClass::Destination,
+            FatTreeRole::Aggregation { pod } if pod == dest_pod => FatTreeClass::AggSamePod,
+            FatTreeRole::Edge { pod } if pod == dest_pod => FatTreeClass::EdgeSamePod,
+            FatTreeRole::Core => FatTreeClass::Core,
+            FatTreeRole::Aggregation { .. } => FatTreeClass::AggOtherPod,
+            FatTreeRole::Edge { .. } => FatTreeClass::EdgeOtherPod,
+        }
+    }
+
     /// Nodes *adjacent* to the destination in the paper's Vf sense: the
     /// destination itself and the aggregation switches of its pod. These
     /// carry routes upward before any core has one.
@@ -259,6 +326,41 @@ mod tests {
                 assert!(matches!(ft.role(v), FatTreeRole::Aggregation { pod: 0 }));
             }
         }
+    }
+
+    #[test]
+    fn symmetry_classes_refine_dist() {
+        let ft = FatTree::new(8);
+        for dest in ft.edge_nodes() {
+            for v in ft.topology().nodes() {
+                let class = ft.symmetry_class(v, dest);
+                assert_eq!(
+                    class.dist(),
+                    ft.dist(v, dest),
+                    "class dist at {}",
+                    ft.topology().name(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_class_counts() {
+        let k = 6;
+        let ft = FatTree::new(k);
+        let dest = ft.edge_nodes().next().unwrap();
+        let count = |c: FatTreeClass| {
+            ft.topology().nodes().filter(|&v| ft.symmetry_class(v, dest) == c).count()
+        };
+        assert_eq!(count(FatTreeClass::Destination), 1);
+        assert_eq!(count(FatTreeClass::AggSamePod), k / 2);
+        assert_eq!(count(FatTreeClass::EdgeSamePod), k / 2 - 1);
+        assert_eq!(count(FatTreeClass::Core), k * k / 4);
+        assert_eq!(count(FatTreeClass::AggOtherPod), (k - 1) * k / 2);
+        assert_eq!(count(FatTreeClass::EdgeOtherPod), (k - 1) * k / 2);
+        // the six classes partition the node set
+        let total: usize = FatTreeClass::ALL.iter().map(|&c| count(c)).sum();
+        assert_eq!(total, ft.topology().node_count());
     }
 
     #[test]

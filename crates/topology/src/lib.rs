@@ -29,6 +29,6 @@ pub mod gen;
 pub mod graph;
 pub mod wan;
 
-pub use fattree::{FatTree, FatTreeRole};
+pub use fattree::{FatTree, FatTreeClass, FatTreeRole};
 pub use graph::{NodeId, Topology};
 pub use wan::{PeerClass, Wan};

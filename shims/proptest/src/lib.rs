@@ -196,7 +196,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact count or a range.
+    /// Element-count specification for [`vec()`]: an exact count or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -216,7 +216,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,

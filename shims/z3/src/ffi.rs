@@ -90,6 +90,8 @@ extern "C" {
     pub fn Z3_solver_dec_ref(c: Z3_context, s: Z3_solver);
     pub fn Z3_solver_set_params(c: Z3_context, s: Z3_solver, p: Z3_params);
     pub fn Z3_solver_assert(c: Z3_context, s: Z3_solver, a: Z3_ast);
+    pub fn Z3_solver_push(c: Z3_context, s: Z3_solver);
+    pub fn Z3_solver_pop(c: Z3_context, s: Z3_solver, n: c_uint);
     pub fn Z3_solver_check(c: Z3_context, s: Z3_solver) -> Z3_lbool;
     pub fn Z3_solver_get_model(c: Z3_context, s: Z3_solver) -> Z3_model;
     pub fn Z3_solver_get_reason_unknown(c: Z3_context, s: Z3_solver) -> Z3_string;

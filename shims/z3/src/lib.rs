@@ -2,7 +2,7 @@
 //!
 //! Implements the thread-local-context flavour of the z3 crate API (0.13+)
 //! for exactly the subset this workspace uses, directly over the system
-//! `libz3` via hand-written FFI (see [`ffi`]). Each OS thread lazily creates
+//! `libz3` via hand-written FFI (the private `ffi` module). Each OS thread lazily creates
 //! its own `Z3_context`; AST values hold raw context pointers and are
 //! therefore `!Send`/`!Sync`, so independent checks on separate threads
 //! share no solver state — which is what makes Timepiece's modular checks
@@ -130,6 +130,17 @@ impl Solver {
     /// Asserts a boolean term.
     pub fn assert(&self, b: impl std::borrow::Borrow<ast::Bool>) {
         unsafe { Z3_solver_assert(self.ctx, self.raw, b.borrow().raw()) }
+    }
+
+    /// Creates a backtracking point: assertions made after `push` are
+    /// retracted by the matching [`Solver::pop`].
+    pub fn push(&self) {
+        unsafe { Z3_solver_push(self.ctx, self.raw) }
+    }
+
+    /// Backtracks `n` points created by [`Solver::push`].
+    pub fn pop(&self, n: u32) {
+        unsafe { Z3_solver_pop(self.ctx, self.raw, n) }
     }
 
     /// Checks satisfiability of the asserted terms.

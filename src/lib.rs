@@ -13,6 +13,8 @@
 //! * [`sim`] — synchronous and bounded-delay network simulators.
 //! * [`core`] — temporal invariants, verification conditions, the modular
 //!   checker, and the monolithic (Minesweeper-style) baseline.
+//! * [`infer`] — simulation-guided inference of temporal interfaces with
+//!   counterexample-guided (CEGIS-style) repair.
 //! * [`nets`] — the paper's benchmark networks and the §2 running example.
 //!
 //! # Quickstart
@@ -35,6 +37,7 @@
 pub use timepiece_algebra as algebra;
 pub use timepiece_core as core;
 pub use timepiece_expr as expr;
+pub use timepiece_infer as infer;
 pub use timepiece_nets as nets;
 pub use timepiece_sim as sim;
 pub use timepiece_smt as smt;
