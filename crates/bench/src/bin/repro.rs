@@ -5,22 +5,26 @@
 //! repro fig1      [--max-k N] [--timeout-secs S] [--threads T]
 //! repro fig3
 //! repro fig13
-//! repro fig14     [--bench NAME|all] [--max-k N] [--timeout-secs S] [--no-ms]
+//! repro fig14     [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
+//!                 [--no-ms] [--shards N] [--json PATH]
 //! repro table1
 //! repro table2
 //! repro table3
 //! repro wan       [--peers N] [--timeout-secs S]
 //! repro keyideas
 //! repro infer     [--bench reach|len|all] [--max-k N] [--no-roles]
+//! repro shard-worker --bench NAME --k K --shard I --shards N  (internal)
 //! repro all
 //! ```
 //!
 //! Defaults keep the sweeps laptop-sized (k ≤ 12, 60 s budget); raise
 //! `--max-k`/`--timeout-secs` to push toward the paper's k = 40 / 2 h runs.
+//! With `--shards N` the modular engine forks `N` worker subprocesses per
+//! row, merges their shard reports, and asserts full node coverage.
 
 use std::time::Duration;
 
-use timepiece_bench::{loc, run_row, BenchKind, SweepOptions};
+use timepiece_bench::{loc, run_row, run_row_sharded, run_shard, BenchKind, Row, SweepOptions};
 use timepiece_core::check::{CheckOptions, ModularChecker};
 use timepiece_core::monolithic::check_monolithic;
 use timepiece_core::strawperson::check_strawperson;
@@ -43,25 +47,37 @@ subcommands:
   wan        BlockToExternal on the synthetic Internet2
   keyideas   the Figs. 4-10 demonstrations
   infer      infer interfaces from simulation, verify, compare to hand-written
+  shard-worker  (internal) check one shard of one instance, print JSON report
   all        everything above (except infer)
 
 flags:
   --max-k N          largest fattree parameter to sweep (default 12; infer: 8)
+  --ks A,B,C         sweep exactly these fattree parameters (overrides --max-k)
   --timeout-secs S   per-engine solver budget in seconds (default 60)
+  --timeout-millis M per-engine solver budget in milliseconds (shard protocol)
   --threads T        worker threads for the modular checker (default: all cores)
   --bench NAME       restrict fig14 to matching benchmarks / infer to reach|len
   --no-ms            skip the monolithic baseline in sweeps
   --no-roles         infer without fattree role generalization
-  --peers N          external peer count for the wan subcommand (default 253)";
+  --peers N          external peer count for the wan subcommand (default 253)
+  --shards N         fork N shard-worker processes per modular sweep row
+  --json PATH        also write fig14 rows as machine-readable JSON to PATH
+  --k K              (shard-worker) fattree parameter of the instance
+  --shard I          (shard-worker) which shard of the plan to check";
 
 struct Args {
     max_k: Option<usize>,
+    ks: Option<Vec<usize>>,
     timeout: Duration,
     threads: Option<usize>,
     bench: String,
     run_ms: bool,
     use_roles: bool,
     peers: usize,
+    shards: usize,
+    json: Option<String>,
+    k: Option<usize>,
+    shard: Option<usize>,
 }
 
 /// The next flag value, or a usage error naming the flag and what it wants.
@@ -86,25 +102,62 @@ fn parse_value<T: std::str::FromStr>(
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         max_k: None,
+        ks: None,
         timeout: Duration::from_secs(60),
         threads: None,
         bench: "all".to_owned(),
         run_ms: true,
         use_roles: true,
         peers: 253,
+        shards: 1,
+        json: None,
+        k: None,
+        shard: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--max-k" => args.max_k = Some(parse_value(&mut it, flag, "integer k")?),
+            "--ks" => {
+                let raw = next_value(&mut it, flag, "comma-separated k list")?;
+                let ks = raw
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("{flag}: cannot parse {part:?} as an integer k"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if ks.is_empty() {
+                    return Err(format!("{flag} requires at least one k"));
+                }
+                if let Some(bad) = ks.iter().find(|&&k| k < 2 || k % 2 != 0) {
+                    return Err(format!(
+                        "{flag}: fattree parameter k must be even and >= 2, got {bad}"
+                    ));
+                }
+                args.ks = Some(ks);
+            }
             "--timeout-secs" => {
                 args.timeout = Duration::from_secs(parse_value(&mut it, flag, "seconds")?)
+            }
+            "--timeout-millis" => {
+                args.timeout = Duration::from_millis(parse_value(&mut it, flag, "milliseconds")?)
             }
             "--threads" => args.threads = Some(parse_value(&mut it, flag, "thread count")?),
             "--bench" => args.bench = next_value(&mut it, flag, "benchmark name")?,
             "--no-ms" => args.run_ms = false,
             "--no-roles" => args.use_roles = false,
             "--peers" => args.peers = parse_value(&mut it, flag, "peer count")?,
+            "--shards" => {
+                args.shards = parse_value(&mut it, flag, "shard count")?;
+                if args.shards == 0 {
+                    return Err(format!("{flag} requires at least one shard"));
+                }
+            }
+            "--json" => args.json = Some(next_value(&mut it, flag, "output path")?),
+            "--k" => args.k = Some(parse_value(&mut it, flag, "integer k")?),
+            "--shard" => args.shard = Some(parse_value(&mut it, flag, "shard index")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -117,11 +170,14 @@ impl Args {
     }
 }
 
-fn ks(max_k: usize) -> Vec<usize> {
-    (4..=max_k).step_by(4).collect()
+fn ks(args: &Args) -> Vec<usize> {
+    match &args.ks {
+        Some(ks) => ks.clone(),
+        None => (4..=args.max_k()).step_by(4).collect(),
+    }
 }
 
-fn sweep(kind: BenchKind, args: &Args) {
+fn sweep(kind: BenchKind, args: &Args) -> Vec<Row> {
     println!("\n=== Fig. {} — {} (Tp vs Ms) ===", kind.figure(), kind.name());
     println!(
         "{:>4} {:>6} {:>12} {:>12} {:>12} {:>12}",
@@ -129,8 +185,14 @@ fn sweep(kind: BenchKind, args: &Args) {
     );
     let options =
         SweepOptions { timeout: args.timeout, run_monolithic: args.run_ms, threads: args.threads };
-    for k in ks(args.max_k()) {
-        let row = run_row(kind, k, &options);
+    let mut rows = Vec::new();
+    for k in ks(args) {
+        let row = if args.shards > 1 {
+            let exe = std::env::current_exe().expect("own executable path");
+            run_row_sharded(kind, k, &options, args.shards, &exe)
+        } else {
+            run_row(kind, k, &options)
+        };
         println!(
             "{:>4} {:>6} {:>12} {:>12} {:>12} {:>12}",
             row.k,
@@ -140,7 +202,34 @@ fn sweep(kind: BenchKind, args: &Args) {
             format!("{:.3}s", row.tp_p99.as_secs_f64()),
             row.ms.map_or("-".to_owned(), |m| m.display()),
         );
+        rows.push(row);
     }
+    rows
+}
+
+/// One fig14 row in its machine-readable form.
+fn row_json(kind: BenchKind, row: &Row, shards: usize) -> timepiece_sched::Json {
+    use timepiece_sched::Json;
+    let engine = |result: &timepiece_bench::EngineResult| {
+        Json::obj([
+            ("outcome", Json::str(result.outcome())),
+            ("wall_secs", Json::Num(result.wall().as_secs_f64())),
+        ])
+    };
+    let mut tp = engine(&row.tp);
+    if let Json::Obj(pairs) = &mut tp {
+        pairs.push(("median_secs".to_owned(), Json::Num(row.tp_median.as_secs_f64())));
+        pairs.push(("p99_secs".to_owned(), Json::Num(row.tp_p99.as_secs_f64())));
+        pairs.push(("shards".to_owned(), Json::from(shards)));
+    }
+    Json::obj([
+        ("bench", Json::str(kind.name())),
+        ("figure", Json::str(kind.figure())),
+        ("k", Json::from(row.k)),
+        ("nodes", Json::from(row.nodes)),
+        ("tp", tp),
+        ("ms", row.ms.as_ref().map_or(Json::Null, engine)),
+    ])
 }
 
 fn fig1(args: &Args) {
@@ -338,10 +427,8 @@ fn keyideas() {
 }
 
 fn fig14(args: &Args) {
-    if args.bench.eq_ignore_ascii_case("all") {
-        for kind in BenchKind::ALL {
-            sweep(kind, args);
-        }
+    let kinds: Vec<BenchKind> = if args.bench.eq_ignore_ascii_case("all") {
+        BenchKind::ALL.to_vec()
     } else {
         let spec = args.bench.to_lowercase();
         let kinds: Vec<BenchKind> = BenchKind::ALL
@@ -349,10 +436,41 @@ fn fig14(args: &Args) {
             .filter(|k| k.name().to_lowercase().contains(&spec))
             .collect();
         assert!(!kinds.is_empty(), "no benchmark matches {spec:?}");
-        for kind in kinds {
-            sweep(kind, args);
+        kinds
+    };
+    let mut rows = Vec::new();
+    for kind in kinds {
+        for row in sweep(kind, args) {
+            rows.push(row_json(kind, &row, args.shards));
         }
     }
+    if let Some(path) = &args.json {
+        use timepiece_sched::Json;
+        let doc = Json::obj([
+            ("timeout_secs", Json::Num(args.timeout.as_secs_f64())),
+            ("shards", Json::from(args.shards)),
+            ("rows", Json::Arr(rows)),
+        ]);
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}
+
+/// The (internal) shard-worker entrypoint: check one shard of one instance
+/// and print the JSON report on stdout.
+fn shard_worker(args: &Args) -> Result<(), String> {
+    let bench = BenchKind::parse(&args.bench)
+        .ok_or_else(|| format!("--bench: unknown benchmark {:?}", args.bench))?;
+    let k = args.k.ok_or("shard-worker requires --k")?;
+    let shard = args.shard.ok_or("shard-worker requires --shard")?;
+    if args.shards <= shard {
+        return Err(format!("--shard {shard} out of range for --shards {}", args.shards));
+    }
+    let options =
+        SweepOptions { timeout: args.timeout, run_monolithic: false, threads: args.threads };
+    let report = run_shard(bench, k, shard, args.shards, &options);
+    println!("{}", report.to_json());
+    Ok(())
 }
 
 /// One inference run: build the property-only spec, infer, verify, and
@@ -454,8 +572,11 @@ fn infer(args: &Args) {
         .filter(|b| spec == "all" || b.to_lowercase().contains(&spec))
         .collect();
     assert!(!benches.is_empty(), "no inference benchmark matches {spec:?}");
+    // `--ks` overrides the default grid here exactly as it does in sweeps
+    // (inference defaults to steps of 2 where fig14 uses 4)
+    let ks = args.ks.clone().unwrap_or_else(|| (4..=args.max_k.unwrap_or(8)).step_by(2).collect());
     for name in benches {
-        for k in (4..=args.max_k.unwrap_or(8)).step_by(2) {
+        for &k in &ks {
             infer_row(name, k, args);
         }
     }
@@ -482,6 +603,12 @@ fn main() {
         "wan" => wan(&args),
         "keyideas" => keyideas(),
         "infer" => infer(&args),
+        "shard-worker" => {
+            if let Err(msg) = shard_worker(&args) {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
         "all" => {
             fig3();
             fig13();

@@ -11,5 +11,7 @@
 
 pub mod loc;
 pub mod runner;
+pub mod shard;
 
 pub use runner::{fattree_instance, run_row, BenchKind, EngineResult, Row, SweepOptions};
+pub use shard::{run_row_sharded, run_shard, ShardReport};

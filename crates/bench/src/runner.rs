@@ -109,6 +109,28 @@ impl EngineResult {
         }
     }
 
+    /// The one place a modular run's outcome is classified, shared by the
+    /// in-process and sharded row paths so they can never diverge:
+    /// verified wins, then timeout (any solver give-up), then failed.
+    pub fn classify(verified: bool, timed_out: bool, wall: Duration) -> EngineResult {
+        if verified {
+            EngineResult::Verified(wall)
+        } else if timed_out {
+            EngineResult::TimedOut(wall)
+        } else {
+            EngineResult::Failed(wall)
+        }
+    }
+
+    /// Machine-readable outcome tag (`verified` / `failed` / `timeout`).
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            EngineResult::Verified(_) => "verified",
+            EngineResult::Failed(_) => "failed",
+            EngineResult::TimedOut(_) => "timeout",
+        }
+    }
+
     /// Render like the paper's plots: seconds or "timeout".
     pub fn display(&self) -> String {
         match self {
@@ -171,15 +193,18 @@ pub fn run_row(kind: BenchKind, k: usize, options: &SweepOptions) -> Row {
         .failures()
         .iter()
         .any(|f| matches!(f.reason, timepiece_core::check::FailureReason::Unknown(_)));
-    let tp = if report.is_verified() {
-        EngineResult::Verified(report.wall())
-    } else if timed_out {
-        EngineResult::TimedOut(report.wall())
-    } else {
-        EngineResult::Failed(report.wall())
-    };
+    let tp = EngineResult::classify(report.is_verified(), timed_out, report.wall());
 
-    let ms = options.run_monolithic.then(|| {
+    let ms = monolithic_result(&inst, options);
+    Row { k, nodes, tp, tp_median: stats.median, tp_p99: stats.p99, ms }
+}
+
+/// The monolithic baseline on one instance, when the options ask for it.
+pub(crate) fn monolithic_result(
+    inst: &timepiece_nets::BenchInstance,
+    options: &SweepOptions,
+) -> Option<EngineResult> {
+    options.run_monolithic.then(|| {
         let mono = check_monolithic(&inst.network, &inst.property, Some(options.timeout))
             .expect("benchmark instances encode");
         match mono.outcome {
@@ -187,9 +212,7 @@ pub fn run_row(kind: BenchKind, k: usize, options: &SweepOptions) -> Row {
             MonolithicOutcome::Failed(_) => EngineResult::Failed(mono.wall),
             MonolithicOutcome::Unknown(_) => EngineResult::TimedOut(mono.wall),
         }
-    });
-
-    Row { k, nodes, tp, tp_median: stats.median, tp_p99: stats.p99, ms }
+    })
 }
 
 #[cfg(test)]

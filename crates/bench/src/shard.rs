@@ -1,0 +1,446 @@
+//! Multi-process sharding of the fattree benchmarks.
+//!
+//! The `Ap*` (symbolic-destination) sweeps are the expensive rows of
+//! Fig. 14, and their per-node conditions are independent — so beyond the
+//! in-process work-stealing pool, whole *shards* of the node set can move to
+//! separate worker processes (each with its own Z3 heap and cache locality).
+//!
+//! The protocol is deliberately stateless:
+//!
+//! 1. the coordinator picks `(bench, k, shards)` and spawns one
+//!    `repro shard-worker` subprocess per shard index;
+//! 2. each worker rebuilds the *same* instance and the same deterministic
+//!    [`ShardPlan`] (nodes grouped by `Topology::node_class`, striped across
+//!    shards), checks its shard via `ModularChecker::check_nodes`, and
+//!    prints one JSON [`ShardReport`] on stdout;
+//! 3. the coordinator parses the reports, *proves coverage* — the assigned
+//!    sets must partition the full node set, and every assigned node must
+//!    carry a check duration — and merges them into one sweep [`Row`].
+//!
+//! Nothing but the shard index crosses the process boundary on the way in,
+//! so a mismatched plan shows up as a hard coverage failure, not a silently
+//! skipped node.
+
+use std::fmt;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use timepiece_core::check::{CheckOptions, CheckReport, FailureReason, ModularChecker};
+use timepiece_core::stats::TimingStats;
+use timepiece_sched::{Json, ShardPlan};
+use timepiece_topology::Topology;
+
+use crate::runner::{
+    fattree_instance, monolithic_result, BenchKind, EngineResult, Row, SweepOptions,
+};
+
+/// The deterministic shard plan every participant recomputes: nodes grouped
+/// by their stable class stem and striped round-robin across shards, so each
+/// shard receives the same mix of cheap (edge) and expensive (aggregation)
+/// nodes.
+pub fn plan(topology: &Topology, shards: usize) -> ShardPlan {
+    ShardPlan::by_class(topology.nodes(), shards, |v| topology.node_class(v).to_owned())
+}
+
+/// One failure, reduced to what travels between processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The failing node's name.
+    pub node: String,
+    /// The failing condition (`initial` / `inductive` / `safety`).
+    pub vc: String,
+    /// `counterexample` or `unknown` (timeout / solver give-up).
+    pub kind: String,
+}
+
+/// What one shard worker verified, as reported over the process boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Benchmark name (e.g. `ApReach`).
+    pub bench: String,
+    /// Fattree parameter.
+    pub k: usize,
+    /// This worker's shard index.
+    pub shard: usize,
+    /// Total shard count of the plan.
+    pub shards: usize,
+    /// Names of the nodes the plan assigned to this shard.
+    pub assigned: Vec<String>,
+    /// Per-node check durations in seconds, one per assigned node.
+    pub durations: Vec<(String, f64)>,
+    /// Failures found in this shard (empty when verified).
+    pub failures: Vec<ShardFailure>,
+    /// The worker's wall-clock time for its shard.
+    pub wall_secs: f64,
+}
+
+/// A shard report that did not parse or did not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardProtocolError(pub String);
+
+impl fmt::Display for ShardProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed shard report: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShardProtocolError {}
+
+impl ShardReport {
+    /// Assembles a report from a completed shard check; `wall_secs` is the
+    /// check's own wall time.
+    pub fn from_check(
+        kind: BenchKind,
+        k: usize,
+        shard: usize,
+        shards: usize,
+        topology: &Topology,
+        assigned: &[timepiece_topology::NodeId],
+        report: &CheckReport,
+    ) -> ShardReport {
+        ShardReport {
+            bench: kind.name().to_owned(),
+            k,
+            shard,
+            shards,
+            assigned: assigned.iter().map(|&v| topology.name(v).to_owned()).collect(),
+            durations: report
+                .node_durations()
+                .iter()
+                .map(|&(v, d)| (topology.name(v).to_owned(), d.as_secs_f64()))
+                .collect(),
+            failures: report
+                .failures()
+                .iter()
+                .map(|f| ShardFailure {
+                    node: f.node_name.clone(),
+                    vc: f.vc.to_string(),
+                    kind: match f.reason {
+                        FailureReason::CounterExample(_) => "counterexample".to_owned(),
+                        FailureReason::Unknown(_) => "unknown".to_owned(),
+                    },
+                })
+                .collect(),
+            wall_secs: report.wall().as_secs_f64(),
+        }
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::str(&self.bench)),
+            ("k", Json::from(self.k)),
+            ("shard", Json::from(self.shard)),
+            ("shards", Json::from(self.shards)),
+            ("assigned", Json::arr(self.assigned.iter().map(Json::str))),
+            (
+                "durations",
+                Json::arr(
+                    self.durations
+                        .iter()
+                        .map(|(name, secs)| Json::arr([Json::str(name), Json::Num(*secs)])),
+                ),
+            ),
+            (
+                "failures",
+                Json::arr(self.failures.iter().map(|f| {
+                    Json::obj([
+                        ("node", Json::str(&f.node)),
+                        ("vc", Json::str(&f.vc)),
+                        ("kind", Json::str(&f.kind)),
+                    ])
+                })),
+            ),
+            ("wall_secs", Json::Num(self.wall_secs)),
+        ])
+    }
+
+    /// Parses a report back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardProtocolError`] naming the first missing or mistyped field.
+    pub fn from_json(value: &Json) -> Result<ShardReport, ShardProtocolError> {
+        let err = |what: &str| ShardProtocolError(what.to_owned());
+        let str_field = |key: &str| {
+            value.get(key).and_then(Json::as_str).map(str::to_owned).ok_or_else(|| err(key))
+        };
+        let usize_field =
+            |key: &str| value.get(key).and_then(Json::as_usize).ok_or_else(|| err(key));
+        let assigned = value
+            .get("assigned")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("assigned"))?
+            .iter()
+            .map(|v| v.as_str().map(str::to_owned).ok_or_else(|| err("assigned entry")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let durations = value
+            .get("durations")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("durations"))?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr().ok_or_else(|| err("duration entry"))?;
+                match pair {
+                    [name, secs] => Ok((
+                        name.as_str().ok_or_else(|| err("duration name"))?.to_owned(),
+                        secs.as_f64().ok_or_else(|| err("duration secs"))?,
+                    )),
+                    _ => Err(err("duration entry arity")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let failures = value
+            .get("failures")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("failures"))?
+            .iter()
+            .map(|f| {
+                Ok(ShardFailure {
+                    node: f
+                        .get("node")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| err("failure node"))?
+                        .to_owned(),
+                    vc: f
+                        .get("vc")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| err("failure vc"))?
+                        .to_owned(),
+                    kind: f
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| err("failure kind"))?
+                        .to_owned(),
+                })
+            })
+            .collect::<Result<Vec<_>, ShardProtocolError>>()?;
+        Ok(ShardReport {
+            bench: str_field("bench")?,
+            k: usize_field("k")?,
+            shard: usize_field("shard")?,
+            shards: usize_field("shards")?,
+            assigned,
+            durations,
+            failures,
+            wall_secs: value
+                .get("wall_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err("wall_secs"))?,
+        })
+    }
+}
+
+/// The worker side: rebuild the instance, recompute the plan, check exactly
+/// this shard's nodes, and report.
+pub fn run_shard(
+    kind: BenchKind,
+    k: usize,
+    shard: usize,
+    shards: usize,
+    options: &SweepOptions,
+) -> ShardReport {
+    let inst = fattree_instance(kind, k);
+    let plan = plan(inst.network.topology(), shards);
+    assert!(shard < plan.shard_count(), "shard index {shard} out of range ({shards} shards)");
+    let nodes = plan.nodes_of(shard);
+    let checker = ModularChecker::new(CheckOptions {
+        timeout: Some(options.timeout),
+        threads: options.threads,
+        ..CheckOptions::default()
+    });
+    let report = checker
+        .check_nodes(&inst.network, &inst.interface, &inst.property, nodes)
+        .expect("benchmark instances encode");
+    ShardReport::from_check(kind, k, shard, shards, inst.network.topology(), nodes, &report)
+}
+
+/// The coordinator side: fork one `shard-worker` subprocess per shard, merge
+/// their reports into one sweep [`Row`], and *verify full coverage* — the
+/// shards' assigned sets must partition the node set and every assigned node
+/// must have been checked.
+///
+/// `worker_exe` is the binary to spawn (the `repro` binary spawns itself).
+/// The monolithic baseline, when enabled, runs in-process: it cannot shard.
+///
+/// Thread budget: with `options.threads = None` the machine's parallelism
+/// is divided across shards. An *explicit* thread count is forwarded to
+/// every worker unchanged — it means "threads per shard", so `--shards 4
+/// --threads 4` deliberately runs 16 solver threads; divide it yourself
+/// when benchmarking all shards on one host.
+///
+/// # Panics
+///
+/// Panics when a worker exits nonzero, emits an unparsable report, or the
+/// merged reports fail the coverage check — a sharding bug must never pass
+/// silently as a smaller verification.
+pub fn run_row_sharded(
+    kind: BenchKind,
+    k: usize,
+    options: &SweepOptions,
+    shards: usize,
+    worker_exe: &Path,
+) -> Row {
+    assert!(shards >= 1, "need at least one shard");
+    let inst = fattree_instance(kind, k);
+    let topology = inst.network.topology();
+
+    // a coordinator panic (worker failure, bad report, coverage violation)
+    // must not orphan the sibling workers mid-solve: guards kill any child
+    // not yet reaped when the stack unwinds
+    struct KillOnDrop(Option<std::process::Child>);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            if let Some(child) = &mut self.0 {
+                let _ = child.kill();
+            }
+        }
+    }
+
+    // each worker gets an explicit thread budget: the caller's choice when
+    // given, otherwise the machine's parallelism *divided across shards* —
+    // N workers each defaulting to all cores would oversubscribe the CPU
+    // N-fold and measure contention instead of sharding
+    let worker_threads = options.threads.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        (cores / shards).max(1)
+    });
+    let start = Instant::now();
+    let mut children: Vec<KillOnDrop> = (0..shards)
+        .map(|shard| {
+            let mut cmd = Command::new(worker_exe);
+            cmd.arg("shard-worker")
+                .args(["--bench", kind.name()])
+                .args(["--k", &k.to_string()])
+                .args(["--shard", &shard.to_string()])
+                .args(["--shards", &shards.to_string()])
+                // millisecond precision: whole seconds would truncate a
+                // sub-second budget to an effectively zero solver timeout
+                .args(["--timeout-millis", &options.timeout.as_millis().to_string()])
+                .args(["--threads", &worker_threads.to_string()]);
+            cmd.stdout(Stdio::piped());
+            KillOnDrop(Some(
+                cmd.spawn().unwrap_or_else(|e| panic!("spawning shard worker {shard}: {e}")),
+            ))
+        })
+        .collect();
+    let reports: Vec<ShardReport> = children
+        .iter_mut()
+        .enumerate()
+        .map(|(shard, guard)| {
+            let child = guard.0.take().expect("child not yet reaped");
+            let out = child.wait_with_output().expect("waiting for shard worker");
+            assert!(out.status.success(), "shard worker {shard} failed: {}", out.status);
+            let text = String::from_utf8(out.stdout).expect("shard report is UTF-8");
+            let json = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("shard worker {shard} emitted bad JSON: {e}"));
+            let report = ShardReport::from_json(&json)
+                .unwrap_or_else(|e| panic!("shard worker {shard}: {e}"));
+            assert_eq!(report.shard, shard, "shard worker reported the wrong index");
+            assert_eq!(
+                (report.bench.as_str(), report.k, report.shards),
+                (kind.name(), k, shards),
+                "shard worker checked the wrong instance"
+            );
+            report
+        })
+        .collect();
+    let wall = start.elapsed();
+
+    // coverage: the assigned sets partition the node set…
+    let mut assigned: Vec<&str> =
+        reports.iter().flat_map(|r| r.assigned.iter().map(String::as_str)).collect();
+    let total_assigned = assigned.len();
+    assigned.sort_unstable();
+    assigned.dedup();
+    let mut all: Vec<&str> = topology.nodes().map(|v| topology.name(v)).collect();
+    all.sort_unstable();
+    assert_eq!(total_assigned, assigned.len(), "a node was assigned to two shards");
+    assert_eq!(assigned, all, "shards must cover every node exactly once");
+    // …and every assigned node was actually checked: the checked multiset
+    // must equal the assignment, so a worker reporting a duplicate duration
+    // alongside a skipped node cannot pass on cardinality alone
+    for report in &reports {
+        let mut checked: Vec<&str> =
+            report.durations.iter().map(|(name, _)| name.as_str()).collect();
+        checked.sort_unstable();
+        let mut expected: Vec<&str> = report.assigned.iter().map(String::as_str).collect();
+        expected.sort_unstable();
+        assert_eq!(checked, expected, "shard {} skipped assigned nodes", report.shard);
+    }
+
+    let durations: Vec<Duration> = reports
+        .iter()
+        .flat_map(|r| r.durations.iter().map(|&(_, secs)| Duration::from_secs_f64(secs)))
+        .collect();
+    let stats = TimingStats::from_durations(&durations);
+    let timed_out = reports.iter().flat_map(|r| &r.failures).any(|f| f.kind == "unknown");
+    let verified = reports.iter().all(|r| r.failures.is_empty());
+    let tp = EngineResult::classify(verified, timed_out, wall);
+    let ms = monolithic_result(&inst, options);
+    Row { k, nodes: topology.node_count(), tp, tp_median: stats.median, tp_p99: stats.p99, ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_cover_the_fattree() {
+        let inst = fattree_instance(BenchKind::ApReach, 4);
+        let g = inst.network.topology();
+        let a = plan(g, 3);
+        let b = plan(g, 3);
+        assert_eq!(a, b);
+        assert!(a.covers(g.nodes()));
+        // class striping balances shard sizes within one node
+        let sizes: Vec<usize> = (0..3).map(|s| a.nodes_of(s).len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn shard_report_roundtrips_through_json() {
+        let report = ShardReport {
+            bench: "ApReach".to_owned(),
+            k: 4,
+            shard: 1,
+            shards: 3,
+            assigned: vec!["core-0".to_owned(), "edge-1-0".to_owned()],
+            durations: vec![("core-0".to_owned(), 0.25), ("edge-1-0".to_owned(), 0.125)],
+            failures: vec![ShardFailure {
+                node: "edge-1-0".to_owned(),
+                vc: "inductive".to_owned(),
+                kind: "counterexample".to_owned(),
+            }],
+            wall_secs: 0.5,
+        };
+        let parsed = ShardReport::from_json(&Json::parse(&report.to_json().to_string()).unwrap());
+        assert_eq!(parsed.unwrap(), report);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected_with_the_field_name() {
+        let json = Json::parse(r#"{"bench":"ApReach","k":4}"#).unwrap();
+        let err = ShardReport::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
+    }
+
+    #[test]
+    fn worker_checks_exactly_its_shard() {
+        let report = run_shard(
+            BenchKind::SpReach,
+            4,
+            0,
+            2,
+            &SweepOptions { run_monolithic: false, ..SweepOptions::default() },
+        );
+        let inst = fattree_instance(BenchKind::SpReach, 4);
+        let expected = plan(inst.network.topology(), 2);
+        assert_eq!(report.assigned.len(), expected.nodes_of(0).len());
+        assert_eq!(report.durations.len(), report.assigned.len());
+        assert!(report.failures.is_empty(), "SpReach k=4 verifies");
+        // the two shards of a 20-node fattree split 10/10
+        assert_eq!(report.assigned.len(), 10);
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end test of the multi-process sharding pipeline: the real `repro`
+//! binary, real forked shard workers, real JSON over the process boundary.
+
+use std::process::Command;
+
+use timepiece_bench::ShardReport;
+use timepiece_sched::Json;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn shard_worker_emits_a_parsable_report() {
+    let out = repro()
+        .args(["shard-worker", "--bench", "SpReach", "--k", "4", "--shard", "1", "--shards", "2"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let report = ShardReport::from_json(&Json::parse(&text).expect("valid JSON")).unwrap();
+    assert_eq!(report.bench, "SpReach");
+    assert_eq!((report.k, report.shard, report.shards), (4, 1, 2));
+    assert_eq!(report.assigned.len(), 10, "half of the 20-node fattree");
+    assert_eq!(report.durations.len(), report.assigned.len());
+    assert!(report.failures.is_empty(), "SpReach k=4 verifies");
+}
+
+#[test]
+fn sharded_fig14_merges_reports_and_writes_json_rows() {
+    let json_path =
+        std::env::temp_dir().join(format!("timepiece-rows-{}.json", std::process::id()));
+    let out = repro()
+        .args(["fig14", "--bench", "spreach", "--max-k", "4", "--shards", "2", "--no-ms"])
+        .args(["--json", json_path.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // the plain-text sweep output is unchanged by --json/--shards
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("=== Fig. 14a — SpReach (Tp vs Ms) ==="), "{text}");
+    assert!(text.contains("Tp total"), "{text}");
+
+    // the JSON document has the promised row shape
+    let doc = Json::parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    std::fs::remove_file(&json_path).ok();
+    assert_eq!(doc.get("shards").and_then(Json::as_usize), Some(2));
+    let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 1, "one benchmark × one k");
+    let row = &rows[0];
+    assert_eq!(row.get("bench").and_then(Json::as_str), Some("SpReach"));
+    assert_eq!(row.get("k").and_then(Json::as_usize), Some(4));
+    assert_eq!(row.get("nodes").and_then(Json::as_usize), Some(20));
+    let tp = row.get("tp").unwrap();
+    assert_eq!(tp.get("outcome").and_then(Json::as_str), Some("verified"));
+    assert!(tp.get("wall_secs").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(tp.get("median_secs").and_then(Json::as_f64).is_some());
+    assert!(tp.get("p99_secs").and_then(Json::as_f64).is_some());
+    assert_eq!(tp.get("shards").and_then(Json::as_usize), Some(2));
+    assert_eq!(row.get("ms"), Some(&Json::Null), "--no-ms skips the baseline");
+}
+
+#[test]
+fn shard_worker_rejects_bad_arguments() {
+    let out = repro()
+        .args(["shard-worker", "--bench", "SpReach", "--k", "4", "--shard", "5", "--shards", "2"])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success(), "out-of-range shard index must fail");
+    let out = repro().args(["shard-worker", "--bench", "SpReach"]).output().expect("repro runs");
+    assert!(!out.status.success(), "missing --k/--shard must fail");
+}
+
+#[test]
+fn ks_flag_rejects_invalid_fattree_parameters() {
+    for bad in ["3", "0", "4,7"] {
+        let out = repro().args(["fig14", "--ks", bad]).output().expect("repro runs");
+        assert_eq!(out.status.code(), Some(2), "--ks {bad} must be a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("even and >= 2"), "stderr for {bad}: {stderr}");
+    }
+}

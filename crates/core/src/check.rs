@@ -1,18 +1,21 @@
 //! The modular checking procedure (Algorithm 1).
 //!
 //! For every node the three verification conditions are encoded and
-//! discharged *independently*; nodes are distributed over a pool of worker
-//! threads, each owning its own (thread-local) Z3 context. The report records
-//! per-node wall times so the paper's total/median/p99 figures can be
-//! reproduced.
+//! discharged *independently*; nodes are distributed over a work-stealing
+//! pool of worker threads (`timepiece-sched`), each owning its own
+//! (thread-local) Z3 context. A worker batches every node it claims through
+//! one long-lived solver session per encoder signature, so declarations and
+//! compiled terms are shared *across* nodes, not just across one node's
+//! three conditions. The report records per-node wall times so the paper's
+//! total/median/p99 figures can be reproduced.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use timepiece_algebra::Network;
 use timepiece_expr::Env;
-use timepiece_smt::{SolverSession, Validity};
+use timepiece_sched::{CancelToken, SchedStats};
+use timepiece_smt::{SessionPool, SolverSession, Validity};
 use timepiece_topology::NodeId;
 
 use crate::error::CoreError;
@@ -84,6 +87,7 @@ pub struct CheckReport {
     failures: Vec<Failure>,
     node_durations: Vec<(NodeId, Duration)>,
     wall: Duration,
+    sched: Option<SchedStats>,
 }
 
 impl CheckReport {
@@ -111,6 +115,32 @@ impl CheckReport {
     /// Wall-clock time of the whole (parallel) check.
     pub fn wall(&self) -> Duration {
         self.wall
+    }
+
+    /// Scheduler statistics (worker/steal counts) of the run that produced
+    /// this report. `None` on merged reports.
+    pub fn scheduler(&self) -> Option<&SchedStats> {
+        self.sched.as_ref()
+    }
+
+    /// Merges shard reports into one: failures and durations are
+    /// concatenated (and re-sorted by node), the wall time is the maximum —
+    /// shards run concurrently, so the slowest one bounds the merged run.
+    pub fn merge(reports: impl IntoIterator<Item = CheckReport>) -> CheckReport {
+        let mut merged = CheckReport {
+            failures: Vec::new(),
+            node_durations: Vec::new(),
+            wall: Duration::ZERO,
+            sched: None,
+        };
+        for report in reports {
+            merged.failures.extend(report.failures);
+            merged.node_durations.extend(report.node_durations);
+            merged.wall = merged.wall.max(report.wall);
+        }
+        merged.node_durations.sort_by_key(|(v, _)| *v);
+        merged.failures.sort_by_key(|f| f.node);
+        merged
     }
 }
 
@@ -140,6 +170,31 @@ impl ModularChecker {
         property: &NodeAnnotations,
         v: NodeId,
     ) -> Result<(Vec<Failure>, Duration), CoreError> {
+        let mut session = SolverSession::new(self.options.timeout);
+        let never = AtomicBool::new(false);
+        let result = self.check_node_in_session(&mut session, &never, net, interface, property, v);
+        Ok(result?.expect("a check without a canceller runs to completion"))
+    }
+
+    /// Discharges one node's three conditions through an existing session —
+    /// the batched path: the session (and its encoder cache) typically
+    /// outlives many nodes on one scheduler worker.
+    ///
+    /// Returns `None` when `cancel` was raised and the node was abandoned
+    /// part-way; abandoned nodes report neither failures nor durations.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModularChecker::check_node`].
+    fn check_node_in_session(
+        &self,
+        session: &mut SolverSession,
+        cancel: &AtomicBool,
+        net: &Network,
+        interface: &NodeAnnotations,
+        property: &NodeAnnotations,
+        v: NodeId,
+    ) -> Result<Option<(Vec<Failure>, Duration)>, CoreError> {
         let start = Instant::now();
         let conditions = [
             (VcKind::Initial, initial_vc(net, interface, v)),
@@ -147,19 +202,21 @@ impl ModularChecker {
             (VcKind::Safety, safety_vc(net, interface, property, v)),
         ];
         // one solver discharges all three conditions via push/pop, sharing
-        // variable declarations and the compiled-term cache across them
-        let mut session = SolverSession::new(self.options.timeout);
+        // variable declarations and the compiled-term cache across them; the
+        // cancellation flag is consulted between scopes so a fail-fast stop
+        // lands within one condition, not one node
         let mut failures = Vec::new();
         for (kind, vc) in conditions {
-            match session.check(&vc)? {
-                Validity::Valid => {}
-                Validity::Invalid(cex) => failures.push(Failure {
+            match session.check_cancellable(&vc, cancel)? {
+                None => return Ok(None),
+                Some(Validity::Valid) => {}
+                Some(Validity::Invalid(cex)) => failures.push(Failure {
                     node: v,
                     node_name: net.topology().name(v).to_owned(),
                     vc: kind,
                     reason: FailureReason::CounterExample(cex),
                 }),
-                Validity::Unknown(why) => failures.push(Failure {
+                Some(Validity::Unknown(why)) => failures.push(Failure {
                     node: v,
                     node_name: net.topology().name(v).to_owned(),
                     vc: kind,
@@ -167,7 +224,7 @@ impl ModularChecker {
                 }),
             }
         }
-        Ok((failures, start.elapsed()))
+        Ok(Some((failures, start.elapsed())))
     }
 
     /// Checks every node, in parallel, and aggregates a report.
@@ -183,55 +240,85 @@ impl ModularChecker {
         interface: &NodeAnnotations,
         property: &NodeAnnotations,
     ) -> Result<CheckReport, CoreError> {
-        let start = Instant::now();
         let nodes: Vec<NodeId> = net.topology().nodes().collect();
+        self.check_nodes(net, interface, property, &nodes)
+    }
+
+    /// Checks a subset of nodes — one *shard* of the network — in parallel,
+    /// and aggregates a report over exactly those nodes.
+    ///
+    /// This is the entrypoint shard worker processes use: the coordinator
+    /// plans a deterministic partition (`timepiece_sched::ShardPlan`), each
+    /// worker checks its shard, and the merged reports
+    /// ([`CheckReport::merge`]) cover the whole network.
+    ///
+    /// Scheduling: nodes are drained through a work-stealing pool; each
+    /// worker thread batches the nodes it claims through one long-lived
+    /// solver session per encoder signature, so symbolic-destination
+    /// constraints and role-templated interfaces shared by many nodes are
+    /// encoded once per worker. Under [`CheckOptions::fail_fast`], the first
+    /// failure cancels the pool *and* interrupts in-flight solver calls.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModularChecker::check`].
+    pub fn check_nodes(
+        &self,
+        net: &Network,
+        interface: &NodeAnnotations,
+        property: &NodeAnnotations,
+        nodes: &[NodeId],
+    ) -> Result<CheckReport, CoreError> {
+        let start = Instant::now();
         let workers = self
             .options
             .threads
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
             .clamp(1, nodes.len().max(1));
+        let token = CancelToken::new();
+        // sessions are keyed by encoder signature: conditions over the same
+        // route type share declarations, so they may share a session
+        let signature = net.route_type().to_string();
+        let fail_fast = self.options.fail_fast;
 
-        let next = AtomicUsize::new(0);
-        let stop = AtomicBool::new(false);
-        let failures = Mutex::new(Vec::new());
-        let durations = Mutex::new(Vec::new());
-        let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&v) = nodes.get(i) else { break };
-                    match self.check_node(net, interface, property, v) {
-                        Ok((node_failures, duration)) => {
-                            durations.lock().push((v, duration));
-                            if !node_failures.is_empty() {
-                                if self.options.fail_fast {
-                                    stop.store(true, Ordering::Relaxed);
-                                }
-                                failures.lock().extend(node_failures);
-                            }
-                        }
-                        Err(e) => {
-                            stop.store(true, Ordering::Relaxed);
-                            first_error.lock().get_or_insert(e);
-                        }
-                    }
+        let outcome = timepiece_sched::run(
+            nodes.to_vec(),
+            workers,
+            &token,
+            |_worker| SessionPool::new(self.options.timeout),
+            |pool: &mut SessionPool, v| -> Result<_, CoreError> {
+                let session = pool.session_or_init(&signature, |s| {
+                    // a fail-fast cancel must also abort this worker's
+                    // in-flight solver call, not just stop the queue
+                    let handle = s.interrupt_handle();
+                    token.on_cancel(move || handle.interrupt());
                 });
-            }
-        });
+                let Some((failures, duration)) =
+                    self.check_node_in_session(session, token.flag(), net, interface, property, v)?
+                else {
+                    return Ok(None);
+                };
+                if fail_fast && !failures.is_empty() {
+                    token.cancel();
+                }
+                Ok(Some((v, failures, duration)))
+            },
+        )?;
 
-        if let Some(e) = first_error.into_inner() {
-            return Err(e);
+        let mut node_durations = Vec::with_capacity(outcome.results.len());
+        let mut failures = Vec::new();
+        for (v, node_failures, duration) in outcome.results {
+            node_durations.push((v, duration));
+            failures.extend(node_failures);
         }
-        let mut node_durations = durations.into_inner();
         node_durations.sort_by_key(|(v, _)| *v);
-        let mut failures = failures.into_inner();
         failures.sort_by_key(|f| f.node);
-        Ok(CheckReport { failures, node_durations, wall: start.elapsed() })
+        Ok(CheckReport {
+            failures,
+            node_durations,
+            wall: start.elapsed(),
+            sched: Some(outcome.stats),
+        })
     }
 }
 
@@ -377,6 +464,114 @@ mod tests {
         let failing: std::collections::BTreeSet<&str> =
             report.failures().iter().map(|f| f.node_name.as_str()).collect();
         assert_eq!(failing.into_iter().collect::<Vec<_>>(), ["v0"]);
+    }
+
+    #[test]
+    fn check_nodes_covers_exactly_the_requested_shard() {
+        let net = reach_net(6);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let all: Vec<_> = net.topology().nodes().collect();
+        let checker = ModularChecker::new(CheckOptions::default());
+        let shard_a = checker.check_nodes(&net, &interface, &property, &all[..2]).unwrap();
+        let shard_b = checker.check_nodes(&net, &interface, &property, &all[2..]).unwrap();
+        assert_eq!(shard_a.node_durations().len(), 2);
+        assert_eq!(shard_b.node_durations().len(), 4);
+        let merged = CheckReport::merge([shard_a.clone(), shard_b.clone()]);
+        assert!(merged.is_verified());
+        assert_eq!(merged.node_durations().len(), 6);
+        // durations are re-sorted by node id across the shard boundary
+        let order: Vec<_> = merged.node_durations().iter().map(|(v, _)| *v).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        // the merged wall is the slowest shard, not the sum
+        assert_eq!(merged.wall(), shard_a.wall().max(shard_b.wall()));
+        assert!(merged.scheduler().is_none(), "merged reports span schedulers");
+    }
+
+    #[test]
+    fn sharded_and_whole_checks_find_the_same_failures() {
+        let net = reach_net(6);
+        let mut interface = reach_interface(&net);
+        let v3 = net.topology().node_by_name("v3").unwrap();
+        interface
+            .set(v3, Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())));
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let checker = ModularChecker::new(CheckOptions::default());
+        let whole = checker.check(&net, &interface, &property).unwrap();
+        let all: Vec<_> = net.topology().nodes().collect();
+        let merged = CheckReport::merge(
+            [&all[..1], &all[1..4], &all[4..]]
+                .into_iter()
+                .map(|shard| checker.check_nodes(&net, &interface, &property, shard).unwrap()),
+        );
+        let names = |r: &CheckReport| -> Vec<String> {
+            r.failures().iter().map(|f| f.node_name.clone()).collect()
+        };
+        assert_eq!(names(&whole), names(&merged));
+        assert!(!whole.is_verified());
+    }
+
+    #[test]
+    fn scheduler_stats_expose_batched_workers() {
+        let net = reach_net(6);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = ModularChecker::new(CheckOptions { threads: Some(4), ..Default::default() })
+            .check(&net, &interface, &property)
+            .unwrap();
+        let stats = report.scheduler().expect("fresh report carries stats");
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.claimed.iter().sum::<usize>(), 6, "every node claimed exactly once");
+        assert!(!stats.cancelled);
+    }
+
+    #[test]
+    fn empty_shard_produces_an_empty_verified_report() {
+        let net = reach_net(3);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = ModularChecker::new(CheckOptions::default())
+            .check_nodes(&net, &interface, &property, &[])
+            .unwrap();
+        assert!(report.is_verified());
+        assert_eq!(report.node_durations().len(), 0);
+        assert_eq!(report.stats().count, 0);
+    }
+
+    #[test]
+    fn fail_fast_abandons_inflight_nodes_without_reporting_them() {
+        // all nodes fail; with several threads racing, the cancel raised by
+        // the first failure abandons the others' in-flight nodes — whatever
+        // interleaving happens, abandoned nodes must leave no trace
+        let net = reach_net(8);
+        let interface =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone().not()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = ModularChecker::new(CheckOptions {
+            fail_fast: true,
+            threads: Some(4),
+            ..CheckOptions::default()
+        })
+        .check(&net, &interface, &property)
+        .unwrap();
+        assert!(!report.is_verified());
+        assert!(report.scheduler().unwrap().cancelled);
+        // every reported failure belongs to a node with a recorded duration
+        let checked: std::collections::BTreeSet<NodeId> =
+            report.node_durations().iter().map(|(v, _)| *v).collect();
+        for f in report.failures() {
+            assert!(checked.contains(&f.node), "failure at unrecorded node {}", f.node_name);
+        }
+    }
+
+    #[test]
+    fn merge_of_nothing_is_verified_and_empty() {
+        let merged = CheckReport::merge([]);
+        assert!(merged.is_verified());
+        assert_eq!(merged.wall(), Duration::ZERO);
+        assert_eq!(merged.node_durations().len(), 0);
     }
 
     #[test]

@@ -262,6 +262,17 @@ impl InferenceEngine {
             }
             role_stab[role] = role_stab[role].max(stab[v.index()]);
         }
+        // inference-guided delay (§4): the simulator is synchronous, but the
+        // bounded-delay inductive condition lets every hop take up to
+        // `1 + delay` time units — so a value observed to stabilize at time
+        // `s` (i.e. after `s` propagation hops) is only guaranteed stable by
+        // `s·(1 + delay)`. Widening the witness-time ceiling keeps the
+        // inferred interfaces inductive under delay; with `delay = 0` this
+        // is the identity.
+        let widen = self.options.check.delay.saturating_add(1);
+        for stab in &mut role_stab {
+            *stab = stab.saturating_mul(widen);
+        }
         // the justified atom pools are fixed from here on: compute them once
         // per role, seed the candidates from them, and let repairs filter the
         // pools per counterexample instead of re-deriving them

@@ -70,3 +70,58 @@ fn infers_sp_len_k6() {
 fn infers_sp_len_k8() {
     len_at(8);
 }
+
+/// Inference-guided delay: under a bounded-delay semantics the synchronous
+/// witness times are too tight — the engine must widen them by the delay
+/// budget for the inferred interfaces to stay inductive. Each hop may now
+/// take up to `1 + delay` units, so the property deadline scales from the
+/// diameter 4 to `4 · (1 + delay)` as well.
+#[test]
+fn infers_sp_reach_k4_under_delay() {
+    use timepiece_core::{NodeAnnotations, Temporal};
+    use timepiece_infer::{InferOptions, InferenceEngine};
+
+    let bench = ReachBench::single_dest(4, 0);
+    let dest = bench.dest_node().expect("fixed destination");
+    let spec = bench.spec();
+    let delayed = CheckOptions { delay: 1, ..CheckOptions::default() };
+    let wide_property = NodeAnnotations::new(
+        bench.fattree().topology(),
+        Temporal::finally_at(8, Temporal::globally(|r| r.clone().is_some())),
+    );
+
+    // the paper's hand-written interface pins the *synchronous* witness
+    // times, and is NOT inductive once one unit of delay is allowed — even
+    // against the delay-widened deadline…
+    let inst = bench.build();
+    let hand = ModularChecker::new(delayed.clone())
+        .check(&inst.network, &inst.interface, &wide_property)
+        .expect("hand-written interfaces encode");
+    assert!(!hand.is_verified(), "synchronous witness times must break under delay");
+
+    // …while inference with the same delay budget widens the witness-time
+    // ceilings (dist(v) → dist(v)·(1+delay)) and verifies.
+    let engine =
+        InferenceEngine::new(InferOptions { check: delayed.clone(), ..InferOptions::default() });
+    let roles = RoleMap::fattree(bench.fattree(), dest);
+    let node_role = roles.clone();
+    let result = engine
+        .infer(&spec.network, &wide_property, roles, &[timepiece_expr::Env::new()])
+        .expect("inference runs");
+    assert!(
+        result.report.verified,
+        "delay-widened inference must verify; failures: {:?}\ntemplates: {:#?}",
+        result.report.failures, result.report.role_templates
+    );
+    // the verdict re-checked from scratch, under the same delay
+    let recheck = ModularChecker::new(delayed)
+        .check(&spec.network, &result.interface, &wide_property)
+        .expect("inferred interfaces encode");
+    assert!(recheck.is_verified(), "re-check failures: {:?}", recheck.failures());
+    // witness times really are the widened dist: τ(v) = dist(v) · 2
+    let ft = bench.fattree();
+    for v in ft.topology().nodes() {
+        let tau = result.report.role_templates[node_role.role_of(v)].tau;
+        assert_eq!(tau, ft.dist(v, dest) * 2, "τ at {}", ft.topology().name(v));
+    }
+}

@@ -1,0 +1,203 @@
+//! Cooperative cancellation with eager side effects.
+//!
+//! A [`CancelToken`] is the one signal a run shares between its workers, the
+//! task that discovers a failure, and any in-flight solver calls: raising it
+//! flips a flag every worker polls *and* fires registered hooks (e.g. solver
+//! interrupt handles), so long-running external calls are aborted instead of
+//! merely not rescheduled.
+//!
+//! Hooks must be **idempotent**: beyond the initial firing by
+//! [`CancelToken::cancel`], a watchdog may [`CancelToken::refire`] them to
+//! close the race where a cancellation lands *between* a worker's flag check
+//! and its entry into a long external call — an interrupt delivered to an
+//! idle solver is a no-op, so a single firing could be lost.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+type Hook = Arc<dyn Fn() + Send + Sync>;
+
+struct HookState {
+    hooks: Vec<Hook>,
+    /// Has the initial [`CancelToken::cancel`] firing happened? Hooks
+    /// registered after that run immediately.
+    fired: bool,
+}
+
+struct Inner {
+    flag: AtomicBool,
+    hooks: Mutex<HookState>,
+}
+
+/// A cloneable cancellation signal: a flag plus idempotent hooks.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use timepiece_sched::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let fired = Arc::new(AtomicUsize::new(0));
+/// let counter = Arc::clone(&fired);
+/// token.on_cancel(move || {
+///     counter.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// token.cancel(); // idempotent: the initial firing happens once
+/// assert!(token.is_cancelled());
+/// assert_eq!(fired.load(Ordering::Relaxed), 1);
+/// token.refire(); // watchdogs may deliver the signal again
+/// assert_eq!(fired.load(Ordering::Relaxed), 2);
+/// ```
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken").field("cancelled", &self.is_cancelled()).finish()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, unraised token.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                hooks: Mutex::new(HookState { hooks: Vec::new(), fired: false }),
+            }),
+        }
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+    }
+
+    /// The underlying flag, for APIs that poll a plain [`AtomicBool`]
+    /// (e.g. `SolverSession::check_cancellable` in `timepiece-smt`).
+    pub fn flag(&self) -> &AtomicBool {
+        &self.inner.flag
+    }
+
+    /// A snapshot of the hooks, marking the initial firing as done.
+    fn snapshot(&self) -> Vec<Hook> {
+        let mut state = self.inner.hooks.lock();
+        state.fired = true;
+        state.hooks.clone()
+    }
+
+    /// Raises the flag and fires every registered hook. Racing cancellers
+    /// are harmless: the flag is monotone and hooks are idempotent.
+    pub fn cancel(&self) {
+        let already = self.inner.flag.swap(true, Ordering::AcqRel);
+        if !already {
+            // hooks run outside the lock, so a hook may freely register
+            // further hooks or be raced by `refire`
+            for hook in self.snapshot() {
+                hook();
+            }
+        }
+    }
+
+    /// Fires every hook again if the token is cancelled (no-op otherwise).
+    /// Watchdogs call this periodically: a hook like a solver interrupt is
+    /// lost when it lands while the solver is idle, so delivery must repeat
+    /// until every worker has wound down.
+    pub fn refire(&self) {
+        if self.is_cancelled() {
+            for hook in self.snapshot() {
+                hook();
+            }
+        }
+    }
+
+    /// Registers an idempotent hook to run on cancellation. If the initial
+    /// firing already happened, the hook runs immediately (on this thread).
+    pub fn on_cancel(&self, hook: impl Fn() + Send + Sync + 'static) {
+        let hook: Hook = Arc::new(hook);
+        let run_now = {
+            let mut state = self.inner.hooks.lock();
+            state.hooks.push(Arc::clone(&hook));
+            state.fired
+        };
+        if run_now {
+            hook();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn late_registration_fires_immediately() {
+        let token = CancelToken::new();
+        token.cancel();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        token.on_cancel(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(token.flag().load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn concurrent_cancels_fire_hooks_once() {
+        for _ in 0..50 {
+            let token = CancelToken::new();
+            let fired = Arc::new(AtomicUsize::new(0));
+            let counter = Arc::clone(&fired);
+            token.on_cancel(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let token = token.clone();
+                    scope.spawn(move || token.cancel());
+                }
+            });
+            assert_eq!(fired.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn refire_repeats_delivery_only_after_cancel() {
+        let token = CancelToken::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        token.on_cancel(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        token.refire();
+        assert_eq!(fired.load(Ordering::Relaxed), 0, "refire before cancel is a no-op");
+        token.cancel();
+        token.refire();
+        token.refire();
+        assert_eq!(fired.load(Ordering::Relaxed), 3);
+    }
+}

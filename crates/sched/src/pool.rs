@@ -1,0 +1,335 @@
+//! The scheduler's execution engine: a scoped worker pool over a
+//! [`StealQueue`], with per-worker state and fail-fast cancellation.
+
+use parking_lot::Mutex;
+
+use crate::cancel::CancelToken;
+use crate::queue::StealQueue;
+
+/// What one run of the pool did, beyond the task results themselves.
+#[derive(Debug, Clone)]
+pub struct SchedStats {
+    /// How many workers ran.
+    pub workers: usize,
+    /// Tasks claimed per worker (including tasks a worker abandoned after a
+    /// cancellation landed mid-task).
+    pub claimed: Vec<usize>,
+    /// Successful steal operations across the run.
+    pub steals: usize,
+    /// Tasks that changed owner through stealing.
+    pub stolen_tasks: usize,
+    /// Did the run end by cancellation (fail-fast or error)?
+    pub cancelled: bool,
+}
+
+/// The results and statistics of one [`run`].
+#[derive(Debug)]
+pub struct SchedOutcome<R> {
+    /// Output of every task that completed, in no particular order.
+    pub results: Vec<R>,
+    /// Execution statistics.
+    pub stats: SchedStats,
+}
+
+/// Runs `items` to completion (or cancellation) on a pool of `workers`
+/// work-stealing threads.
+///
+/// Each worker builds its own state once via `init` — this is where a
+/// verification worker opens its long-lived solver sessions — and then loops:
+/// claim a task (own deque first, steal-half otherwise), run `task`, repeat
+/// until the queue is dry or `token` is raised.
+///
+/// `task` returns:
+///
+/// * `Ok(Some(r))` — the task completed with result `r`;
+/// * `Ok(None)` — the task was *abandoned* (cancellation landed mid-task);
+///   nothing is recorded for it;
+/// * `Err(e)` — a hard error: the token is raised, every other worker winds
+///   down, and the first such error is returned for the whole run.
+///
+/// Cancellation is cooperative: workers observe the token between tasks, and
+/// tasks that poll it themselves (or register interrupt hooks via
+/// [`CancelToken::on_cancel`]) stop earlier still.
+///
+/// # Errors
+///
+/// The first `Err` any task produced, if any.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_sched::{run, CancelToken};
+///
+/// let token = CancelToken::new();
+/// let outcome = run(
+///     (0u64..100).collect(),
+///     4,
+///     &token,
+///     |_worker| 0u64,          // per-worker accumulator
+///     |acc, task| {
+///         *acc += task;
+///         Ok::<_, std::convert::Infallible>(Some(task * 2))
+///     },
+/// )?;
+/// assert_eq!(outcome.results.len(), 100);
+/// assert_eq!(outcome.stats.claimed.iter().sum::<usize>(), 100);
+/// # Ok::<(), std::convert::Infallible>(())
+/// ```
+pub fn run<T, R, S, E>(
+    items: Vec<T>,
+    workers: usize,
+    token: &CancelToken,
+    init: impl Fn(usize) -> S + Sync,
+    task: impl Fn(&mut S, T) -> Result<Option<R>, E> + Sync,
+) -> Result<SchedOutcome<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    let queue = StealQueue::new(items, workers);
+    let results = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<E>> = Mutex::new(None);
+    // the watchdog parks on a condvar so an uncancelled run ends the moment
+    // its workers do — a plain sleep loop would pad every run (and every
+    // reported wall time) by up to one watchdog period
+    let done = std::sync::Mutex::new(false);
+    let done_signal = std::sync::Condvar::new();
+
+    // the watchdog must learn of completion even when this function unwinds
+    // (a panicking worker makes the join below re-panic before the normal
+    // signalling runs; `thread::scope` would then wait forever on a watchdog
+    // that never hears the news) — a drop guard signals on every exit path
+    struct SignalOnDrop<'a> {
+        done: &'a std::sync::Mutex<bool>,
+        signal: &'a std::sync::Condvar,
+    }
+    impl Drop for SignalOnDrop<'_> {
+        fn drop(&mut self) {
+            *self.done.lock().unwrap_or_else(|poison| poison.into_inner()) = true;
+            self.signal.notify_all();
+        }
+    }
+
+    let claimed = std::thread::scope(|scope| {
+        let _completion = SignalOnDrop { done: &done, signal: &done_signal };
+        // Watchdog: once the token is raised, keep re-delivering its hooks
+        // until every worker has wound down. A single hook firing can be
+        // lost — an interrupt that lands between a worker's flag check and
+        // its entry into a long solver call hits an *idle* solver and does
+        // nothing — so cancellation latency would silently degrade from
+        // "interrupt latency" to "one full solve". Refiring bounds the lost
+        // window by the watchdog period instead.
+        scope.spawn(|| {
+            let mut finished = done.lock().expect("watchdog lock");
+            while !*finished {
+                let (guard, _timeout) = done_signal
+                    .wait_timeout(finished, std::time::Duration::from_millis(15))
+                    .expect("watchdog wait");
+                finished = guard;
+                if !*finished {
+                    token.refire();
+                }
+            }
+        });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                let results = &results;
+                let first_error = &first_error;
+                let init = &init;
+                let task = &task;
+                scope.spawn(move || {
+                    let mut state = init(w);
+                    let mut claimed = 0usize;
+                    while !token.is_cancelled() {
+                        let Some(item) = queue.pop(w) else { break };
+                        claimed += 1;
+                        match task(&mut state, item) {
+                            Ok(Some(result)) => results.lock().push(result),
+                            Ok(None) => {}
+                            Err(e) => {
+                                first_error.lock().get_or_insert(e);
+                                token.cancel();
+                                break;
+                            }
+                        }
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        // `_completion`'s drop signals the watchdog — here on success, and
+        // during unwind when a worker's panic re-raises out of the join
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<usize>>()
+    });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(SchedOutcome {
+        results: results.into_inner(),
+        stats: SchedStats {
+            workers,
+            claimed,
+            steals: queue.steals(),
+            stolen_tasks: queue.stolen_tasks(),
+            cancelled: token.is_cancelled(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn all_tasks_complete_and_results_collect() {
+        let token = CancelToken::new();
+        let outcome = run(
+            (0..57).collect(),
+            3,
+            &token,
+            |_| (),
+            |(), task: i32| Ok::<_, Infallible>(Some(task)),
+        )
+        .unwrap();
+        let mut results = outcome.results;
+        results.sort_unstable();
+        assert_eq!(results, (0..57).collect::<Vec<_>>());
+        assert_eq!(outcome.stats.workers, 3);
+        assert!(!outcome.stats.cancelled);
+    }
+
+    #[test]
+    fn skewed_work_is_stolen() {
+        // worker 0 owns tasks that all sleep; the others finish instantly and
+        // must steal to keep the run short
+        let token = CancelToken::new();
+        let outcome = run(
+            (0..32).collect(),
+            4,
+            &token,
+            |w| w,
+            |w, task: i32| {
+                // round-robin distribution put 0,4,8,… on worker 0; make
+                // exactly those slow, whoever ends up executing them
+                if task % 4 == 0 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                let _ = w;
+                Ok::<_, Infallible>(Some(task))
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.results.len(), 32);
+        assert!(outcome.stats.steals > 0, "fast workers must steal the slow backlog");
+    }
+
+    #[test]
+    fn error_cancels_the_run_and_wins() {
+        let token = CancelToken::new();
+        let attempted = AtomicUsize::new(0);
+        let err = run(
+            (0..1000).collect(),
+            2,
+            &token,
+            |_| (),
+            |(), task: i32| {
+                attempted.fetch_add(1, Ordering::Relaxed);
+                if task == 3 {
+                    Err("boom")
+                } else {
+                    Ok(Some(task))
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(token.is_cancelled());
+        assert!(attempted.load(Ordering::Relaxed) < 1000, "error must stop the pool early");
+    }
+
+    #[test]
+    fn cancellation_mid_run_stops_scheduling() {
+        let token = CancelToken::new();
+        let outcome = run(
+            (0..1000).collect(),
+            1,
+            &token,
+            |_| (),
+            |(), task: i32| {
+                if task == 5 {
+                    token.cancel();
+                    return Ok(None); // abandoned
+                }
+                Ok::<_, Infallible>(Some(task))
+            },
+        )
+        .unwrap();
+        // round-robin with one worker preserves order: 0..=4 completed,
+        // 5 abandoned, nothing after
+        assert_eq!(outcome.results.len(), 5);
+        assert_eq!(outcome.stats.claimed, vec![6]);
+        assert!(outcome.stats.cancelled);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // a panicking task must crash the run (joined watchdog included),
+        // not leave the scope waiting on a watchdog that never hears of
+        // completion
+        let token = CancelToken::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(
+                (0..10).collect(),
+                2,
+                &token,
+                |_| (),
+                |(), t: i32| {
+                    if t == 3 {
+                        panic!("task exploded");
+                    }
+                    Ok::<_, Infallible>(Some(t))
+                },
+            )
+        }));
+        assert!(result.is_err(), "the panic must propagate out of run()");
+    }
+
+    #[test]
+    fn worker_count_clamps_to_items() {
+        let token = CancelToken::new();
+        let outcome =
+            run(vec![1], 16, &token, |_| (), |(), t: i32| Ok::<_, Infallible>(Some(t))).unwrap();
+        assert_eq!(outcome.stats.workers, 1);
+        let token = CancelToken::new();
+        let outcome: SchedOutcome<i32> =
+            run(Vec::new(), 0, &token, |_| (), |(), t: i32| Ok::<_, Infallible>(Some(t))).unwrap();
+        assert_eq!(outcome.stats.workers, 1);
+        assert!(outcome.results.is_empty());
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_once_per_worker() {
+        let token = CancelToken::new();
+        let inits = AtomicUsize::new(0);
+        let outcome = run(
+            (0..64).collect(),
+            4,
+            &token,
+            |w| {
+                inits.fetch_add(1, Ordering::Relaxed);
+                w
+            },
+            |_, t: i32| Ok::<_, Infallible>(Some(t)),
+        )
+        .unwrap();
+        assert_eq!(inits.load(Ordering::Relaxed), 4);
+        assert_eq!(outcome.stats.claimed.iter().sum::<usize>(), 64);
+    }
+}

@@ -1,10 +1,12 @@
 //! Validity checking of verification conditions.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use timepiece_expr::{Env, Expr};
-use z3::{SatResult, Solver};
+use z3::{InterruptHandle, SatResult, Solver};
 
 use crate::encode::Encoder;
 use crate::error::SmtError;
@@ -146,6 +148,48 @@ impl SolverSession {
         result
     }
 
+    /// A [`Send`]/[`Sync`] handle another thread can use to interrupt this
+    /// session's in-flight solver call (the check then reports
+    /// [`Validity::Unknown`], or is dropped entirely under
+    /// [`SolverSession::check_cancellable`]). Interrupting a session with no
+    /// check in flight, or one that was since dropped, is a no-op.
+    pub fn interrupt_handle(&self) -> InterruptHandle {
+        self.solver.interrupt_handle()
+    }
+
+    /// [`SolverSession::check`] with cooperative cancellation: the `cancel`
+    /// flag is consulted *between* push/pop scopes — before opening the
+    /// check's scope and again after it closes — so a canceller never
+    /// corrupts the session's incremental state.
+    ///
+    /// Returns `Ok(None)` when the check was abandoned: the flag was already
+    /// set, or it was raised mid-check and the solver gave up (an `Unknown`
+    /// under a raised flag is indistinguishable from the interrupt artifact,
+    /// so it is discarded rather than reported). A check that *completed*
+    /// with a definite verdict is returned even if the flag rose meanwhile.
+    ///
+    /// Pair the flag with [`SolverSession::interrupt_handle`] to also abort
+    /// long solver calls already in flight; without the interrupt, the
+    /// current call runs to completion before the flag is seen.
+    ///
+    /// # Errors
+    ///
+    /// As [`SolverSession::check`].
+    pub fn check_cancellable(
+        &mut self,
+        vc: &Vc,
+        cancel: &AtomicBool,
+    ) -> Result<Option<Validity>, SmtError> {
+        if cancel.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        let result = self.check(vc)?;
+        if matches!(result, Validity::Unknown(_)) && cancel.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        Ok(Some(result))
+    }
+
     fn check_pushed(&mut self, vc: &Vc) -> Result<Validity, SmtError> {
         for a in &vc.assumptions {
             let compiled = self.enc.compile_bool(a)?;
@@ -210,6 +254,77 @@ impl SolverSession {
 /// ```
 pub fn check_validity(vc: &Vc, timeout: Option<Duration>) -> Result<Validity, SmtError> {
     SolverSession::new(timeout).check(vc)
+}
+
+/// A keyed collection of long-lived [`SolverSession`]s: one per
+/// *algebra/encoder signature*.
+///
+/// Conditions that share a signature — the same route type, hence the same
+/// variable declarations and well-formedness shapes — are discharged through
+/// one session, so the solver context, declarations and compiled-term cache
+/// are reused across *every* condition with that signature, not just within
+/// one node's. A scheduler worker holds one pool and batches all the nodes it
+/// owns through it; terms shared between nodes (symbolic-destination
+/// constraints, role-templated interfaces) are then encoded once per worker
+/// instead of once per node.
+///
+/// Like [`SolverSession`], a pool lives on its creating thread.
+///
+/// # Example
+///
+/// ```
+/// use timepiece_expr::{Expr, Type};
+/// use timepiece_smt::{SessionPool, Vc};
+///
+/// let mut pool = SessionPool::new(None);
+/// let x = Expr::var("x", Type::Int);
+/// let vc = Vc::new("t", [x.clone().gt(Expr::int(2))], x.gt(Expr::int(1)));
+/// assert!(pool.session("int-routes").check(&vc)?.is_valid());
+/// assert!(pool.session("int-routes").check(&vc)?.is_valid());
+/// assert_eq!(pool.len(), 1); // same signature, same session
+/// # Ok::<(), timepiece_smt::SmtError>(())
+/// ```
+#[derive(Debug)]
+pub struct SessionPool {
+    timeout: Option<Duration>,
+    sessions: HashMap<String, SolverSession>,
+}
+
+impl SessionPool {
+    /// Creates an empty pool; every session it opens uses `timeout`.
+    pub fn new(timeout: Option<Duration>) -> SessionPool {
+        SessionPool { timeout, sessions: HashMap::new() }
+    }
+
+    /// The session for `signature`, created on first use.
+    pub fn session(&mut self, signature: &str) -> &mut SolverSession {
+        self.session_or_init(signature, |_| {})
+    }
+
+    /// The session for `signature`; `init` runs once, right after the
+    /// session is created (e.g. to register its interrupt handle with a
+    /// cancellation token).
+    pub fn session_or_init(
+        &mut self,
+        signature: &str,
+        init: impl FnOnce(&SolverSession),
+    ) -> &mut SolverSession {
+        self.sessions.entry(signature.to_owned()).or_insert_with(|| {
+            let session = SolverSession::new(self.timeout);
+            init(&session);
+            session
+        })
+    }
+
+    /// How many distinct signatures have sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +415,60 @@ mod tests {
         let clash = Vc::new("bool", [], Expr::var("x", Type::Bool));
         assert!(session.check(&ok).is_ok());
         assert!(session.check(&clash).is_err());
+    }
+
+    #[test]
+    fn cancellable_check_skips_when_flag_already_set() {
+        let mut session = SolverSession::new(None);
+        let vc = Vc::new("t", [], Expr::bool(true));
+        let cancel = AtomicBool::new(true);
+        assert!(session.check_cancellable(&vc, &cancel).unwrap().is_none());
+        // the session's incremental state is untouched: clearing the flag
+        // lets the very same condition go through
+        cancel.store(false, Ordering::Release);
+        let validity = session.check_cancellable(&vc, &cancel).unwrap();
+        assert!(validity.expect("flag clear").is_valid());
+    }
+
+    #[test]
+    fn cancellable_check_keeps_definite_verdicts() {
+        // a verdict that completed before the flag rose is still reported
+        let mut session = SolverSession::new(None);
+        let x = Expr::var("x", Type::Int);
+        let vc = Vc::new("t", [], x.ge(Expr::int(0)));
+        let cancel = AtomicBool::new(false);
+        let validity = session.check_cancellable(&vc, &cancel).unwrap();
+        assert!(matches!(validity, Some(Validity::Invalid(_))));
+    }
+
+    #[test]
+    fn session_pool_reuses_sessions_per_signature() {
+        let mut pool = SessionPool::new(None);
+        assert!(pool.is_empty());
+        let x = Expr::var("x", Type::Int);
+        let vc = Vc::new("t", [x.clone().gt(Expr::int(2))], x.clone().gt(Expr::int(1)));
+        let mut inits = 0;
+        for _ in 0..3 {
+            let session = pool.session_or_init("sig-a", |_| inits += 1);
+            assert!(session.check(&vc).unwrap().is_valid());
+        }
+        assert_eq!(inits, 1, "init runs only on creation");
+        assert_eq!(pool.len(), 1);
+        // a different signature opens a fresh session with its own encoder,
+        // so a clashing redeclaration of `x` is fine there
+        let clash = Vc::new("bool", [], Expr::var("x", Type::Bool));
+        assert!(pool.session("sig-b").check(&clash).is_ok());
+        assert_eq!(pool.len(), 2);
+        // ...but not on the original session
+        assert!(pool.session("sig-a").check(&clash).is_err());
+    }
+
+    #[test]
+    fn interrupt_handle_outlives_session() {
+        let session = SolverSession::new(None);
+        let handle = session.interrupt_handle();
+        drop(session);
+        handle.interrupt(); // no-op, must not crash
     }
 
     #[test]

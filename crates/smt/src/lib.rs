@@ -38,7 +38,8 @@ pub mod encode;
 pub mod error;
 pub mod sym;
 
-pub use check::{check_validity, CounterExample, SolverSession, Validity, Vc};
+pub use check::{check_validity, CounterExample, SessionPool, SolverSession, Validity, Vc};
 pub use encode::Encoder;
 pub use error::SmtError;
 pub use sym::Sym;
+pub use z3::InterruptHandle;

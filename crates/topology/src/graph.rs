@@ -135,6 +135,21 @@ impl Topology {
         self.by_name.get(name).copied()
     }
 
+    /// The node's *class stem*: its name up to the first `-`.
+    ///
+    /// Every generator in this workspace names nodes `<class>-<position>`
+    /// (`core-3`, `agg-0-1`, `edge-2-0`, `internal-5`, `peer-17`, …), so the
+    /// stem is a coarse symmetry class whose members share policy shape and
+    /// verification cost. Because names are part of the deterministic
+    /// topology construction, the stem is a **stable node→shard key**: a
+    /// coordinator and its worker subprocesses can partition by it (cf.
+    /// `ShardPlan::by_class` in `timepiece-sched`) without exchanging node
+    /// lists.
+    pub fn node_class(&self, v: NodeId) -> &str {
+        let name = self.name(v);
+        name.split_once('-').map_or(name, |(stem, _)| stem)
+    }
+
     /// In-neighbors of `v` (the `preds(v)` of the paper).
     pub fn preds(&self, v: NodeId) -> &[NodeId] {
         &self.preds[v.index()]
@@ -206,6 +221,17 @@ mod tests {
         g.add_edge(b, d);
         g.add_edge(c, d);
         (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn node_class_is_the_name_stem() {
+        let mut g = Topology::new();
+        let core = g.add_node("core-3");
+        let agg = g.add_node("agg-0-1");
+        let plain = g.add_node("hijacker");
+        assert_eq!(g.node_class(core), "core");
+        assert_eq!(g.node_class(agg), "agg");
+        assert_eq!(g.node_class(plain), "hijacker");
     }
 
     #[test]

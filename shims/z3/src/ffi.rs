@@ -86,6 +86,7 @@ extern "C" {
 
     // solver
     pub fn Z3_mk_solver(c: Z3_context) -> Z3_solver;
+    pub fn Z3_solver_interrupt(c: Z3_context, s: Z3_solver);
     pub fn Z3_solver_inc_ref(c: Z3_context, s: Z3_solver);
     pub fn Z3_solver_dec_ref(c: Z3_context, s: Z3_solver);
     pub fn Z3_solver_set_params(c: Z3_context, s: Z3_solver, p: Z3_params);

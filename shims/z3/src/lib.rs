@@ -103,11 +103,37 @@ impl Drop for Params {
     }
 }
 
+/// A thread-safe handle that interrupts a [`Solver`]'s in-flight
+/// [`Solver::check`] from *another* thread (`Z3_solver_interrupt` is the one
+/// libz3 entry point documented as safe to call concurrently with a running
+/// check on the same solver). The interrupted check returns
+/// [`SatResult::Unknown`] with reason `"canceled"`.
+///
+/// The handle stays valid after its solver is dropped: interrupting then is a
+/// no-op. The target pointers live behind a mutex that [`Solver`]'s `Drop`
+/// clears while holding the lock, so an interrupt can never race the solver's
+/// (or its thread-local context's) destruction.
+#[derive(Debug, Clone)]
+pub struct InterruptHandle {
+    target: std::sync::Arc<std::sync::Mutex<Option<(usize, usize)>>>,
+}
+
+impl InterruptHandle {
+    /// Interrupts the solver's in-flight check, if the solver is still alive.
+    pub fn interrupt(&self) {
+        let guard = self.target.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((ctx, solver)) = *guard {
+            unsafe { Z3_solver_interrupt(ctx as Z3_context, solver as Z3_solver) }
+        }
+    }
+}
+
 /// An incremental SMT solver on the calling thread's context.
 #[derive(Debug)]
 pub struct Solver {
     ctx: Z3_context,
     raw: Z3_solver,
+    interrupt: std::sync::Arc<std::sync::Mutex<Option<(usize, usize)>>>,
 }
 
 impl Solver {
@@ -118,8 +144,16 @@ impl Solver {
         unsafe {
             let raw = Z3_mk_solver(ctx);
             Z3_solver_inc_ref(ctx, raw);
-            Solver { ctx, raw }
+            let interrupt =
+                std::sync::Arc::new(std::sync::Mutex::new(Some((ctx as usize, raw as usize))));
+            Solver { ctx, raw, interrupt }
         }
+    }
+
+    /// A [`Send`]/[`Sync`] handle other threads can use to interrupt this
+    /// solver's in-flight [`Solver::check`].
+    pub fn interrupt_handle(&self) -> InterruptHandle {
+        InterruptHandle { target: std::sync::Arc::clone(&self.interrupt) }
     }
 
     /// Applies parameters (e.g. a timeout) to this solver.
@@ -179,6 +213,10 @@ impl Solver {
 
 impl Drop for Solver {
     fn drop(&mut self) {
+        // Disarm outstanding interrupt handles *before* releasing the solver;
+        // holding the lock here means an `interrupt()` that already loaded
+        // the pointers finishes its libz3 call first.
+        *self.interrupt.lock().unwrap_or_else(|p| p.into_inner()) = None;
         unsafe { Z3_solver_dec_ref(self.ctx, self.raw) }
     }
 }
@@ -207,5 +245,84 @@ impl Model {
 impl Drop for Model {
     fn drop(&mut self) {
         unsafe { Z3_model_dec_ref(self.ctx, self.raw) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ast::Bool;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Asserts the pigeonhole principle for `pigeons` pigeons in
+    /// `pigeons - 1` holes: unsatisfiable, and exponentially hard for CDCL
+    /// solvers — a check that reliably outlives any interrupt latency.
+    fn assert_pigeonhole(solver: &Solver, pigeons: usize) {
+        let holes = pigeons - 1;
+        let var = |i: usize, j: usize| Bool::new_const(format!("p{i}h{j}"));
+        for i in 0..pigeons {
+            let somewhere: Vec<Bool> = (0..holes).map(|j| var(i, j)).collect();
+            solver.assert(Bool::or(&somewhere));
+        }
+        for j in 0..holes {
+            for i in 0..pigeons {
+                for i2 in i + 1..pigeons {
+                    solver.assert(Bool::or(&[var(i, j).not(), var(i2, j).not()]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interrupt_aborts_inflight_check() {
+        let done = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker = std::thread::spawn(move || {
+            let solver = Solver::new();
+            assert_pigeonhole(&solver, 13);
+            tx.send(solver.interrupt_handle()).unwrap();
+            solver.check()
+        });
+        // keep interrupting until the worker returns, so the test cannot race
+        // a check that had not started when the first interrupt fired
+        let handle = rx.recv().unwrap();
+        let interrupter = {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    handle.interrupt();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            })
+        };
+        let result = worker.join().unwrap();
+        done.store(true, Ordering::Relaxed);
+        interrupter.join().unwrap();
+        assert_eq!(result, SatResult::Unknown, "interrupt must abort the check");
+    }
+
+    #[test]
+    fn interrupt_after_drop_is_noop() {
+        let solver = Solver::new();
+        let handle = solver.interrupt_handle();
+        solver.assert(Bool::from_bool(true));
+        drop(solver);
+        handle.interrupt();
+        handle.interrupt();
+    }
+
+    #[test]
+    fn interrupted_solver_stays_usable() {
+        let solver = Solver::new();
+        solver.push();
+        solver.assert(Bool::from_bool(false));
+        assert_eq!(solver.check(), SatResult::Unsat);
+        solver.pop(1);
+        // an interrupt with no in-flight check is absorbed harmlessly
+        solver.interrupt_handle().interrupt();
+        solver.assert(Bool::from_bool(true));
+        assert!(matches!(solver.check(), SatResult::Sat | SatResult::Unknown));
     }
 }

@@ -11,6 +11,9 @@
 //! * [`topology`] — network graphs and generators (fattrees, WANs, …).
 //! * [`algebra`] — routing algebras (S, I, F, ⊕) and standard instances.
 //! * [`sim`] — synchronous and bounded-delay network simulators.
+//! * [`sched`] — verification scheduling: work-stealing execution,
+//!   cooperative cancellation with solver interrupts, and deterministic
+//!   shard planning for multi-process runs.
 //! * [`core`] — temporal invariants, verification conditions, the modular
 //!   checker, and the monolithic (Minesweeper-style) baseline.
 //! * [`infer`] — simulation-guided inference of temporal interfaces with
@@ -39,6 +42,7 @@ pub use timepiece_core as core;
 pub use timepiece_expr as expr;
 pub use timepiece_infer as infer;
 pub use timepiece_nets as nets;
+pub use timepiece_sched as sched;
 pub use timepiece_sim as sim;
 pub use timepiece_smt as smt;
 pub use timepiece_topology as topology;

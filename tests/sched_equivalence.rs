@@ -1,0 +1,78 @@
+//! Scheduler-equivalence properties: the verification *verdict* is a pure
+//! function of `(network, interface, property)` — never of how the pile of
+//! per-node conditions was drained. Work-stealing thread counts and shard
+//! partitions must all reproduce the same failing-node sets on the same
+//! sabotaged instance.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use timepiece::core::check::{CheckOptions, CheckReport, ModularChecker};
+use timepiece::core::{NodeAnnotations, Temporal};
+use timepiece::nets::reach::ReachBench;
+use timepiece::nets::BenchInstance;
+use timepiece::sched::ShardPlan;
+
+/// SpReach k=4 (20 nodes) with the nodes selected by `mask` sabotaged to
+/// claim they never hold a route — failures then appear at every sabotaged
+/// node that obtains one, and at neighbors whose conditions assumed it.
+fn sabotaged_instance(mask: u32) -> (BenchInstance, NodeAnnotations) {
+    let inst = ReachBench::single_dest(4, 0).build();
+    let mut interface = inst.interface.clone();
+    for v in inst.network.topology().nodes() {
+        if mask & (1 << v.index()) != 0 {
+            interface.set(v, Temporal::globally(|r| r.clone().is_some().not()));
+        }
+    }
+    (inst, interface)
+}
+
+fn failing_nodes(report: &CheckReport) -> BTreeSet<String> {
+    report.failures().iter().map(|f| f.node_name.clone()).collect()
+}
+
+proptest! {
+    // each case runs five full modular checks; keep the count small
+    #![proptest_config(ProptestConfig { cases: 6, rng_seed: 0x5ced_0001 })]
+
+    #[test]
+    fn threads_and_shards_agree_on_failing_nodes(mask in 1u32..(1 << 20)) {
+        let (inst, interface) = sabotaged_instance(mask);
+        let topology = inst.network.topology();
+
+        let reference = ModularChecker::new(CheckOptions {
+            threads: Some(1),
+            ..CheckOptions::default()
+        })
+        .check(&inst.network, &interface, &inst.property)
+        .expect("instance encodes");
+        let expected = failing_nodes(&reference);
+        prop_assert!(!expected.is_empty(), "a sabotaged instance must fail somewhere");
+
+        for threads in [1usize, 4] {
+            for shards in [1usize, 3] {
+                let checker = ModularChecker::new(CheckOptions {
+                    threads: Some(threads),
+                    ..CheckOptions::default()
+                });
+                let plan = ShardPlan::by_class(topology.nodes(), shards, |v| {
+                    topology.node_class(v).to_owned()
+                });
+                prop_assert!(plan.covers(topology.nodes()));
+                let merged = CheckReport::merge((0..shards).map(|shard| {
+                    checker
+                        .check_nodes(&inst.network, &interface, &inst.property, plan.nodes_of(shard))
+                        .expect("shard encodes")
+                }));
+                prop_assert_eq!(
+                    failing_nodes(&merged),
+                    expected.clone(),
+                    "threads={} shards={} must match the reference verdict",
+                    threads,
+                    shards
+                );
+                prop_assert_eq!(merged.node_durations().len(), topology.node_count());
+            }
+        }
+    }
+}
