@@ -1,0 +1,283 @@
+//! Concrete algebras for the full BGP decision process and the IGP/EGP
+//! administrative-distance product.
+//!
+//! These are the fast, value-level counterparts of the expression-level
+//! scenarios in `timepiece-nets` (`Med`, `Ad`): the [`DecisionBgp`] merge
+//! implements local-pref ≻ AS-path length ≻ MED ≻ origin, and [`AdProduct`]
+//! layers an administrative distance on top — lower AD wins outright, ties
+//! fall through to the inner decision process. Both merges are associative,
+//! commutative, idempotent and selective (see the property tests in
+//! [`crate::laws`]), which is what lets the modular checker reason about
+//! them per-node.
+
+use std::collections::HashMap;
+
+use timepiece_topology::NodeId;
+
+use crate::traits::RoutingAlgebra;
+
+/// BGP origin codes, in preference order (IGP best, unknown worst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Origin {
+    /// Learned from an interior gateway protocol.
+    Igp,
+    /// Learned from an exterior gateway protocol.
+    Egp,
+    /// Origin unknown ("incomplete").
+    Unknown,
+}
+
+impl Origin {
+    /// The lowercase variant name used by schema-level `origin` enum fields.
+    pub fn variant(&self) -> &'static str {
+        match self {
+            Origin::Igp => "igp",
+            Origin::Egp => "egp",
+            Origin::Unknown => "unknown",
+        }
+    }
+}
+
+/// A route carrying the full decision-process attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DecisionRoute {
+    /// Local preference — higher is better.
+    pub lp: u64,
+    /// AS-path length — shorter is better.
+    pub len: u64,
+    /// Multi-exit discriminator — lower is better.
+    pub med: u64,
+    /// Origin code — earlier variants are better.
+    pub origin: Origin,
+}
+
+impl DecisionRoute {
+    /// A freshly-originated route: lp 100, zero length, MED 0, origin IGP.
+    pub fn originate() -> DecisionRoute {
+        DecisionRoute { lp: 100, len: 0, med: 0, origin: Origin::Igp }
+    }
+
+    /// The decision-process preference key: smaller keys win.
+    fn key(&self) -> (std::cmp::Reverse<u64>, u64, u64, Origin) {
+        (std::cmp::Reverse(self.lp), self.len, self.med, self.origin)
+    }
+
+    /// Is `self` strictly preferred to `other` by the decision process?
+    pub fn better(&self, other: &DecisionRoute) -> bool {
+        self.key() < other.key()
+    }
+}
+
+/// The full-decision-process algebra: transfer increments the path length
+/// (optionally stamping a per-edge MED), merge runs
+/// lp ≻ len ≻ MED ≻ origin.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionBgp {
+    initials: HashMap<NodeId, DecisionRoute>,
+    /// MED stamped on routes crossing an edge while still fresh (len 0) —
+    /// the "exit discriminator" the destination advertises per link.
+    exit_meds: HashMap<(NodeId, NodeId), u64>,
+}
+
+impl DecisionBgp {
+    /// An algebra with no initial routes and no exit MEDs.
+    pub fn new() -> DecisionBgp {
+        DecisionBgp::default()
+    }
+
+    /// Gives `v` an initial route.
+    pub fn set_initial(&mut self, v: NodeId, route: DecisionRoute) -> &mut DecisionBgp {
+        self.initials.insert(v, route);
+        self
+    }
+
+    /// Stamps MED `med` on fresh (len-0) routes crossing `edge`.
+    pub fn set_exit_med(&mut self, edge: (NodeId, NodeId), med: u64) -> &mut DecisionBgp {
+        self.exit_meds.insert(edge, med);
+        self
+    }
+}
+
+impl RoutingAlgebra for DecisionBgp {
+    type Route = Option<DecisionRoute>;
+
+    fn initial(&self, v: NodeId) -> Option<DecisionRoute> {
+        self.initials.get(&v).copied()
+    }
+
+    fn transfer(
+        &self,
+        edge: (NodeId, NodeId),
+        route: &Option<DecisionRoute>,
+    ) -> Option<DecisionRoute> {
+        let mut out = (*route)?;
+        if out.len == 0 {
+            if let Some(&med) = self.exit_meds.get(&edge) {
+                out.med = med;
+            }
+        }
+        out.len = out.len.saturating_add(1);
+        Some(out)
+    }
+
+    fn merge(&self, a: &Option<DecisionRoute>, b: &Option<DecisionRoute>) -> Option<DecisionRoute> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if y.better(x) { *y } else { *x }),
+            (Some(x), None) | (None, Some(x)) => Some(*x),
+            (None, None) => None,
+        }
+    }
+}
+
+/// A route of the AD product: a protocol's administrative distance paired
+/// with the protocol-level route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AdRoute {
+    /// Administrative distance — lower is better, compared first.
+    pub ad: u64,
+    /// The protocol-level route, deciding ties.
+    pub route: DecisionRoute,
+}
+
+impl AdRoute {
+    /// An eBGP-learned route (AD 20).
+    pub fn ebgp(route: DecisionRoute) -> AdRoute {
+        AdRoute { ad: 20, route }
+    }
+
+    /// An IGP-learned route (AD 110, OSPF-style).
+    pub fn igp(route: DecisionRoute) -> AdRoute {
+        AdRoute { ad: 110, route }
+    }
+
+    /// Is `self` strictly preferred to `other`? Lower AD wins outright;
+    /// equal ADs fall through to the inner decision process.
+    pub fn better(&self, other: &AdRoute) -> bool {
+        self.ad < other.ad || (self.ad == other.ad && self.route.better(&other.route))
+    }
+}
+
+/// The IGP/EGP product algebra: merge on (AD, then decision process),
+/// transfer increments the inner path length and preserves the AD — routes
+/// keep the distance of the protocol that introduced them.
+#[derive(Debug, Clone, Default)]
+pub struct AdProduct {
+    initials: HashMap<NodeId, AdRoute>,
+}
+
+impl AdProduct {
+    /// An algebra with no initial routes.
+    pub fn new() -> AdProduct {
+        AdProduct::default()
+    }
+
+    /// Gives `v` an initial route.
+    pub fn set_initial(&mut self, v: NodeId, route: AdRoute) -> &mut AdProduct {
+        self.initials.insert(v, route);
+        self
+    }
+}
+
+impl RoutingAlgebra for AdProduct {
+    type Route = Option<AdRoute>;
+
+    fn initial(&self, v: NodeId) -> Option<AdRoute> {
+        self.initials.get(&v).copied()
+    }
+
+    fn transfer(&self, _edge: (NodeId, NodeId), route: &Option<AdRoute>) -> Option<AdRoute> {
+        let mut out = (*route)?;
+        out.route.len = out.route.len.saturating_add(1);
+        Some(out)
+    }
+
+    fn merge(&self, a: &Option<AdRoute>, b: &Option<AdRoute>) -> Option<AdRoute> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if y.better(x) { *y } else { *x }),
+            (Some(x), None) | (None, Some(x)) => Some(*x),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_order_is_lp_len_med_origin() {
+        let base = DecisionRoute { lp: 100, len: 2, med: 5, origin: Origin::Egp };
+        assert!(DecisionRoute { lp: 200, ..base }.better(&base), "lp dominates");
+        assert!(DecisionRoute { len: 1, ..base }.better(&base), "len breaks lp ties");
+        assert!(DecisionRoute { med: 0, ..base }.better(&base), "med breaks len ties");
+        assert!(DecisionRoute { origin: Origin::Igp, ..base }.better(&base), "origin last");
+        assert!(!base.better(&base), "strictness");
+        // lp beats everything below it
+        let worse_rest = DecisionRoute { lp: 200, len: 9, med: 9, origin: Origin::Unknown };
+        assert!(worse_rest.better(&base));
+    }
+
+    #[test]
+    fn exit_med_stamps_only_fresh_routes() {
+        let e = (NodeId::new(0), NodeId::new(1));
+        let mut alg = DecisionBgp::new();
+        alg.set_exit_med(e, 7);
+        let fresh = alg.transfer(e, &Some(DecisionRoute::originate())).unwrap();
+        assert_eq!((fresh.med, fresh.len), (7, 1));
+        let aged = alg.transfer(e, &Some(fresh)).unwrap();
+        assert_eq!((aged.med, aged.len), (7, 2), "MED preserved, not re-stamped");
+        let other = (NodeId::new(1), NodeId::new(2));
+        let unstamped = alg.transfer(other, &Some(DecisionRoute::originate())).unwrap();
+        assert_eq!(unstamped.med, 0);
+        assert_eq!(alg.transfer(e, &None), None);
+    }
+
+    #[test]
+    fn ad_beats_the_inner_decision_process() {
+        let great_igp =
+            AdRoute::igp(DecisionRoute { lp: 1000, len: 0, med: 0, origin: Origin::Igp });
+        let modest_ebgp =
+            AdRoute::ebgp(DecisionRoute { lp: 100, len: 5, med: 9, origin: Origin::Unknown });
+        assert!(modest_ebgp.better(&great_igp), "AD 20 beats AD 110 regardless of attributes");
+        // equal AD: inner process decides
+        let a = AdRoute::ebgp(DecisionRoute { lp: 100, len: 1, med: 0, origin: Origin::Igp });
+        let b = AdRoute::ebgp(DecisionRoute { lp: 100, len: 2, med: 0, origin: Origin::Igp });
+        assert!(a.better(&b) && !b.better(&a));
+    }
+
+    #[test]
+    fn product_transfer_preserves_ad() {
+        let alg = AdProduct::new();
+        let e = (NodeId::new(0), NodeId::new(1));
+        let out = alg.transfer(e, &Some(AdRoute::igp(DecisionRoute::originate()))).unwrap();
+        assert_eq!(out.ad, 110);
+        assert_eq!(out.route.len, 1);
+    }
+
+    #[test]
+    fn simulation_converges_to_lowest_ad() {
+        use timepiece_topology::gen;
+        // v0 originates eBGP, v2 holds a competing IGP route; eBGP wins
+        // everywhere once it arrives
+        let g = gen::undirected_path(3);
+        let v0 = g.node_by_name("v0").unwrap();
+        let v2 = g.node_by_name("v2").unwrap();
+        let mut alg = AdProduct::new();
+        alg.set_initial(v0, AdRoute::ebgp(DecisionRoute::originate()));
+        alg.set_initial(v2, AdRoute::igp(DecisionRoute::originate()));
+        let mut state: Vec<Option<AdRoute>> = g.nodes().map(|v| alg.initial(v)).collect();
+        for _ in 0..8 {
+            let prev = state.clone();
+            for v in g.nodes() {
+                let candidates: Vec<Option<AdRoute>> =
+                    g.preds(v).iter().map(|&u| alg.transfer((u, v), &prev[u.index()])).collect();
+                state[v.index()] = alg.merge_all(alg.initial(v), candidates.iter());
+            }
+        }
+        for (i, r) in state.iter().enumerate() {
+            let r = r.expect("every node has a route");
+            assert_eq!(r.ad, 20, "node {i} converged to the eBGP route");
+            assert_eq!(r.route.len, i as u64);
+        }
+    }
+}

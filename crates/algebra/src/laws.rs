@@ -61,6 +61,71 @@ mod tests {
         }
     }
 
+    use crate::decision::{AdProduct, AdRoute, DecisionBgp, DecisionRoute, Origin};
+    use proptest::prelude::*;
+
+    fn origin_strategy() -> impl Strategy<Value = Origin> {
+        (0u8..3).prop_map(|i| match i {
+            0 => Origin::Igp,
+            1 => Origin::Egp,
+            _ => Origin::Unknown,
+        })
+    }
+
+    fn decision_route() -> impl Strategy<Value = Option<DecisionRoute>> {
+        proptest::option::of(
+            (0u64..4, 0u64..5, 0u64..4, origin_strategy()).prop_map(|(lp, len, med, origin)| {
+                DecisionRoute { lp: lp * 100, len, med, origin }
+            }),
+        )
+    }
+
+    fn ad_route() -> impl Strategy<Value = Option<AdRoute>> {
+        decision_route().prop_flat_map(|inner| {
+            (0u8..2).prop_map(move |p| {
+                inner.map(|route| if p == 0 { AdRoute::ebgp(route) } else { AdRoute::igp(route) })
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 400, rng_seed: 0x00a1_9e8a_0000_0001 })]
+
+        /// The full decision-process merge (lp ≻ len ≻ MED ≻ origin) is a
+        /// well-behaved selection function.
+        #[test]
+        fn decision_merge_laws(
+            a in decision_route(),
+            b in decision_route(),
+            c in decision_route(),
+        ) {
+            let alg = DecisionBgp::new();
+            prop_assert!(idempotent(&alg, &a));
+            prop_assert!(commutative(&alg, &a, &b), "commutativity on {a:?} {b:?}");
+            prop_assert!(selective(&alg, &a, &b));
+            prop_assert!(associative(&alg, &a, &b, &c), "associativity on {a:?} {b:?} {c:?}");
+            let e = (NodeId::new(0), NodeId::new(1));
+            prop_assert!(prefers_original(&alg, e, &a));
+        }
+
+        /// The AD product merge (AD first, decision process on ties) keeps
+        /// every law of its factors.
+        #[test]
+        fn ad_product_merge_laws(
+            a in ad_route(),
+            b in ad_route(),
+            c in ad_route(),
+        ) {
+            let alg = AdProduct::new();
+            prop_assert!(idempotent(&alg, &a));
+            prop_assert!(commutative(&alg, &a, &b), "commutativity on {a:?} {b:?}");
+            prop_assert!(selective(&alg, &a, &b));
+            prop_assert!(associative(&alg, &a, &b, &c), "associativity on {a:?} {b:?} {c:?}");
+            let e = (NodeId::new(0), NodeId::new(1));
+            prop_assert!(prefers_original(&alg, e, &a));
+        }
+    }
+
     #[test]
     fn bgp_laws_on_samples() {
         let alg = Bgp::new();

@@ -31,14 +31,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bgp;
+pub mod decision;
 pub mod laws;
 pub mod network;
+pub mod policy;
 pub mod shortest_path;
 pub mod traits;
 pub mod widest_path;
 
 pub use bgp::{Bgp, BgpRoute, EdgePolicy};
-pub use network::{Network, NetworkBuilder, Symbolic};
+pub use decision::{AdProduct, AdRoute, DecisionBgp, DecisionRoute, Origin};
+pub use network::{Network, NetworkBuilder, NetworkPolicies, Symbolic};
+pub use policy::{
+    ClauseAction, FailureModel, MergeKey, PolicyClause, PolicyError, RewriteOp, RouteGuard,
+    RoutePolicy, RouteSchema,
+};
 pub use shortest_path::ShortestPath;
 pub use traits::RoutingAlgebra;
 pub use widest_path::WidestPath;

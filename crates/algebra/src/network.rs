@@ -14,6 +14,8 @@ use std::sync::Arc;
 use timepiece_expr::{Expr, Type, TypeError, Value};
 use timepiece_topology::{NodeId, Topology};
 
+use crate::policy::{FailureModel, RoutePolicy, RouteSchema};
+
 /// A transfer function `f_e`, building the route sent across an edge.
 pub type TransferFn = Arc<dyn Fn(&Expr) -> Expr + Send + Sync>;
 
@@ -90,6 +92,9 @@ pub enum NetworkError {
         /// The underlying type error.
         source: TypeError,
     },
+    /// Declarative policies were mixed with closure-based transfer/merge
+    /// components on the same builder.
+    MixedPolicyModes,
 }
 
 impl fmt::Display for NetworkError {
@@ -102,6 +107,9 @@ impl fmt::Display for NetworkError {
                 write!(f, "duplicate symbolic value {name:?}")
             }
             NetworkError::BadType { what, source } => write!(f, "ill-typed {what}: {source}"),
+            NetworkError::MixedPolicyModes => {
+                write!(f, "declarative policies cannot be mixed with closure transfers/merge")
+            }
         }
     }
 }
@@ -112,6 +120,58 @@ impl std::error::Error for NetworkError {
             NetworkError::BadType { source, .. } => Some(source),
             _ => None,
         }
+    }
+}
+
+/// The declarative policy layer of a network built through the policy IR:
+/// the [`RouteSchema`], the per-edge [`RoutePolicy`]s (with an optional
+/// default), and an optional [`FailureModel`].
+///
+/// Networks carrying this structure expose it to every downstream consumer:
+/// the simulator runs the IR's concrete semantics directly, the checker keys
+/// solver sessions by [`NetworkPolicies::structural_hash`], and inference
+/// derives its atom grammar from the schema.
+#[derive(Debug, Clone)]
+pub struct NetworkPolicies {
+    /// The route schema (record shape + merge order).
+    pub schema: RouteSchema,
+    /// Per-edge policies.
+    pub edge_policies: HashMap<(NodeId, NodeId), RoutePolicy>,
+    /// The policy of edges without a specific one.
+    pub default_policy: Option<RoutePolicy>,
+    /// The bounded link-failure model, if any.
+    pub failures: Option<FailureModel>,
+}
+
+impl NetworkPolicies {
+    /// The policy of an edge (the default when no specific one is set).
+    pub fn policy(&self, edge: (NodeId, NodeId)) -> Option<&RoutePolicy> {
+        self.edge_policies.get(&edge).or(self.default_policy.as_ref())
+    }
+
+    /// A structural fingerprint of the whole policy layer: the schema, the
+    /// *set* of distinct policy structures (not their edge assignment, so
+    /// topologies of different size built from the same policy templates
+    /// share a fingerprint when their template sets coincide), and the
+    /// failure budget.
+    pub fn structural_hash(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.schema.structural_hash().hash(&mut h);
+        let mut policy_hashes: Vec<u64> =
+            self.edge_policies.values().map(RoutePolicy::structural_hash).collect();
+        if let Some(d) = &self.default_policy {
+            policy_hashes.push(d.structural_hash());
+        }
+        policy_hashes.sort_unstable();
+        policy_hashes.dedup();
+        policy_hashes.hash(&mut h);
+        if let Some(f) = &self.failures {
+            f.budget().hash(&mut h);
+            f.edges().len().hash(&mut h);
+        }
+        h.finish()
     }
 }
 
@@ -152,6 +212,7 @@ pub struct Network {
     transfers: HashMap<(NodeId, NodeId), TransferFn>,
     merge: MergeFn,
     symbolics: Vec<Symbolic>,
+    policies: Option<Arc<NetworkPolicies>>,
 }
 
 impl fmt::Debug for Network {
@@ -211,6 +272,26 @@ impl Network {
         &self.symbolics
     }
 
+    /// The declarative policy layer, when the network was built through the
+    /// policy IR ([`NetworkBuilder::from_schema`]). `None` for networks
+    /// assembled from raw closures.
+    pub fn policies(&self) -> Option<&NetworkPolicies> {
+        self.policies.as_deref()
+    }
+
+    /// The key under which solver sessions may be shared between
+    /// verification conditions of this network: a structural hash of the
+    /// policy IR when present (two networks built from the same schema and
+    /// policy templates produce identical declarations and shared terms),
+    /// falling back to the route type for closure-built networks (where the
+    /// policy structure is opaque).
+    pub fn encoder_signature(&self) -> String {
+        match &self.policies {
+            Some(p) => format!("ir:{:016x}", p.structural_hash()),
+            None => format!("ty:{}", self.route_type),
+        }
+    }
+
     /// The preconditions of all symbolics, as boolean terms.
     pub fn symbolic_constraints(&self) -> Vec<Expr> {
         self.symbolics.iter().filter_map(|s| s.constraint().cloned()).collect()
@@ -262,6 +343,10 @@ pub struct NetworkBuilder {
     default_transfer: Option<TransferFn>,
     merge: Option<MergeFn>,
     symbolics: Vec<Symbolic>,
+    schema: Option<RouteSchema>,
+    edge_policies: HashMap<(NodeId, NodeId), RoutePolicy>,
+    default_policy: Option<RoutePolicy>,
+    failures: Option<FailureModel>,
 }
 
 impl fmt::Debug for NetworkBuilder {
@@ -285,7 +370,48 @@ impl NetworkBuilder {
             default_transfer: None,
             merge: None,
             symbolics: Vec::new(),
+            schema: None,
+            edge_policies: HashMap::new(),
+            default_policy: None,
+            failures: None,
         }
+    }
+
+    /// Starts a *policy-mode* builder from a [`RouteSchema`]: the route type
+    /// is the schema's, the merge `⊕` is compiled from the schema's keys,
+    /// and transfers are declared as [`RoutePolicy`] values via
+    /// [`NetworkBuilder::policy`] / [`NetworkBuilder::default_policy`].
+    ///
+    /// One declarative definition then drives simulation (value semantics),
+    /// SMT (compiled terms), solver-session keying
+    /// ([`Network::encoder_signature`]) and inference (the schema's atom
+    /// grammar).
+    pub fn from_schema(topology: Topology, schema: RouteSchema) -> NetworkBuilder {
+        let mut builder = NetworkBuilder::new(topology, schema.route_type());
+        builder.schema = Some(schema);
+        builder
+    }
+
+    /// Declares the policy of one edge (policy mode).
+    pub fn policy(mut self, edge: (NodeId, NodeId), policy: RoutePolicy) -> Self {
+        self.edge_policies.insert(edge, policy);
+        self
+    }
+
+    /// Declares the policy used by edges without a specific one (policy
+    /// mode).
+    pub fn default_policy(mut self, policy: RoutePolicy) -> Self {
+        self.default_policy = Some(policy);
+        self
+    }
+
+    /// Attaches a bounded link-failure model (policy mode): every tracked
+    /// edge's transfer is wrapped in its failure boolean (`fail → ∞`), the
+    /// booleans join the network's symbolics, and the at-most-`f` budget is
+    /// threaded through every verification condition as a constraint.
+    pub fn failures(mut self, model: FailureModel) -> Self {
+        self.failures = Some(model);
+        self
     }
 
     /// Sets the merge function `⊕`.
@@ -340,9 +466,68 @@ impl NetworkBuilder {
             init,
             mut transfers,
             default_transfer,
-            merge,
-            symbolics,
+            mut merge,
+            mut symbolics,
+            schema,
+            edge_policies,
+            default_policy,
+            failures,
         } = self;
+
+        // policy mode: compile the declarative IR into the transfer/merge
+        // slots the rest of the pipeline consumes, and remember the IR
+        let policies = match schema {
+            None => {
+                if !edge_policies.is_empty() || default_policy.is_some() || failures.is_some() {
+                    return Err(NetworkError::MixedPolicyModes);
+                }
+                None
+            }
+            Some(schema) => {
+                if !transfers.is_empty() || default_transfer.is_some() || merge.is_some() {
+                    return Err(NetworkError::MixedPolicyModes);
+                }
+                let policies =
+                    Arc::new(NetworkPolicies { schema, edge_policies, default_policy, failures });
+                {
+                    let p = Arc::clone(&policies);
+                    merge = Some(Arc::new(move |a: &Expr, b: &Expr| p.schema.merge_expr(a, b)));
+                }
+                for (u, v) in topology.edges() {
+                    let Some(policy) = policies.policy((u, v)).cloned() else { continue };
+                    let p = Arc::clone(&policies);
+                    let fail_var = policies
+                        .failures
+                        .as_ref()
+                        .filter(|f| f.tracks((u, v)))
+                        .map(|_| FailureModel::var(&topology, (u, v)));
+                    transfers.insert(
+                        (u, v),
+                        Arc::new(move |r: &Expr| {
+                            let transferred = policy.compile(&p.schema, r);
+                            match &fail_var {
+                                Some(fail) => fail.clone().ite(p.schema.none_route(), transferred),
+                                None => transferred,
+                            }
+                        }),
+                    );
+                }
+                if let Some(model) = &policies.failures {
+                    // every failure variable carries the (shared) at-most-f
+                    // budget constraint: the global fact survives any
+                    // consumer that samples, filters or reorders symbolics
+                    // individually; duplicate assumptions are harmless
+                    for &edge in model.edges() {
+                        symbolics.push(Symbolic::new(
+                            FailureModel::var_name(&topology, edge),
+                            Type::Bool,
+                            Some(model.budget_constraint(&topology)),
+                        ));
+                    }
+                }
+                Some(policies)
+            }
+        };
 
         for (i, s) in symbolics.iter().enumerate() {
             if symbolics[..i].iter().any(|t| t.name() == s.name()) {
@@ -395,7 +580,15 @@ impl NetworkBuilder {
             )?;
         }
 
-        Ok(Network { topology: Arc::new(topology), route_type, init, transfers, merge, symbolics })
+        Ok(Network {
+            topology: Arc::new(topology),
+            route_type,
+            init,
+            transfers,
+            merge,
+            symbolics,
+            policies,
+        })
     }
 }
 
@@ -538,6 +731,85 @@ mod tests {
             .unwrap();
         let out = net.transfer((v0, v1), &Expr::bool(true));
         assert_eq!(out.eval(&Env::new()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn policy_mode_builds_and_records_the_ir() {
+        use crate::policy::{MergeKey, RoutePolicy, RouteSchema};
+        let schema = RouteSchema::new(
+            "Hop",
+            [("len".to_owned(), Type::Int)],
+            [MergeKey::Lower("len".into())],
+        );
+        let g = gen::path(3);
+        let dest = g.node_by_name("v0").unwrap();
+        let origin = Expr::record(schema.record_def(), vec![Expr::int(0)]).some();
+        let net = NetworkBuilder::from_schema(g, schema.clone())
+            .default_policy(RoutePolicy::new().increment("len"))
+            .init(dest, origin)
+            .build()
+            .expect("policy network builds");
+        assert!(net.policies().is_some());
+        assert!(net.encoder_signature().starts_with("ir:"));
+        // the compiled transfer increments
+        let v1 = net.topology().node_by_name("v1").unwrap();
+        let stepped = net.step(v1, &[Expr::record(schema.record_def(), vec![Expr::int(0)]).some()]);
+        let out = stepped.eval(&Env::new()).unwrap();
+        assert_eq!(out.unwrap_or_default().unwrap().field("len").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn mixed_modes_are_rejected() {
+        use crate::policy::{MergeKey, RoutePolicy, RouteSchema};
+        let schema = RouteSchema::new(
+            "Hop",
+            [("len".to_owned(), Type::Int)],
+            [MergeKey::Lower("len".into())],
+        );
+        let err = NetworkBuilder::from_schema(gen::path(2), schema)
+            .default_policy(RoutePolicy::new().increment("len"))
+            .merge(|a, _| a.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetworkError::MixedPolicyModes);
+        let err = NetworkBuilder::new(gen::path(2), Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .default_policy(RoutePolicy::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetworkError::MixedPolicyModes);
+    }
+
+    #[test]
+    fn failure_model_adds_symbolics_and_budget_constraint() {
+        use crate::policy::{FailureModel, MergeKey, RoutePolicy, RouteSchema};
+        let schema = RouteSchema::new(
+            "Hop",
+            [("len".to_owned(), Type::Int)],
+            [MergeKey::Lower("len".into())],
+        );
+        let g = gen::undirected_path(3);
+        let dest = g.node_by_name("v0").unwrap();
+        let v1 = g.node_by_name("v1").unwrap();
+        let origin = Expr::record(schema.record_def(), vec![Expr::int(0)]).some();
+        let net = NetworkBuilder::from_schema(g, schema.clone())
+            .default_policy(RoutePolicy::new().increment("len"))
+            .failures(FailureModel::at_most(1, [(dest, v1)]))
+            .init(dest, origin)
+            .build()
+            .unwrap();
+        assert_eq!(net.symbolics().len(), 1);
+        assert_eq!(net.symbolic_constraints().len(), 1, "budget constraint attached");
+        // the tracked edge's transfer yields ∞ when its failure bit is up
+        let fail_name = FailureModel::var_name(net.topology(), (dest, v1));
+        let transferred =
+            net.transfer((dest, v1), &Expr::record(schema.record_def(), vec![Expr::int(0)]).some());
+        let mut env = Env::new();
+        env.bind(fail_name.clone(), Value::Bool(true));
+        assert_eq!(transferred.eval(&env).unwrap().is_some_option(), Some(false));
+        env.bind(fail_name, Value::Bool(false));
+        assert_eq!(transferred.eval(&env).unwrap().is_some_option(), Some(true));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use timepiece_smt::Encoder;
 fn bench_modular_vs_monolithic(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1-k4");
     group.sample_size(10).measurement_time(Duration::from_secs(30));
-    let inst = fattree_instance(BenchKind::SpHijack, 4);
+    let inst = fattree_instance(BenchKind::parse("SpHijack").unwrap(), 4);
     group.bench_function("modular", |b| {
         let checker = ModularChecker::new(CheckOptions::default());
         b.iter(|| {
@@ -39,7 +39,7 @@ fn bench_encoding_cost(c: &mut Criterion) {
     // ablation: how much of a node check is formula construction vs solving
     let mut group = c.benchmark_group("encoding");
     group.sample_size(20);
-    let inst = fattree_instance(BenchKind::SpLen, 8);
+    let inst = fattree_instance(BenchKind::parse("SpLen").unwrap(), 8);
     let core = inst
         .network
         .topology()
@@ -73,7 +73,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
     // ablation: the embarrassingly-parallel claim — same work, varying pool
     let mut group = c.benchmark_group("threads");
     group.sample_size(10).measurement_time(Duration::from_secs(30));
-    let inst = fattree_instance(BenchKind::SpReach, 8);
+    let inst = fattree_instance(BenchKind::parse("SpReach").unwrap(), 8);
     for threads in [1usize, 2, 4] {
         group.bench_function(format!("t{threads}"), |b| {
             let checker = ModularChecker::new(CheckOptions {

@@ -14,7 +14,7 @@ use timepiece_core::check::{CheckOptions, ModularChecker};
 fn bench_fig14(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14-k4");
     group.sample_size(10).measurement_time(Duration::from_secs(20));
-    for kind in BenchKind::ALL {
+    for kind in BenchKind::all() {
         let inst = fattree_instance(kind, 4);
         let checker = ModularChecker::new(CheckOptions::default());
         group.bench_function(kind.name(), |b| {
@@ -32,7 +32,7 @@ fn bench_single_node(c: &mut Criterion) {
     // the paper's headline: individual node checks take milliseconds
     let mut group = c.benchmark_group("single-node-check");
     group.sample_size(10);
-    for kind in [BenchKind::SpReach, BenchKind::SpHijack] {
+    for kind in [BenchKind::parse("SpReach").unwrap(), BenchKind::parse("SpHijack").unwrap()] {
         let inst = fattree_instance(kind, 8);
         let checker = ModularChecker::new(CheckOptions::default());
         let node = inst.network.topology().nodes().next().expect("nonempty");

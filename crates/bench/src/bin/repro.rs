@@ -13,21 +13,30 @@
 //! repro wan       [--peers N] [--timeout-secs S]
 //! repro keyideas
 //! repro infer     [--bench reach|len|all] [--max-k N] [--no-roles]
+//! repro trend     DUMP.json [DUMP.json ...]   (oldest first)
 //! repro shard-worker --bench NAME --k K --shard I --shards N  (internal)
 //! repro all
 //! ```
 //!
-//! Defaults keep the sweeps laptop-sized (k ≤ 12, 60 s budget); raise
-//! `--max-k`/`--timeout-secs` to push toward the paper's k = 40 / 2 h runs.
-//! With `--shards N` the modular engine forks `N` worker subprocesses per
-//! row, merges their shard reports, and asserts full node coverage.
+//! Benchmarks come from the scenario registry (`timepiece-bench::Scenario`):
+//! the paper's eight Fig. 14 sweeps plus the post-paper MED, IGP/EGP and
+//! link-failure scenarios — all present in `fig14`, `--json` dumps and
+//! sharding alike. Defaults keep the sweeps laptop-sized (k ≤ 12, 60 s
+//! budget); raise `--max-k`/`--timeout-secs` to push toward the paper's
+//! k = 40 / 2 h runs. With `--shards N` the modular engine forks `N` worker
+//! subprocesses per row, merges their shard reports, and asserts full node
+//! coverage; without sharding, sweep rows share one persistent checker pool
+//! whose solver sessions carry over between rows.
 
 use std::time::Duration;
 
-use timepiece_bench::{loc, run_row, run_row_sharded, run_shard, BenchKind, Row, SweepOptions};
+use timepiece_bench::{
+    loc, run_row, run_row_pooled, run_row_sharded, run_shard, trend, BenchKind, Row, SweepOptions,
+};
 use timepiece_core::check::{CheckOptions, ModularChecker};
 use timepiece_core::monolithic::check_monolithic;
 use timepiece_core::strawperson::check_strawperson;
+use timepiece_core::sweep::CheckerPool;
 use timepiece_expr::Env;
 use timepiece_nets::example::{RunningExample, EXTERNAL_ROUTE_VAR};
 use timepiece_nets::ghost;
@@ -47,8 +56,9 @@ subcommands:
   wan        BlockToExternal on the synthetic Internet2
   keyideas   the Figs. 4-10 demonstrations
   infer      infer interfaces from simulation, verify, compare to hand-written
+  trend      per-benchmark wall-time trajectories over --json dumps
   shard-worker  (internal) check one shard of one instance, print JSON report
-  all        everything above (except infer)
+  all        everything above (except infer and trend)
 
 flags:
   --max-k N          largest fattree parameter to sweep (default 12; infer: 8)
@@ -177,7 +187,7 @@ fn ks(args: &Args) -> Vec<usize> {
     }
 }
 
-fn sweep(kind: BenchKind, args: &Args) -> Vec<Row> {
+fn sweep(kind: BenchKind, args: &Args, mut pool: Option<&mut CheckerPool>) -> Vec<Row> {
     println!("\n=== Fig. {} — {} (Tp vs Ms) ===", kind.figure(), kind.name());
     println!(
         "{:>4} {:>6} {:>12} {:>12} {:>12} {:>12}",
@@ -190,6 +200,9 @@ fn sweep(kind: BenchKind, args: &Args) -> Vec<Row> {
         let row = if args.shards > 1 {
             let exe = std::env::current_exe().expect("own executable path");
             run_row_sharded(kind, k, &options, args.shards, &exe)
+        } else if let Some(pool) = pool.as_deref_mut() {
+            // the persistent pool carries solver sessions across rows
+            run_row_pooled(kind, k, &options, pool)
         } else {
             run_row(kind, k, &options)
         };
@@ -237,7 +250,7 @@ fn fig1(args: &Args) {
     // policy is the evaluation's benchmark with exactly that shape.
     println!("=== Fig. 1 — modular vs monolithic verification time ===");
     println!("(SpHijack: fattree connectivity with symbolic external announcements)");
-    sweep(BenchKind::SpHijack, args);
+    sweep(BenchKind::parse("SpHijack").expect("registered"), args, None);
 }
 
 fn fig3() {
@@ -426,21 +439,30 @@ fn keyideas() {
     );
 }
 
-fn fig14(args: &Args) {
+fn fig14(args: &Args) -> Result<(), String> {
     let kinds: Vec<BenchKind> = if args.bench.eq_ignore_ascii_case("all") {
-        BenchKind::ALL.to_vec()
+        BenchKind::all().collect()
     } else {
         let spec = args.bench.to_lowercase();
-        let kinds: Vec<BenchKind> = BenchKind::ALL
-            .into_iter()
-            .filter(|k| k.name().to_lowercase().contains(&spec))
-            .collect();
-        assert!(!kinds.is_empty(), "no benchmark matches {spec:?}");
+        let kinds: Vec<BenchKind> =
+            BenchKind::all().filter(|k| k.name().to_lowercase().contains(&spec)).collect();
+        if kinds.is_empty() {
+            return Err(unknown_bench(&args.bench));
+        }
         kinds
     };
+    // one persistent checker pool for the whole sweep: rows of every size
+    // (and every scenario sharing an IR signature) reuse solver sessions
+    let mut pool = (args.shards <= 1).then(|| {
+        CheckerPool::with_default_parallelism(CheckOptions {
+            timeout: Some(args.timeout),
+            threads: args.threads,
+            ..CheckOptions::default()
+        })
+    });
     let mut rows = Vec::new();
     for kind in kinds {
-        for row in sweep(kind, args) {
+        for row in sweep(kind, args, pool.as_mut()) {
             rows.push(row_json(kind, &row, args.shards));
         }
     }
@@ -454,13 +476,42 @@ fn fig14(args: &Args) {
         std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    Ok(())
+}
+
+/// An unknown-benchmark error that names what *is* registered.
+fn unknown_bench(given: &str) -> String {
+    format!("unknown benchmark {given:?}; registered benchmarks: {}", BenchKind::names().join(", "))
+}
+
+/// Prints per-benchmark wall-time trajectories over accumulated `--json`
+/// dumps (oldest first).
+fn trend_cmd(paths: &[String]) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("trend requires at least one --json dump path".to_owned());
+    }
+    let mut dumps = Vec::new();
+    let mut labels = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        dumps.push(trend::parse_dump(&text).map_err(|e| format!("{path}: {e}"))?);
+        // column headers are the file stems, so long paths don't skew the table
+        labels.push(
+            std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned()),
+        );
+    }
+    println!("=== bench trajectories over {} dump(s) ===", dumps.len());
+    print!("{}", trend::render(&labels, &dumps));
+    Ok(())
 }
 
 /// The (internal) shard-worker entrypoint: check one shard of one instance
 /// and print the JSON report on stdout.
 fn shard_worker(args: &Args) -> Result<(), String> {
     let bench = BenchKind::parse(&args.bench)
-        .ok_or_else(|| format!("--bench: unknown benchmark {:?}", args.bench))?;
+        .ok_or_else(|| format!("--bench: {}", unknown_bench(&args.bench)))?;
     let k = args.k.ok_or("shard-worker requires --k")?;
     let shard = args.shard.ok_or("shard-worker requires --shard")?;
     if args.shards <= shard {
@@ -475,23 +526,12 @@ fn shard_worker(args: &Args) -> Result<(), String> {
 
 /// One inference run: build the property-only spec, infer, verify, and
 /// compare against the hand-written interface of the same benchmark.
-fn infer_row(name: &str, k: usize, args: &Args) {
+fn infer_row(kind: BenchKind, k: usize, args: &Args) {
     use timepiece_infer::{InferOptions, InferenceEngine, RoleMap};
-    use timepiece_nets::{len::LenBench, reach::ReachBench};
 
-    let (spec, instance, fattree, dest) = match name {
-        "SpReach" => {
-            let bench = ReachBench::single_dest(k, 0);
-            let dest = bench.dest_node().expect("fixed destination");
-            (bench.spec(), bench.build(), bench.fattree().clone(), dest)
-        }
-        "SpLen" => {
-            let bench = LenBench::single_dest(k, 0);
-            let dest = bench.dest_node().expect("fixed destination");
-            (bench.spec(), bench.build(), bench.fattree().clone(), dest)
-        }
-        other => unreachable!("unknown inference benchmark {other}"),
-    };
+    let name = kind.name();
+    let setup = kind.infer_setup(k).expect("caller filtered for inference support");
+    let (spec, instance, fattree, dest) = (setup.spec, setup.instance, setup.fattree, setup.dest);
     let roles = if args.use_roles {
         RoleMap::fattree(&fattree, dest)
     } else {
@@ -546,7 +586,7 @@ fn infer_row(name: &str, k: usize, args: &Args) {
     );
 }
 
-fn infer(args: &Args) {
+fn infer(args: &Args) -> Result<(), String> {
     println!("=== timepiece-infer — interfaces from simulation, repaired by CEGIS ===");
     println!(
         "(property-only specs; role generalization {}; {} templates per instance)",
@@ -567,48 +607,84 @@ fn infer(args: &Args) {
         "hand ok"
     );
     let spec = args.bench.to_lowercase();
-    let benches: Vec<&str> = ["SpReach", "SpLen"]
-        .into_iter()
-        .filter(|b| spec == "all" || b.to_lowercase().contains(&spec))
+    let benches: Vec<BenchKind> = BenchKind::all()
+        .filter(BenchKind::supports_inference)
+        .filter(|b| spec == "all" || b.name().to_lowercase().contains(&spec))
         .collect();
-    assert!(!benches.is_empty(), "no inference benchmark matches {spec:?}");
+    if benches.is_empty() {
+        let supported: Vec<&str> =
+            BenchKind::all().filter(BenchKind::supports_inference).map(|k| k.name()).collect();
+        return Err(format!(
+            "no inference benchmark matches {spec:?}; scenarios with inference support: {}",
+            supported.join(", ")
+        ));
+    }
     // `--ks` overrides the default grid here exactly as it does in sweeps
     // (inference defaults to steps of 2 where fig14 uses 4)
     let ks = args.ks.clone().unwrap_or_else(|| (4..=args.max_k.unwrap_or(8)).step_by(2).collect());
-    for name in benches {
+    for kind in benches {
         for &k in &ks {
-            infer_row(name, k, args);
+            infer_row(kind, k, args);
         }
     }
+    Ok(())
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = argv.split_first().map(|(c, r)| (c.as_str(), r)).unwrap_or(("all", &[]));
+    // trend takes positional dump paths, not flags
+    if cmd == "trend" {
+        if let Err(msg) = trend_cmd(rest) {
+            usage_error(&msg);
+        }
+        return;
+    }
     let args = match parse_args(rest) {
         Ok(args) => args,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
-            std::process::exit(2);
-        }
+        Err(msg) => usage_error(&msg),
     };
-    match cmd {
-        "fig1" => fig1(&args),
-        "fig3" => fig3(),
-        "fig13" => fig13(),
-        "fig14" => fig14(&args),
-        "table1" => table1(),
-        "table2" => table2(),
-        "table3" => table3(),
-        "wan" => wan(&args),
-        "keyideas" => keyideas(),
-        "infer" => infer(&args),
-        "shard-worker" => {
-            if let Err(msg) = shard_worker(&args) {
-                eprintln!("error: {msg}\n\n{USAGE}");
-                std::process::exit(2);
-            }
+    let result = match cmd {
+        "fig1" => {
+            fig1(&args);
+            Ok(())
         }
+        "fig3" => {
+            fig3();
+            Ok(())
+        }
+        "fig13" => {
+            fig13();
+            Ok(())
+        }
+        "fig14" => fig14(&args),
+        "table1" => {
+            table1();
+            Ok(())
+        }
+        "table2" => {
+            table2();
+            Ok(())
+        }
+        "table3" => {
+            table3();
+            Ok(())
+        }
+        "wan" => {
+            wan(&args);
+            Ok(())
+        }
+        "keyideas" => {
+            keyideas();
+            Ok(())
+        }
+        "infer" => infer(&args),
+        "shard-worker" => shard_worker(&args),
         "all" => {
             fig3();
             fig13();
@@ -617,12 +693,11 @@ fn main() {
             table2();
             table3();
             fig1(&args);
-            fig14(&args);
-            wan(&args);
+            fig14(&args).map(|()| wan(&args))
         }
-        other => {
-            eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown subcommand {other:?}")),
+    };
+    if let Err(msg) = result {
+        usage_error(&msg);
     }
 }

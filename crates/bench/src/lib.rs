@@ -12,6 +12,10 @@
 pub mod loc;
 pub mod runner;
 pub mod shard;
+pub mod trend;
 
-pub use runner::{fattree_instance, run_row, BenchKind, EngineResult, Row, SweepOptions};
+pub use runner::{
+    fattree_instance, run_row, run_row_pooled, BenchKind, EngineResult, InferSetup, Row, Scenario,
+    SweepOptions,
+};
 pub use shard::{run_row_sharded, run_shard, ShardReport};

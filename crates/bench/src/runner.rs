@@ -1,93 +1,194 @@
 //! Sweep runner: one row per (benchmark, k), with both engines.
+//!
+//! Benchmarks live in a declarative [`Scenario`] *registry*: one entry wires
+//! a builder function (and optional inference setup) to a name, and the
+//! scenario then appears everywhere at once — `repro fig14` sweeps, `--json`
+//! row dumps, multi-process sharding (workers rebuild instances by
+//! registry-name lookup) and `repro infer`. Adding a scenario is adding one
+//! [`Scenario`] literal; nothing else matches on benchmark kinds.
 
 use std::time::Duration;
 
 use timepiece_core::check::{CheckOptions, ModularChecker};
 use timepiece_core::monolithic::{check_monolithic, MonolithicOutcome};
+use timepiece_core::sweep::CheckerPool;
 use timepiece_nets::{
-    hijack::HijackBench, len::LenBench, reach::ReachBench, vf::VfBench, BenchInstance,
+    ad::AdBench, fail::FailBench, hijack::HijackBench, len::LenBench, med::MedBench,
+    reach::ReachBench, vf::VfBench, BenchInstance, PropertySpec,
 };
+use timepiece_topology::{FatTree, NodeId};
 
-/// The eight fattree benchmarks of Fig. 14.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BenchKind {
-    /// Fig. 14a — reachability, fixed destination.
-    SpReach,
-    /// Fig. 14b — bounded path length, fixed destination.
-    SpLen,
-    /// Fig. 14c — valley freedom, fixed destination.
-    SpVf,
-    /// Fig. 14d — hijack filtering, fixed destination.
-    SpHijack,
-    /// Fig. 14e — reachability, symbolic destination.
-    ApReach,
-    /// Fig. 14f — bounded path length, symbolic destination.
-    ApLen,
-    /// Fig. 14g — valley freedom, symbolic destination.
-    ApVf,
-    /// Fig. 14h — hijack filtering, symbolic destination.
-    ApHijack,
+/// Everything `repro infer` needs to run interface inference on a scenario
+/// and compare against its hand-written interfaces.
+#[derive(Debug)]
+pub struct InferSetup {
+    /// The property-only form inference consumes.
+    pub spec: PropertySpec,
+    /// The annotated instance (for the hand-written comparison).
+    pub instance: BenchInstance,
+    /// The underlying fattree (for role generalization).
+    pub fattree: FatTree,
+    /// The fixed destination node.
+    pub dest: NodeId,
 }
+
+/// One registered benchmark scenario.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The scenario's display name (`SpReach`, `ApMed`, …).
+    pub name: &'static str,
+    /// Which paper figure panel it reproduces (or a tag for post-paper
+    /// scenarios: `med`, `ad`, `fail`).
+    pub figure: &'static str,
+    /// Builds the annotated instance at fattree size `k`.
+    pub build: fn(usize) -> BenchInstance,
+    /// Builds the inference setup, for scenarios `repro infer` supports.
+    pub infer: Option<fn(usize) -> InferSetup>,
+}
+
+/// The inference setup of a fixed-destination fattree bench — one
+/// expression per builder type, since every such bench exposes the same
+/// `spec`/`build`/`fattree`/`dest_node` surface.
+macro_rules! fixed_dest_infer {
+    ($bench:ty) => {
+        |k: usize| {
+            let bench = <$bench>::single_dest(k, 0);
+            InferSetup {
+                spec: bench.spec(),
+                instance: bench.build(),
+                fattree: bench.fattree().clone(),
+                dest: bench.dest_node().expect("fixed destination"),
+            }
+        }
+    };
+}
+
+/// The scenario registry: the paper's eight Fig. 14 benchmarks followed by
+/// the post-paper scenarios (MED planes, IGP/EGP distance, link failures).
+static REGISTRY: &[Scenario] = &[
+    Scenario {
+        name: "SpReach",
+        figure: "14a",
+        build: |k| ReachBench::single_dest(k, 0).build(),
+        infer: Some(fixed_dest_infer!(ReachBench)),
+    },
+    Scenario {
+        name: "SpLen",
+        figure: "14b",
+        build: |k| LenBench::single_dest(k, 0).build(),
+        infer: Some(fixed_dest_infer!(LenBench)),
+    },
+    Scenario {
+        name: "SpVf",
+        figure: "14c",
+        build: |k| VfBench::single_dest(k, 0).build(),
+        infer: None,
+    },
+    Scenario {
+        name: "SpHijack",
+        figure: "14d",
+        build: |k| HijackBench::single_dest(k, 0).build(),
+        infer: None,
+    },
+    Scenario {
+        name: "ApReach",
+        figure: "14e",
+        build: |k| ReachBench::all_pairs(k).build(),
+        infer: None,
+    },
+    Scenario {
+        name: "ApLen",
+        figure: "14f",
+        build: |k| LenBench::all_pairs(k).build(),
+        infer: None,
+    },
+    Scenario { name: "ApVf", figure: "14g", build: |k| VfBench::all_pairs(k).build(), infer: None },
+    Scenario {
+        name: "ApHijack",
+        figure: "14h",
+        build: |k| HijackBench::all_pairs(k).build(),
+        infer: None,
+    },
+    Scenario {
+        name: "SpMed",
+        figure: "med",
+        build: |k| MedBench::single_dest(k, 0).build(),
+        infer: None,
+    },
+    Scenario {
+        name: "ApMed",
+        figure: "med",
+        build: |k| MedBench::all_pairs(k).build(),
+        infer: None,
+    },
+    Scenario {
+        name: "SpAd",
+        figure: "ad",
+        build: |k| AdBench::single_dest(k, 0).build(),
+        infer: None,
+    },
+    Scenario { name: "ApAd", figure: "ad", build: |k| AdBench::all_pairs(k).build(), infer: None },
+    Scenario {
+        name: "SpFail",
+        figure: "fail",
+        build: |k| FailBench::single_dest(k, 0).build(),
+        infer: None,
+    },
+];
+
+/// A handle to one registered scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchKind(&'static Scenario);
+
+impl PartialEq for BenchKind {
+    fn eq(&self, other: &BenchKind) -> bool {
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for BenchKind {}
 
 impl BenchKind {
-    /// All kinds, in the paper's figure order.
-    pub const ALL: [BenchKind; 8] = [
-        BenchKind::SpReach,
-        BenchKind::SpLen,
-        BenchKind::SpVf,
-        BenchKind::SpHijack,
-        BenchKind::ApReach,
-        BenchKind::ApLen,
-        BenchKind::ApVf,
-        BenchKind::ApHijack,
-    ];
+    /// Every registered scenario, in registry order (the paper's figure
+    /// order first).
+    pub fn all() -> impl Iterator<Item = BenchKind> {
+        REGISTRY.iter().map(BenchKind)
+    }
 
-    /// The benchmark's display name.
+    /// The registered scenario names, in order.
+    pub fn names() -> Vec<&'static str> {
+        REGISTRY.iter().map(|s| s.name).collect()
+    }
+
+    /// The scenario's display name.
     pub fn name(&self) -> &'static str {
-        match self {
-            BenchKind::SpReach => "SpReach",
-            BenchKind::SpLen => "SpLen",
-            BenchKind::SpVf => "SpVf",
-            BenchKind::SpHijack => "SpHijack",
-            BenchKind::ApReach => "ApReach",
-            BenchKind::ApLen => "ApLen",
-            BenchKind::ApVf => "ApVf",
-            BenchKind::ApHijack => "ApHijack",
-        }
+        self.0.name
     }
 
-    /// Which Fig. 14 panel this kind reproduces.
+    /// Which Fig. 14 panel (or post-paper tag) this scenario reproduces.
     pub fn figure(&self) -> &'static str {
-        match self {
-            BenchKind::SpReach => "14a",
-            BenchKind::SpLen => "14b",
-            BenchKind::SpVf => "14c",
-            BenchKind::SpHijack => "14d",
-            BenchKind::ApReach => "14e",
-            BenchKind::ApLen => "14f",
-            BenchKind::ApVf => "14g",
-            BenchKind::ApHijack => "14h",
-        }
+        self.0.figure
     }
 
-    /// Parses a benchmark name (case-insensitive).
+    /// Looks a scenario up by name, case-insensitively.
     pub fn parse(s: &str) -> Option<BenchKind> {
-        BenchKind::ALL.iter().copied().find(|k| k.name().eq_ignore_ascii_case(s))
+        BenchKind::all().find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Does `repro infer` support this scenario?
+    pub fn supports_inference(&self) -> bool {
+        self.0.infer.is_some()
+    }
+
+    /// The inference setup at size `k`, for scenarios that support it.
+    pub fn infer_setup(&self, k: usize) -> Option<InferSetup> {
+        self.0.infer.map(|f| f(k))
     }
 }
 
-/// Builds the benchmark instance for a kind at fattree size `k`.
+/// Builds the benchmark instance for a scenario at fattree size `k`.
 pub fn fattree_instance(kind: BenchKind, k: usize) -> BenchInstance {
-    match kind {
-        BenchKind::SpReach => ReachBench::single_dest(k, 0).build(),
-        BenchKind::SpLen => LenBench::single_dest(k, 0).build(),
-        BenchKind::SpVf => VfBench::single_dest(k, 0).build(),
-        BenchKind::SpHijack => HijackBench::single_dest(k, 0).build(),
-        BenchKind::ApReach => ReachBench::all_pairs(k).build(),
-        BenchKind::ApLen => LenBench::all_pairs(k).build(),
-        BenchKind::ApVf => VfBench::all_pairs(k).build(),
-        BenchKind::ApHijack => HijackBench::all_pairs(k).build(),
-    }
+    (kind.0.build)(k)
 }
 
 /// The outcome of one engine on one instance.
@@ -175,28 +276,65 @@ impl Default for SweepOptions {
     }
 }
 
-/// Runs both engines on one instance and assembles a row.
-pub fn run_row(kind: BenchKind, k: usize, options: &SweepOptions) -> Row {
-    let inst = fattree_instance(kind, k);
-    let nodes = inst.network.topology().node_count();
+impl SweepOptions {
+    fn check_options(&self) -> CheckOptions {
+        CheckOptions {
+            timeout: Some(self.timeout),
+            threads: self.threads,
+            ..CheckOptions::default()
+        }
+    }
+}
 
-    let checker = ModularChecker::new(CheckOptions {
-        timeout: Some(options.timeout),
-        threads: options.threads,
-        ..CheckOptions::default()
-    });
-    let report = checker
-        .check(&inst.network, &inst.interface, &inst.property)
-        .expect("benchmark instances encode");
+/// Assembles a row from an instance's modular report plus the baseline.
+fn assemble_row(
+    k: usize,
+    inst: &BenchInstance,
+    report: &timepiece_core::CheckReport,
+    options: &SweepOptions,
+) -> Row {
     let stats = report.stats();
     let timed_out = report
         .failures()
         .iter()
         .any(|f| matches!(f.reason, timepiece_core::check::FailureReason::Unknown(_)));
     let tp = EngineResult::classify(report.is_verified(), timed_out, report.wall());
+    let ms = monolithic_result(inst, options);
+    Row {
+        k,
+        nodes: inst.network.topology().node_count(),
+        tp,
+        tp_median: stats.median,
+        tp_p99: stats.p99,
+        ms,
+    }
+}
 
-    let ms = monolithic_result(&inst, options);
-    Row { k, nodes, tp, tp_median: stats.median, tp_p99: stats.p99, ms }
+/// Runs both engines on one instance and assembles a row, with fresh solver
+/// state per call.
+pub fn run_row(kind: BenchKind, k: usize, options: &SweepOptions) -> Row {
+    let inst = fattree_instance(kind, k);
+    let report = ModularChecker::new(options.check_options())
+        .check(&inst.network, &inst.interface, &inst.property)
+        .expect("benchmark instances encode");
+    assemble_row(k, &inst, &report, options)
+}
+
+/// As [`run_row`], but discharging the modular conditions through a
+/// persistent [`CheckerPool`], so solver sessions (keyed by the network's
+/// structural IR signature) are reused across every row checked on the same
+/// pool — the cross-row session cache of multi-`k` sweeps.
+pub fn run_row_pooled(
+    kind: BenchKind,
+    k: usize,
+    options: &SweepOptions,
+    pool: &mut CheckerPool,
+) -> Row {
+    let inst = fattree_instance(kind, k);
+    let report = pool
+        .check(&inst.network, &inst.interface, &inst.property)
+        .expect("benchmark instances encode");
+    assemble_row(k, &inst, &report, options)
 }
 
 /// The monolithic baseline on one instance, when the options ask for it.
@@ -221,24 +359,73 @@ mod tests {
 
     #[test]
     fn kinds_roundtrip_names() {
-        for kind in BenchKind::ALL {
+        for kind in BenchKind::all() {
             assert_eq!(BenchKind::parse(kind.name()), Some(kind));
-            assert!(kind.figure().starts_with("14"));
+            assert!(!kind.figure().is_empty());
         }
-        assert_eq!(BenchKind::parse("spreach"), Some(BenchKind::SpReach));
+        assert_eq!(BenchKind::parse("spreach").map(|k| k.name()), Some("SpReach"));
+        assert_eq!(BenchKind::parse("SPFAIL").map(|k| k.name()), Some("SpFail"));
         assert_eq!(BenchKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn registry_covers_paper_and_post_paper_scenarios() {
+        let names = BenchKind::names();
+        for expected in [
+            "SpReach", "SpLen", "SpVf", "SpHijack", "ApReach", "ApLen", "ApVf", "ApHijack",
+            "SpMed", "ApMed", "SpAd", "ApAd", "SpFail",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing from registry");
+        }
+        // the paper's eight keep their figure panels, in order
+        let figures: Vec<&str> = BenchKind::all().take(8).map(|k| k.figure()).collect();
+        assert_eq!(figures, ["14a", "14b", "14c", "14d", "14e", "14f", "14g", "14h"]);
+    }
+
+    #[test]
+    fn inference_support_is_declared_in_the_registry() {
+        let support: Vec<&str> =
+            BenchKind::all().filter(BenchKind::supports_inference).map(|k| k.name()).collect();
+        assert_eq!(support, ["SpReach", "SpLen"]);
+        let setup = BenchKind::parse("SpReach").unwrap().infer_setup(4).unwrap();
+        assert_eq!(setup.fattree.k(), 4);
+        assert_eq!(setup.instance.network.topology().node_count(), 20);
     }
 
     #[test]
     fn run_row_produces_verified_row_at_k4() {
         let options =
             SweepOptions { timeout: Duration::from_secs(120), run_monolithic: true, threads: None };
-        let row = run_row(BenchKind::SpReach, 4, &options);
+        let row = run_row(BenchKind::parse("SpReach").unwrap(), 4, &options);
         assert_eq!(row.k, 4);
         assert_eq!(row.nodes, 20);
         assert!(matches!(row.tp, EngineResult::Verified(_)), "{row:?}");
         assert!(matches!(row.ms, Some(EngineResult::Verified(_))), "{row:?}");
         assert!(row.tp_median <= row.tp_p99);
+    }
+
+    #[test]
+    fn pooled_rows_agree_with_fresh_rows() {
+        let options = SweepOptions {
+            timeout: Duration::from_secs(120),
+            run_monolithic: false,
+            threads: None,
+        };
+        let mut pool = CheckerPool::new(2, options.check_options());
+        let kind = BenchKind::parse("SpMed").unwrap();
+        // the same row twice through one pool (the second reuses sessions),
+        // each compared field-for-field against a fresh scoped run
+        for k in [4usize, 4] {
+            let pooled = run_row_pooled(kind, k, &options, &mut pool);
+            let fresh = run_row(kind, k, &options);
+            assert!(matches!(pooled.tp, EngineResult::Verified(_)), "{pooled:?}");
+            assert!(matches!(fresh.tp, EngineResult::Verified(_)), "{fresh:?}");
+            assert_eq!((pooled.k, pooled.nodes), (fresh.k, fresh.nodes));
+            assert!(pooled.ms.is_none() && fresh.ms.is_none());
+            // both row paths carried real per-node timing stats
+            assert!(pooled.tp_median <= pooled.tp_p99);
+            assert!(pooled.tp_p99 > Duration::ZERO, "{pooled:?}");
+        }
     }
 
     #[test]

@@ -388,7 +388,7 @@ mod tests {
 
     #[test]
     fn plans_are_deterministic_and_cover_the_fattree() {
-        let inst = fattree_instance(BenchKind::ApReach, 4);
+        let inst = fattree_instance(BenchKind::parse("ApReach").unwrap(), 4);
         let g = inst.network.topology();
         let a = plan(g, 3);
         let b = plan(g, 3);
@@ -429,13 +429,13 @@ mod tests {
     #[test]
     fn worker_checks_exactly_its_shard() {
         let report = run_shard(
-            BenchKind::SpReach,
+            BenchKind::parse("SpReach").unwrap(),
             4,
             0,
             2,
             &SweepOptions { run_monolithic: false, ..SweepOptions::default() },
         );
-        let inst = fattree_instance(BenchKind::SpReach, 4);
+        let inst = fattree_instance(BenchKind::parse("SpReach").unwrap(), 4);
         let expected = plan(inst.network.topology(), 2);
         assert_eq!(report.assigned.len(), expected.nodes_of(0).len());
         assert_eq!(report.durations.len(), report.assigned.len());

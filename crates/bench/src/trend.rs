@@ -1,0 +1,203 @@
+//! Bench-trajectory tracking over accumulated `--json` row dumps.
+//!
+//! `repro fig14 --json PATH` writes one machine-readable document per run;
+//! collecting those documents over time gives a performance history. This
+//! module ingests any number of them (in the order given, oldest first) and
+//! prints per-`(benchmark, k)` wall-time trajectories — the first run, every
+//! subsequent run, and the end-to-end speedup — so regressions and wins are
+//! visible without spreadsheet archaeology.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use timepiece_sched::Json;
+
+/// One benchmark's measurement extracted from a dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// Benchmark name.
+    pub bench: String,
+    /// Fattree parameter.
+    pub k: usize,
+    /// Modular-engine outcome tag (`verified` / `failed` / `timeout`).
+    pub outcome: String,
+    /// Modular-engine wall seconds.
+    pub wall_secs: f64,
+}
+
+/// A parse problem in a dump file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrendError(pub String);
+
+impl fmt::Display for TrendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed row dump: {}", self.0)
+    }
+}
+
+impl std::error::Error for TrendError {}
+
+/// Extracts the trend points of one `--json` document.
+///
+/// # Errors
+///
+/// [`TrendError`] naming the first missing or mistyped field.
+pub fn parse_dump(text: &str) -> Result<Vec<TrendPoint>, TrendError> {
+    let doc = Json::parse(text).map_err(|e| TrendError(e.to_string()))?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| TrendError("missing rows array".to_owned()))?;
+    rows.iter()
+        .map(|row| {
+            let field = |key: &str| row.get(key).ok_or_else(|| TrendError(format!("row.{key}")));
+            let tp = field("tp")?;
+            Ok(TrendPoint {
+                bench: field("bench")?
+                    .as_str()
+                    .ok_or_else(|| TrendError("row.bench type".to_owned()))?
+                    .to_owned(),
+                k: field("k")?.as_usize().ok_or_else(|| TrendError("row.k type".to_owned()))?,
+                outcome: tp
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| TrendError("row.tp.outcome".to_owned()))?
+                    .to_owned(),
+                wall_secs: tp
+                    .get("wall_secs")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| TrendError("row.tp.wall_secs".to_owned()))?,
+            })
+        })
+        .collect()
+}
+
+/// The trajectory of one `(bench, k)` series across dumps: `None` where a
+/// dump lacks the series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Benchmark name.
+    pub bench: String,
+    /// Fattree parameter.
+    pub k: usize,
+    /// One entry per ingested dump, in ingestion order.
+    pub points: Vec<Option<TrendPoint>>,
+}
+
+impl Trajectory {
+    /// First and last measured wall seconds, when at least one dump has the
+    /// series.
+    pub fn endpoints(&self) -> Option<(f64, f64)> {
+        let measured: Vec<&TrendPoint> = self.points.iter().flatten().collect();
+        let (first, last) = (measured.first()?, measured.last()?);
+        Some((first.wall_secs, last.wall_secs))
+    }
+
+    /// `first / last` wall-time ratio (> 1: got faster), when measurable.
+    pub fn speedup(&self) -> Option<f64> {
+        let (first, last) = self.endpoints()?;
+        (last > 0.0).then(|| first / last)
+    }
+}
+
+/// Groups dumps (oldest first) into per-`(bench, k)` trajectories, ordered
+/// by benchmark name then `k`.
+pub fn trajectories(dumps: &[Vec<TrendPoint>]) -> Vec<Trajectory> {
+    let mut series: BTreeMap<(String, usize), Vec<Option<TrendPoint>>> = BTreeMap::new();
+    for point in dumps.iter().flatten() {
+        series.entry((point.bench.clone(), point.k)).or_insert_with(|| vec![None; dumps.len()]);
+    }
+    for (i, dump) in dumps.iter().enumerate() {
+        for point in dump {
+            if let Some(slots) = series.get_mut(&(point.bench.clone(), point.k)) {
+                slots[i] = Some(point.clone());
+            }
+        }
+    }
+    series.into_iter().map(|((bench, k), points)| Trajectory { bench, k, points }).collect()
+}
+
+/// Renders the trajectory table: one per-dump column per label (sized to
+/// the longest label so headers and cells stay aligned), one row per
+/// `(bench, k)`, with the end-to-end speedup.
+pub fn render(labels: &[String], dumps: &[Vec<TrendPoint>]) -> String {
+    use std::fmt::Write as _;
+    let width = labels.iter().map(String::len).max().unwrap_or(0).max(10);
+    let mut out = String::new();
+    let _ = write!(out, "{:<10} {:>3}", "bench", "k");
+    for label in labels {
+        let _ = write!(out, " {label:>width$}");
+    }
+    let _ = writeln!(out, " {:>9}", "speedup");
+    for trajectory in trajectories(dumps) {
+        let _ = write!(out, "{:<10} {:>3}", trajectory.bench, trajectory.k);
+        for point in &trajectory.points {
+            let cell = match point {
+                Some(p) if p.outcome == "verified" => format!("{:.2}s", p.wall_secs),
+                Some(p) => p.outcome.clone(),
+                None => "-".to_owned(),
+            };
+            let _ = write!(out, " {cell:>width$}");
+        }
+        let speedup = trajectory.speedup().map_or("-".to_owned(), |s| format!("{s:.2}x"));
+        let _ = writeln!(out, " {speedup:>9}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump(rows: &[(&str, usize, &str, f64)]) -> String {
+        let rows: Vec<String> = rows
+            .iter()
+            .map(|(bench, k, outcome, wall)| {
+                format!(
+                    r#"{{"bench":"{bench}","figure":"x","k":{k},"nodes":20,
+                        "tp":{{"outcome":"{outcome}","wall_secs":{wall}}},"ms":null}}"#
+                )
+            })
+            .collect();
+        format!(r#"{{"timeout_secs":60,"shards":1,"rows":[{}]}}"#, rows.join(","))
+    }
+
+    #[test]
+    fn parses_rows_and_rejects_garbage() {
+        let points = parse_dump(&dump(&[("SpReach", 4, "verified", 0.5)])).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].bench, "SpReach");
+        assert_eq!(points[0].wall_secs, 0.5);
+        assert!(parse_dump("{}").is_err());
+        assert!(parse_dump("not json").is_err());
+        assert!(parse_dump(r#"{"rows":[{"bench":"X"}]}"#).is_err());
+    }
+
+    #[test]
+    fn trajectories_align_series_across_dumps() {
+        let a =
+            parse_dump(&dump(&[("SpReach", 4, "verified", 2.0), ("SpLen", 4, "verified", 8.0)]))
+                .unwrap();
+        let b =
+            parse_dump(&dump(&[("SpReach", 4, "verified", 1.0), ("SpMed", 4, "verified", 3.0)]))
+                .unwrap();
+        let ts = trajectories(&[a, b]);
+        assert_eq!(ts.len(), 3);
+        let reach = ts.iter().find(|t| t.bench == "SpReach").unwrap();
+        assert_eq!(reach.speedup(), Some(2.0));
+        let len = ts.iter().find(|t| t.bench == "SpLen").unwrap();
+        assert_eq!(len.points[1], None, "absent from the second dump");
+        assert_eq!(len.endpoints(), Some((8.0, 8.0)));
+    }
+
+    #[test]
+    fn render_produces_a_labelled_table() {
+        let a = parse_dump(&dump(&[("SpReach", 4, "verified", 2.0)])).unwrap();
+        let b = parse_dump(&dump(&[("SpReach", 4, "timeout", 60.0)])).unwrap();
+        let table = render(&["base".to_owned(), "now".to_owned()], &[a, b]);
+        assert!(table.contains("SpReach"));
+        assert!(table.contains("2.00s"));
+        assert!(table.contains("timeout"));
+        assert!(table.contains("base") && table.contains("now"));
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests of the scenario registry's CLI surface: registry-added
+//! benchmarks sweep through `fig14`/`--json` like the paper's eight, unknown
+//! names print the registered list, and `trend` ingests accumulated dumps.
+
+use std::process::Command;
+
+use timepiece_sched::Json;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn registry_scenarios_sweep_and_dump_json() {
+    // one registry-added scenario (SpFail) end-to-end through fig14 + --json
+    let json_path =
+        std::env::temp_dir().join(format!("timepiece-registry-{}.json", std::process::id()));
+    let out = repro()
+        .args(["fig14", "--bench", "spfail", "--max-k", "4", "--no-ms"])
+        .args(["--json", json_path.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SpFail"), "{text}");
+    let doc = Json::parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    std::fs::remove_file(&json_path).ok();
+    let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get("bench").and_then(Json::as_str), Some("SpFail"));
+    assert_eq!(rows[0].get("figure").and_then(Json::as_str), Some("fail"));
+    let tp = rows[0].get("tp").unwrap();
+    assert_eq!(tp.get("outcome").and_then(Json::as_str), Some("verified"));
+}
+
+#[test]
+fn unknown_bench_lists_the_registry() {
+    let out = repro().args(["fig14", "--bench", "nosuch"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "unknown benchmark is a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("registered benchmarks"), "{stderr}");
+    for name in ["SpReach", "ApHijack", "SpMed", "SpAd", "SpFail"] {
+        assert!(stderr.contains(name), "registry list must name {name}: {stderr}");
+    }
+}
+
+#[test]
+fn bench_names_parse_case_insensitively() {
+    // matching is case-insensitive: "MED" sweeps both MED scenarios
+    let out = repro()
+        .args(["fig14", "--bench", "MED", "--ks", "4", "--no-ms"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SpMed") && text.contains("ApMed"), "{text}");
+}
+
+#[test]
+fn trend_prints_trajectories_over_dumps() {
+    let dir = std::env::temp_dir();
+    let old = dir.join(format!("timepiece-trend-old-{}.json", std::process::id()));
+    let new = dir.join(format!("timepiece-trend-new-{}.json", std::process::id()));
+    std::fs::write(
+        &old,
+        r#"{"timeout_secs":60,"shards":1,"rows":[
+            {"bench":"SpReach","figure":"14a","k":4,"nodes":20,
+             "tp":{"outcome":"verified","wall_secs":4.0},"ms":null}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &new,
+        r#"{"timeout_secs":60,"shards":1,"rows":[
+            {"bench":"SpReach","figure":"14a","k":4,"nodes":20,
+             "tp":{"outcome":"verified","wall_secs":2.0},"ms":null}]}"#,
+    )
+    .unwrap();
+    let out = repro()
+        .args(["trend", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    std::fs::remove_file(&old).ok();
+    std::fs::remove_file(&new).ok();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SpReach"), "{text}");
+    assert!(text.contains("4.00s") && text.contains("2.00s"), "{text}");
+    assert!(text.contains("2.00x"), "end-to-end speedup column: {text}");
+}
+
+#[test]
+fn trend_rejects_missing_and_malformed_dumps() {
+    let out = repro().args(["trend"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "no paths is a usage error");
+    let out = repro().args(["trend", "/nonexistent/rows.json"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    let bad = std::env::temp_dir().join(format!("timepiece-trend-bad-{}.json", std::process::id()));
+    std::fs::write(&bad, "not json").unwrap();
+    let out = repro().args(["trend", bad.to_str().unwrap()]).output().expect("repro runs");
+    std::fs::remove_file(&bad).ok();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed"));
+}

@@ -123,6 +123,19 @@ impl CheckReport {
         self.sched.as_ref()
     }
 
+    /// Assembles a report from its parts (used by the cross-row
+    /// [`crate::sweep::CheckerPool`], which collects results from persistent
+    /// workers rather than a scoped scheduler run).
+    pub(crate) fn from_parts(
+        mut failures: Vec<Failure>,
+        mut node_durations: Vec<(NodeId, Duration)>,
+        wall: Duration,
+    ) -> CheckReport {
+        node_durations.sort_by_key(|(v, _)| *v);
+        failures.sort_by_key(|f| f.node);
+        CheckReport { failures, node_durations, wall, sched: None }
+    }
+
     /// Merges shard reports into one: failures and durations are
     /// concatenated (and re-sorted by node), the wall time is the maximum —
     /// shards run concurrently, so the slowest one bounds the merged run.
@@ -186,7 +199,7 @@ impl ModularChecker {
     /// # Errors
     ///
     /// As [`ModularChecker::check_node`].
-    fn check_node_in_session(
+    pub(crate) fn check_node_in_session(
         &self,
         session: &mut SolverSession,
         cancel: &AtomicBool,
@@ -276,9 +289,11 @@ impl ModularChecker {
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
             .clamp(1, nodes.len().max(1));
         let token = CancelToken::new();
-        // sessions are keyed by encoder signature: conditions over the same
-        // route type share declarations, so they may share a session
-        let signature = net.route_type().to_string();
+        // sessions are keyed by the network's encoder signature — a
+        // structural hash of the policy IR when the network carries one
+        // (falling back to the route type) — so conditions over the same
+        // declarations and shared terms go through the same session
+        let signature = net.encoder_signature();
         let fail_fast = self.options.fail_fast;
 
         let outcome = timepiece_sched::run(

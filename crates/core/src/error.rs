@@ -9,12 +9,18 @@ use timepiece_smt::SmtError;
 pub enum CoreError {
     /// The SMT backend rejected a condition (ill-typed network or interface).
     Smt(SmtError),
+    /// A persistent checker worker died (panicked) — its pool can no longer
+    /// serve checks and should be dropped.
+    WorkerDied,
 }
 
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Smt(e) => write!(f, "smt backend error: {e}"),
+            CoreError::WorkerDied => {
+                write!(f, "a persistent checker worker panicked; discard the pool")
+            }
         }
     }
 }
@@ -23,6 +29,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Smt(e) => Some(e),
+            CoreError::WorkerDied => None,
         }
     }
 }

@@ -57,6 +57,7 @@ pub mod interface;
 pub mod monolithic;
 pub mod stats;
 pub mod strawperson;
+pub mod sweep;
 pub mod temporal;
 pub mod vc;
 

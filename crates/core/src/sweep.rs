@@ -1,0 +1,350 @@
+//! A persistent checker pool: solver sessions that survive across checks.
+//!
+//! The scoped scheduler of [`crate::check::ModularChecker::check`] spawns
+//! fresh worker threads per call, so every sweep row (every `(bench, k)`
+//! pair) rebuilds its Z3 contexts, declarations and compiled-term caches
+//! from nothing. A [`CheckerPool`] instead keeps `n` worker threads alive
+//! for its whole lifetime; each worker owns one
+//! [`timepiece_smt::SessionPool`] keyed by
+//! [`timepiece_algebra::Network::encoder_signature`], so a `repro fig14
+//! --ks 4,6,8` sweep reuses solver sessions (and the terms already compiled
+//! into them) across rows of the same benchmark family.
+//!
+//! Work distribution is deterministic: nodes are striped across workers by
+//! name-stem class ([`timepiece_sched::ShardPlan::by_class`]), the same
+//! balancing rule multi-process sharding uses. There is no work stealing —
+//! the pool trades a little intra-row balance for cross-row cache reuse;
+//! the scoped scheduler remains the right tool for one-shot checks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use timepiece_algebra::Network;
+use timepiece_sched::ShardPlan;
+use timepiece_smt::SessionPool;
+use timepiece_topology::NodeId;
+
+use crate::check::{CheckOptions, CheckReport, Failure, ModularChecker};
+use crate::error::CoreError;
+use crate::interface::NodeAnnotations;
+
+/// One unit of work sent to a persistent worker: check `nodes` of one
+/// instance.
+struct Job {
+    net: Network,
+    interface: NodeAnnotations,
+    property: NodeAnnotations,
+    nodes: Vec<NodeId>,
+    /// Shared across every worker of one `check` call: raised on the first
+    /// failure under [`CheckOptions::fail_fast`], abandoning remaining
+    /// nodes pool-wide (matching the scoped checker's semantics, minus the
+    /// in-flight solver interrupt).
+    cancel: Arc<AtomicBool>,
+}
+
+/// What a worker sends back per job.
+type JobResult = Result<(Vec<Failure>, Vec<(NodeId, Duration)>), CoreError>;
+
+/// A pool of persistent verification workers with long-lived solver
+/// sessions. See the module docs.
+///
+/// # Example
+///
+/// ```no_run
+/// use timepiece_core::check::CheckOptions;
+/// use timepiece_core::sweep::CheckerPool;
+/// # fn instance_at(_k: usize) -> (timepiece_algebra::Network,
+/// #     timepiece_core::NodeAnnotations, timepiece_core::NodeAnnotations) { unimplemented!() }
+///
+/// let mut pool = CheckerPool::new(4, CheckOptions::default());
+/// for k in [4, 6, 8] {
+///     let (net, interface, property) = instance_at(k);
+///     let report = pool.check(&net, &interface, &property).unwrap();
+///     assert!(report.is_verified());
+/// }
+/// // sessions built for k = 4 served k = 6 and k = 8 too
+/// ```
+#[derive(Debug)]
+pub struct CheckerPool {
+    workers: Vec<Worker>,
+    options: CheckOptions,
+}
+
+#[derive(Debug)]
+struct Worker {
+    tx: mpsc::Sender<Job>,
+    rx: mpsc::Receiver<JobResult>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CheckerPool {
+    /// Spawns `workers` persistent threads, each with its own solver-session
+    /// pool bounded by `options.timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, options: CheckOptions) -> CheckerPool {
+        assert!(workers > 0, "a checker pool needs at least one worker");
+        let workers = (0..workers)
+            .map(|_| {
+                let (job_tx, job_rx) = mpsc::channel::<Job>();
+                let (result_tx, result_rx) = mpsc::channel::<JobResult>();
+                let options = options.clone();
+                let handle = std::thread::spawn(move || {
+                    // the sessions (and their Z3 contexts, declarations and
+                    // compiled-term caches) live exactly as long as this
+                    // thread: across every job the pool ever runs
+                    let mut sessions = SessionPool::new(options.timeout);
+                    let fail_fast = options.fail_fast;
+                    let checker = ModularChecker::new(options);
+                    while let Ok(job) = job_rx.recv() {
+                        let result = run_job(&checker, &mut sessions, fail_fast, &job);
+                        if result_tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                });
+                Worker { tx: job_tx, rx: result_rx, handle: Some(handle) }
+            })
+            .collect();
+        CheckerPool { workers, options }
+    }
+
+    /// The pool with one worker per available core.
+    pub fn with_default_parallelism(options: CheckOptions) -> CheckerPool {
+        let workers = options
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+            .max(1);
+        CheckerPool::new(workers, options)
+    }
+
+    /// How many persistent workers the pool runs.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The options the pool was built with.
+    pub fn options(&self) -> &CheckOptions {
+        &self.options
+    }
+
+    /// Checks every node of a network across the persistent workers,
+    /// reusing any solver sessions previous checks already opened.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CoreError`] raised by any worker, as
+    /// [`crate::check::ModularChecker::check`].
+    pub fn check(
+        &mut self,
+        net: &Network,
+        interface: &NodeAnnotations,
+        property: &NodeAnnotations,
+    ) -> Result<CheckReport, CoreError> {
+        let start = Instant::now();
+        let g = net.topology();
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        // deterministic class striping, as in multi-process sharding: every
+        // worker gets the same mix of cheap and expensive node classes
+        let plan = ShardPlan::by_class(nodes, self.workers.len(), |v| g.node_class(v).to_owned());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut active = Vec::new();
+        for (i, worker) in self.workers.iter().enumerate() {
+            let assigned = plan.nodes_of(i);
+            if assigned.is_empty() {
+                continue;
+            }
+            let sent = worker.tx.send(Job {
+                net: net.clone(),
+                interface: interface.clone(),
+                property: property.clone(),
+                nodes: assigned.to_vec(),
+                cancel: Arc::clone(&cancel),
+            });
+            if sent.is_err() {
+                // a worker that panicked in an earlier check closed its
+                // channel; report it as an error rather than a cascade of
+                // unrelated panics (still drain the workers already fed)
+                active.push((i, false));
+                continue;
+            }
+            active.push((i, true));
+        }
+        let mut failures = Vec::new();
+        let mut node_durations = Vec::new();
+        let mut first_error = None;
+        for (i, fed) in active {
+            if !fed {
+                first_error.get_or_insert(CoreError::WorkerDied);
+                continue;
+            }
+            match self.workers[i].rx.recv() {
+                Ok(Ok((fs, ds))) => {
+                    failures.extend(fs);
+                    node_durations.extend(ds);
+                }
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                // the worker panicked mid-job and dropped its result channel
+                Err(_) => {
+                    first_error.get_or_insert(CoreError::WorkerDied);
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(CheckReport::from_parts(failures, node_durations, start.elapsed()))
+    }
+}
+
+fn run_job(
+    checker: &ModularChecker,
+    sessions: &mut SessionPool,
+    fail_fast: bool,
+    job: &Job,
+) -> JobResult {
+    let signature = job.net.encoder_signature();
+    let mut failures = Vec::new();
+    let mut durations = Vec::new();
+    for &v in &job.nodes {
+        if job.cancel.load(Ordering::Acquire) {
+            break;
+        }
+        let session = sessions.session(&signature);
+        let Some((node_failures, duration)) = checker.check_node_in_session(
+            session,
+            &job.cancel,
+            &job.net,
+            &job.interface,
+            &job.property,
+            v,
+        )?
+        else {
+            // the cancel flag rose mid-node: abandoned, like the scoped pool
+            break;
+        };
+        if fail_fast && !node_failures.is_empty() {
+            job.cancel.store(true, Ordering::Release);
+        }
+        failures.extend(node_failures);
+        durations.push((v, duration));
+    }
+    Ok((failures, durations))
+}
+
+impl Drop for CheckerPool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // closing the job channel ends the worker's recv loop
+            let (dead_tx, _) = mpsc::channel();
+            drop(std::mem::replace(&mut worker.tx, dead_tx));
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::Temporal;
+    use timepiece_algebra::NetworkBuilder;
+    use timepiece_expr::{Expr, Type};
+    use timepiece_topology::gen;
+
+    fn reach_net(n: usize) -> Network {
+        let g = gen::undirected_path(n);
+        let v0 = g.node_by_name("v0").unwrap();
+        NetworkBuilder::new(g, Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .init(v0, Expr::bool(true))
+            .build()
+            .unwrap()
+    }
+
+    fn reach_interface(net: &Network) -> NodeAnnotations {
+        NodeAnnotations::from_fn(net.topology(), |v| {
+            let t = v.index() as u64;
+            if t == 0 {
+                Temporal::globally(|r| r.clone())
+            } else {
+                Temporal::until_at(t, |r| r.clone().not(), Temporal::globally(|r| r.clone()))
+            }
+        })
+    }
+
+    #[test]
+    fn pool_agrees_with_the_scoped_checker_across_rows() {
+        let mut pool = CheckerPool::new(3, CheckOptions::default());
+        for n in [3usize, 5, 7] {
+            let net = reach_net(n);
+            let interface = reach_interface(&net);
+            let property = NodeAnnotations::new(net.topology(), Temporal::any());
+            let pooled = pool.check(&net, &interface, &property).unwrap();
+            let scoped = ModularChecker::new(CheckOptions::default())
+                .check(&net, &interface, &property)
+                .unwrap();
+            assert_eq!(pooled.is_verified(), scoped.is_verified(), "n={n}");
+            assert_eq!(pooled.node_durations().len(), n, "every node checked once");
+        }
+    }
+
+    #[test]
+    fn pool_reports_failures_like_the_scoped_checker() {
+        let mut pool = CheckerPool::new(2, CheckOptions::default());
+        let net = reach_net(4);
+        let mut interface = reach_interface(&net);
+        let v2 = net.topology().node_by_name("v2").unwrap();
+        interface
+            .set(v2, Temporal::until_at(1, |r| r.clone().not(), Temporal::globally(|r| r.clone())));
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let pooled = pool.check(&net, &interface, &property).unwrap();
+        let scoped = ModularChecker::new(CheckOptions::default())
+            .check(&net, &interface, &property)
+            .unwrap();
+        let names = |r: &CheckReport| -> Vec<String> {
+            r.failures().iter().map(|f| f.node_name.clone()).collect()
+        };
+        assert_eq!(names(&pooled), names(&scoped));
+        assert!(!pooled.is_verified());
+    }
+
+    #[test]
+    fn fail_fast_stops_pool_wide() {
+        // every node fails; with fail_fast the shared cancel flag keeps the
+        // pool from checking all of them (matching the scoped checker)
+        let mut pool = CheckerPool::new(2, CheckOptions { fail_fast: true, ..Default::default() });
+        let net = reach_net(8);
+        let interface =
+            NodeAnnotations::new(net.topology(), Temporal::globally(|r| r.clone().not()));
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = pool.check(&net, &interface, &property).unwrap();
+        assert!(!report.is_verified());
+        assert!(report.node_durations().len() < 8, "cancel must abandon nodes");
+        // the pool is reusable after a cancelled job
+        let good = reach_interface(&net);
+        let report = pool.check(&net, &good, &property).unwrap();
+        assert!(report.is_verified());
+        assert_eq!(report.node_durations().len(), 8);
+    }
+
+    #[test]
+    fn more_workers_than_nodes_is_fine() {
+        let mut pool = CheckerPool::new(8, CheckOptions::default());
+        let net = reach_net(2);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let report = pool.check(&net, &interface, &property).unwrap();
+        assert!(report.is_verified());
+        assert_eq!(report.node_durations().len(), 2);
+    }
+}

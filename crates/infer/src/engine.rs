@@ -30,9 +30,10 @@ use timepiece_expr::{Env, Expr, Value};
 use timepiece_sim::{simulate, SimError};
 use timepiece_topology::NodeId;
 
-use crate::atoms::{atoms_for, Atom};
+use crate::atoms::Atom;
 use crate::candidate::Candidate;
 use crate::roles::RoleMap;
+use crate::schema::AtomGrammar;
 
 /// Options controlling inference.
 #[derive(Debug, Clone)]
@@ -275,9 +276,14 @@ impl InferenceEngine {
         }
         // the justified atom pools are fixed from here on: compute them once
         // per role, seed the candidates from them, and let repairs filter the
-        // pools per counterexample instead of re-deriving them
-        let pool_always: Vec<Vec<Atom>> = role_all.iter().map(|vs| atoms_for(vs)).collect();
-        let pool_after: Vec<Vec<Atom>> = role_stable.iter().map(|vs| atoms_for(vs)).collect();
+        // pools per counterexample instead of re-deriving them. The grammar
+        // comes from the network's route schema when it carries the policy
+        // IR (field paths and tag universes are then schema facts, not
+        // observation artifacts), with the value-recursive grammar as the
+        // fallback for closure-built networks.
+        let grammar = AtomGrammar::for_network(net);
+        let pool_always: Vec<Vec<Atom>> = role_all.iter().map(|vs| grammar.atoms(vs)).collect();
+        let pool_after: Vec<Vec<Atom>> = role_stable.iter().map(|vs| grammar.atoms(vs)).collect();
         let candidates: Vec<Candidate> = (0..roles.role_count())
             .map(|role| Candidate {
                 tau: role_stab[role],

@@ -73,6 +73,7 @@ pub mod atoms;
 pub mod candidate;
 pub mod engine;
 pub mod roles;
+pub mod schema;
 
 pub use atoms::{atoms_for, separating_atoms, Atom, FieldTest};
 pub use candidate::Candidate;
@@ -81,6 +82,7 @@ pub use engine::{
     Inferred, RoleTemplate,
 };
 pub use roles::RoleMap;
+pub use schema::{grammar, AtomGrammar, AtomTemplate, TemplateKind};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,302 @@
+//! Schema-derived atom grammars.
+//!
+//! [`crate::atoms::atoms_for`] discovers its grammar by recursing through
+//! *observed values* — fine when all one has is a trace, but blind to the
+//! policy structure a declaratively-built network carries. For networks
+//! built through the policy IR, this module derives the grammar from the
+//! [`RouteSchema`] itself: the template set (which field paths exist, which
+//! admit bounds, which tags can be pinned) is a function of the *schema*,
+//! fixed before any observation arrives, and observations only fill in the
+//! constants.
+//!
+//! The two grammars agree on every route type both can express (see the
+//! tests); the schema-derived one additionally guarantees that tag
+//! atoms cover the schema's whole community universe even when an
+//! observation set never exercises a tag, and it gives the engine a stable,
+//! schema-ordered atom pool independent of value shapes.
+
+use timepiece_algebra::{Network, RouteSchema};
+use timepiece_expr::{Type, Value};
+
+use crate::atoms::{atoms_for, Atom, FieldTest};
+
+/// One slot of a schema-derived grammar: a field path plus the kind of test
+/// the field's type admits. Constants come from observations at
+/// instantiation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomTemplate {
+    /// Record field path into the present route.
+    pub path: Vec<String>,
+    /// What tests the addressed component admits.
+    pub kind: TemplateKind,
+}
+
+/// The test family a component's type admits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// Numeric component: equality pins plus `≤ max` / `≥ min` bounds.
+    Numeric,
+    /// Set component: membership / absence of one universe tag.
+    Tag(String),
+    /// Exact-pin-only component (booleans, enums, nested options).
+    Pin,
+}
+
+/// The grammar of a schema: templates in schema field order.
+pub fn grammar(schema: &RouteSchema) -> Vec<AtomTemplate> {
+    let mut templates = Vec::new();
+    type_templates(schema.payload_type(), &mut Vec::new(), &mut templates);
+    templates
+}
+
+fn type_templates(ty: &Type, path: &mut Vec<String>, out: &mut Vec<AtomTemplate>) {
+    match ty {
+        Type::Record(def) => {
+            for (name, field_ty) in def.fields() {
+                path.push(name.clone());
+                type_templates(field_ty, path, out);
+                path.pop();
+            }
+        }
+        Type::Set(def) => {
+            for tag in def.universe() {
+                out.push(AtomTemplate { path: path.clone(), kind: TemplateKind::Tag(tag.clone()) });
+            }
+        }
+        Type::Int | Type::BitVec(_) => {
+            out.push(AtomTemplate { path: path.clone(), kind: TemplateKind::Numeric });
+        }
+        Type::Bool | Type::Enum(_) | Type::Option(_) => {
+            out.push(AtomTemplate { path: path.clone(), kind: TemplateKind::Pin });
+        }
+    }
+}
+
+/// A grammar selector: schema-derived when the network carries the policy
+/// IR, value-derived otherwise. This is what the inference engine holds.
+#[derive(Debug, Clone, Default)]
+pub struct AtomGrammar {
+    templates: Option<Vec<AtomTemplate>>,
+}
+
+impl AtomGrammar {
+    /// The grammar for a network: its schema's when built through the policy
+    /// IR, the value-recursive fallback otherwise.
+    pub fn for_network(net: &Network) -> AtomGrammar {
+        AtomGrammar { templates: net.policies().map(|p| grammar(&p.schema)) }
+    }
+
+    /// Is this grammar derived from a schema?
+    pub fn is_schema_derived(&self) -> bool {
+        self.templates.is_some()
+    }
+
+    /// Every atom of the grammar consistent with **all** of `values` — the
+    /// justified pool the engine seeds and strengthens candidates from.
+    pub fn atoms(&self, values: &[&Value]) -> Vec<Atom> {
+        match &self.templates {
+            Some(templates) => schema_atoms(templates, values),
+            None => atoms_for(values),
+        }
+    }
+}
+
+/// Instantiates a schema grammar against an observation set: every template
+/// atom that holds on all of `values`.
+fn schema_atoms(templates: &[AtomTemplate], values: &[&Value]) -> Vec<Atom> {
+    let Some(first) = values.first() else { return Vec::new() };
+    let mut atoms = Vec::new();
+    if values.iter().all(|v| v == first) {
+        atoms.push(Atom::EqRoute((*first).clone()));
+    }
+    // schema routes are always option-typed
+    if values.iter().all(|v| v.is_some_option() == Some(true)) {
+        atoms.push(Atom::IsSome);
+    }
+    if values.iter().all(|v| v.is_some_option() == Some(false)) {
+        atoms.push(Atom::IsNone);
+    }
+    let payloads: Vec<Value> = values
+        .iter()
+        .filter(|v| v.is_some_option() == Some(true))
+        .filter_map(|v| v.unwrap_or_default())
+        .collect();
+    if payloads.is_empty() {
+        return atoms;
+    }
+    for template in templates {
+        let components: Vec<&Value> =
+            payloads.iter().filter_map(|p| project(p, &template.path)).collect();
+        if components.len() != payloads.len() {
+            continue;
+        }
+        for test in template_tests(&template.kind, &components) {
+            atoms.push(Atom::Guarded { path: template.path.clone(), test });
+        }
+    }
+    atoms
+}
+
+fn project<'v>(mut v: &'v Value, path: &[String]) -> Option<&'v Value> {
+    for f in path {
+        v = v.field(f)?;
+    }
+    Some(v)
+}
+
+/// The tests of one template justified by `components` (all observations of
+/// that field).
+fn template_tests(kind: &TemplateKind, components: &[&Value]) -> Vec<FieldTest> {
+    let first = components[0];
+    let constant = components.iter().all(|v| v == &first);
+    match kind {
+        TemplateKind::Pin => constant.then(|| FieldTest::Eq(first.clone())).into_iter().collect(),
+        TemplateKind::Tag(tag) => {
+            let mut tests = Vec::new();
+            if components.iter().all(|v| v.contains_tag(tag) == Some(true)) {
+                tests.push(FieldTest::Has(tag.clone()));
+            }
+            if components.iter().all(|v| v.contains_tag(tag) == Some(false)) {
+                tests.push(FieldTest::Lacks(tag.clone()));
+            }
+            tests
+        }
+        TemplateKind::Numeric => {
+            // equality when constant, PLUS the interval bounds either way,
+            // mirroring the value-derived grammar: when a repair drops the
+            // (too-strong) equality, the one-sided bounds survive
+            let mut tests = Vec::new();
+            if constant {
+                tests.push(FieldTest::Eq(first.clone()));
+            }
+            let mut lo = first;
+            let mut hi = first;
+            for v in components {
+                if numeric(v) < numeric(lo) {
+                    lo = v;
+                }
+                if numeric(v) > numeric(hi) {
+                    hi = v;
+                }
+            }
+            tests.push(FieldTest::Le((*hi).clone()));
+            tests.push(FieldTest::Ge((*lo).clone()));
+            tests
+        }
+    }
+}
+
+fn numeric(v: &Value) -> i128 {
+    v.as_int().or_else(|| v.as_bv().map(i128::from)).expect("numeric template component")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timepiece_algebra::MergeKey;
+
+    fn bgp_like_schema() -> RouteSchema {
+        RouteSchema::new(
+            "R",
+            [
+                ("lp".to_owned(), Type::BitVec(32)),
+                ("len".to_owned(), Type::Int),
+                ("comms".to_owned(), Type::set("C", ["down", "bte"])),
+                ("tag".to_owned(), Type::Bool),
+            ],
+            [MergeKey::Higher("lp".into()), MergeKey::Lower("len".into())],
+        )
+    }
+
+    fn route(s: &RouteSchema, lp: u64, len: i64, comms: &[&str], tag: bool) -> Value {
+        let comm_def = s.field_type("comms").set_def().unwrap().clone();
+        Value::some(Value::record(
+            s.record_def(),
+            vec![
+                Value::bv(lp, 32),
+                Value::int(len),
+                Value::set_of(&comm_def, comms.iter().copied()),
+                Value::Bool(tag),
+            ],
+        ))
+    }
+
+    #[test]
+    fn grammar_enumerates_schema_fields() {
+        let g = grammar(&bgp_like_schema());
+        assert_eq!(
+            g,
+            vec![
+                AtomTemplate { path: vec!["lp".into()], kind: TemplateKind::Numeric },
+                AtomTemplate { path: vec!["len".into()], kind: TemplateKind::Numeric },
+                AtomTemplate { path: vec!["comms".into()], kind: TemplateKind::Tag("down".into()) },
+                AtomTemplate { path: vec!["comms".into()], kind: TemplateKind::Tag("bte".into()) },
+                AtomTemplate { path: vec!["tag".into()], kind: TemplateKind::Pin },
+            ]
+        );
+    }
+
+    #[test]
+    fn schema_and_value_grammars_agree_on_expressible_routes() {
+        let s = bgp_like_schema();
+        let templates = grammar(&s);
+        let none = s.none_value();
+        let observation_sets: Vec<Vec<Value>> = vec![
+            vec![route(&s, 100, 2, &["down"], false)],
+            vec![route(&s, 100, 2, &[], false), route(&s, 100, 3, &["down"], false)],
+            vec![none.clone(), route(&s, 200, 0, &["bte"], true)],
+            vec![none.clone()],
+            vec![],
+        ];
+        for set in observation_sets {
+            let refs: Vec<&Value> = set.iter().collect();
+            let from_schema = schema_atoms(&templates, &refs);
+            let from_values = atoms_for(&refs);
+            assert_eq!(from_schema, from_values, "observations {set:?}");
+        }
+    }
+
+    #[test]
+    fn every_schema_atom_holds_on_its_observations() {
+        let s = bgp_like_schema();
+        let templates = grammar(&s);
+        let a = route(&s, 100, 2, &["down"], false);
+        let b = route(&s, 150, 4, &["down", "bte"], false);
+        let n = s.none_value();
+        let values = [&a, &b, &n];
+        for atom in schema_atoms(&templates, &values) {
+            for v in values {
+                assert!(atom.holds(v), "{atom:?} on {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn grammar_selector_prefers_the_schema() {
+        use timepiece_algebra::{NetworkBuilder, RoutePolicy};
+        use timepiece_expr::Expr;
+        use timepiece_topology::gen;
+        let s = bgp_like_schema();
+        let g = gen::path(2);
+        let dest = g.node_by_name("v0").unwrap();
+        let origin = route(&s, 100, 0, &[], false);
+        let net = NetworkBuilder::from_schema(g, s.clone())
+            .default_policy(RoutePolicy::new().increment("len"))
+            .init(dest, Expr::constant(origin.clone()))
+            .build()
+            .unwrap();
+        let schema_grammar = AtomGrammar::for_network(&net);
+        assert!(schema_grammar.is_schema_derived());
+        // a closure-built network falls back to the value-derived grammar
+        let closure_net = NetworkBuilder::new(gen::path(2), Type::Bool)
+            .merge(|a, b| a.clone().or(b.clone()))
+            .default_transfer(|r| r.clone())
+            .build()
+            .unwrap();
+        let fallback = AtomGrammar::for_network(&closure_net);
+        assert!(!fallback.is_schema_derived());
+        // both produce a justified pool for the same observations
+        let atoms = schema_grammar.atoms(&[&origin]);
+        assert!(atoms.contains(&Atom::IsSome));
+    }
+}

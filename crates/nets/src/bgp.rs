@@ -1,4 +1,4 @@
-//! The eBGP route schema of Table 3, at the expression level.
+//! The eBGP route schema of Table 3, built on the declarative policy IR.
 //!
 //! A route is `Option<Record>` (with `None` as the paper's `∞`), where the
 //! record models the fields the paper lists:
@@ -15,9 +15,19 @@
 //!
 //! Extra boolean *ghost* fields (e.g. `Hijack`'s external-origin tag) can be
 //! appended without touching the protocol logic.
+//!
+//! [`BgpSchema`] wraps a [`RouteSchema`] whose merge keys spell out the full
+//! BGP decision process — administrative distance ≺ local preference ≺
+//! AS-path length ≺ MED ≺ origin — so one declarative definition drives the
+//! simulator's value semantics, the SMT encoding, solver-session keying and
+//! inference's atom grammar alike. Benchmarks with extra selection steps
+//! (e.g. `Hijack`'s per-prefix RIB slots) prepend [`MergeKey`]s via
+//! [`BgpSchema::with_leading_keys`].
 
 use std::sync::Arc;
 
+pub use timepiece_algebra::Origin;
+use timepiece_algebra::{MergeKey, RoutePolicy, RouteSchema};
 use timepiece_expr::{Expr, RecordDef, Type};
 
 /// Default administrative distance for eBGP.
@@ -39,20 +49,31 @@ pub const DEFAULT_MED: u64 = 0;
 /// let originated = schema.originate(timepiece_expr::Expr::bv(0, 32));
 /// assert_eq!(originated.type_of().unwrap(), schema.route_type());
 /// let _pred = schema.len(&r.clone().get_some());
+/// // the decision process is declarative data, not a closure:
+/// assert_eq!(schema.ir().merge_keys().len(), 5);
 /// ```
 #[derive(Debug, Clone)]
 pub struct BgpSchema {
-    record: Arc<RecordDef>,
-    route_type: Type,
+    ir: RouteSchema,
     ghost_fields: Vec<String>,
 }
 
 impl BgpSchema {
     /// Builds a schema with the given community universe and extra boolean
-    /// ghost fields.
+    /// ghost fields, merging by the standard decision process.
     pub fn new<'a, 'b>(
         communities: impl IntoIterator<Item = &'a str>,
         ghost_bools: impl IntoIterator<Item = &'b str>,
+    ) -> BgpSchema {
+        BgpSchema::with_leading_keys(communities, ghost_bools, [])
+    }
+
+    /// As [`BgpSchema::new`], with extra merge keys applied *before* the
+    /// decision process (e.g. `Hijack`'s prefix-class preference).
+    pub fn with_leading_keys<'a, 'b>(
+        communities: impl IntoIterator<Item = &'a str>,
+        ghost_bools: impl IntoIterator<Item = &'b str>,
+        leading_keys: impl IntoIterator<Item = MergeKey>,
     ) -> BgpSchema {
         let comm_ty = Type::set("Communities", communities.into_iter().collect::<Vec<_>>());
         let origin_ty = Type::enumeration("Origin", ["egp", "igp", "unknown"]);
@@ -69,19 +90,31 @@ impl BgpSchema {
         for g in &ghost_fields {
             fields.push((g.clone(), Type::Bool));
         }
-        let record = Arc::new(RecordDef::new("BgpRoute", fields));
-        let route_type = Type::option(Type::Record(Arc::clone(&record)));
-        BgpSchema { record, route_type, ghost_fields }
+        // the full decision process: AD ≺ lp ≺ AS-path length ≺ MED ≺ origin
+        let mut keys: Vec<MergeKey> = leading_keys.into_iter().collect();
+        keys.extend([
+            MergeKey::Lower("ad".into()),
+            MergeKey::Higher("lp".into()),
+            MergeKey::Lower("len".into()),
+            MergeKey::Lower("med".into()),
+            MergeKey::RankEnum("origin".into(), vec!["igp".into(), "egp".into(), "unknown".into()]),
+        ]);
+        BgpSchema { ir: RouteSchema::new("BgpRoute", fields, keys), ghost_fields }
+    }
+
+    /// The underlying declarative schema (record shape + merge keys).
+    pub fn ir(&self) -> &RouteSchema {
+        &self.ir
     }
 
     /// The record definition of a present route.
     pub fn record_def(&self) -> &Arc<RecordDef> {
-        &self.record
+        self.ir.record_def()
     }
 
     /// The route type `S = Option<BgpRoute>`.
     pub fn route_type(&self) -> Type {
-        self.route_type.clone()
+        self.ir.route_type()
     }
 
     /// The names of the ghost fields.
@@ -97,24 +130,35 @@ impl BgpSchema {
     /// A freshly-originated route for `destination`: default attributes,
     /// zero length, no communities, ghost fields false.
     pub fn originate(&self, destination: Expr) -> Expr {
+        self.originate_with(destination, DEFAULT_AD, Origin::Igp, 0)
+    }
+
+    /// A route for `destination` with chosen administrative distance,
+    /// origin and length — the dual-protocol scenarios (IGP/EGP) originate
+    /// both kinds. Other attributes stay at their defaults.
+    pub fn originate_with(&self, destination: Expr, ad: u64, origin: Origin, len: i64) -> Expr {
+        let origin_def =
+            self.record_def().field_type("origin").unwrap().enum_def().unwrap().clone();
         let mut fields = vec![
             destination,
-            Expr::bv(DEFAULT_AD, 32),
+            Expr::bv(ad, 32),
             Expr::bv(DEFAULT_LP, 32),
             Expr::bv(DEFAULT_MED, 32),
-            Expr::constant(timepiece_expr::Value::enum_variant(
-                self.record.field_type("origin").unwrap().enum_def().unwrap(),
-                "igp",
-            )),
-            Expr::int(0),
+            Expr::constant(timepiece_expr::Value::enum_variant(&origin_def, origin.variant())),
+            Expr::int(len),
             Expr::constant(timepiece_expr::Value::default_of(
-                self.record.field_type("comms").unwrap(),
+                self.record_def().field_type("comms").unwrap(),
             )),
         ];
         for _ in &self.ghost_fields {
             fields.push(Expr::bool(false));
         }
-        Expr::record(&self.record, fields).some()
+        Expr::record(self.record_def(), fields).some()
+    }
+
+    /// The `∞` route as a term.
+    pub fn none_route(&self) -> Expr {
+        self.ir.none_route()
     }
 
     // -- field projections over a *present* route (a record term) -----------
@@ -134,6 +178,11 @@ impl BgpSchema {
         route.clone().field("len")
     }
 
+    /// The multi-exit discriminator of a present route.
+    pub fn med(&self, route: &Expr) -> Expr {
+        route.clone().field("med")
+    }
+
     /// Community membership of a present route.
     pub fn has_community(&self, route: &Expr, tag: &str) -> Expr {
         route.clone().field("comms").contains(tag)
@@ -144,41 +193,40 @@ impl BgpSchema {
         route.clone().field(field)
     }
 
-    // -- protocol functions ---------------------------------------------------
-
-    /// The default transfer: increment the AS-path length, preserve all other
-    /// fields; `∞` stays `∞`.
-    pub fn transfer_increment(&self, route: &Expr) -> Expr {
-        let payload_ty = self.route_type.option_payload().unwrap().clone();
-        route.clone().match_option(Expr::none(payload_ty), |r| {
-            let bumped = self.len(&r).add(Expr::int(1));
-            r.with_field("len", bumped).some()
-        })
+    /// `origin = variant` over a present route.
+    pub fn origin_is(&self, route: &Expr, origin: Origin) -> Expr {
+        let def = self.record_def().field_type("origin").unwrap().enum_def().unwrap().clone();
+        route
+            .clone()
+            .field("origin")
+            .eq(Expr::constant(timepiece_expr::Value::enum_variant(&def, origin.variant())))
     }
 
-    /// The standard eBGP selection `⊕`: prefer a present route; then lower
-    /// administrative distance, higher local preference, shorter AS path,
-    /// lower MED (communities and ghost fields are ignored, first argument
-    /// wins ties).
+    // -- protocol functions, as declarative policies -------------------------
+
+    /// The default transfer policy: increment the AS-path length, preserve
+    /// all other fields; `∞` stays `∞`.
+    pub fn increment_policy(&self) -> RoutePolicy {
+        RoutePolicy::new().increment("len")
+    }
+
+    // -- term-level conveniences (interfaces and tests) ----------------------
+
+    /// The default transfer as a term (compiled [`BgpSchema::increment_policy`]).
+    pub fn transfer_increment(&self, route: &Expr) -> Expr {
+        self.increment_policy().compile(&self.ir, route)
+    }
+
+    /// The selection `⊕` as a term (compiled from the schema's merge keys):
+    /// prefer a present route, then the decision process; the first argument
+    /// wins ties.
     pub fn merge(&self, a: &Expr, b: &Expr) -> Expr {
-        let ra = a.clone().get_some();
-        let rb = b.clone().get_some();
-        let b_strictly_better = self.prefer(&rb, &ra);
-        // choose b only when present and (a absent or b strictly preferred)
-        let choose_b = b.clone().is_some().and(a.clone().is_none().or(b_strictly_better));
-        choose_b.ite(b.clone(), a.clone())
+        self.ir.merge_expr(a, b)
     }
 
     /// Is present route `x` strictly preferred to present route `y`?
     pub fn prefer(&self, x: &Expr, y: &Expr) -> Expr {
-        let ad_lt = x.clone().field("ad").lt(y.clone().field("ad"));
-        let ad_eq = x.clone().field("ad").eq(y.clone().field("ad"));
-        let lp_gt = x.clone().field("lp").gt(y.clone().field("lp"));
-        let lp_eq = x.clone().field("lp").eq(y.clone().field("lp"));
-        let len_lt = self.len(x).lt(self.len(y));
-        let len_eq = self.len(x).eq(self.len(y));
-        let med_lt = x.clone().field("med").lt(y.clone().field("med"));
-        ad_lt.or(ad_eq.and(lp_gt.or(lp_eq.and(len_lt.or(len_eq.and(med_lt))))))
+        self.ir.prefer_expr(x, y)
     }
 }
 
@@ -226,6 +274,7 @@ mod tests {
         assert_eq!(s.record_def().fields().len(), 8);
         assert_eq!(s.ghost_fields(), ["tag"]);
         assert!(s.route_type().is_option());
+        assert_eq!(s.ir().merge_keys().len(), 5, "full decision process");
     }
 
     #[test]
@@ -239,6 +288,16 @@ mod tests {
         assert_eq!(r.field("lp").unwrap().as_bv(), Some(DEFAULT_LP));
         assert_eq!(r.field("tag").unwrap().as_bool(), Some(false));
         assert_eq!(r.field("destination").unwrap().as_bv(), Some(42));
+    }
+
+    #[test]
+    fn originate_with_sets_protocol_attributes() {
+        let s = schema();
+        let o = s.originate_with(Expr::bv(1, 32), 110, Origin::Egp, 1);
+        let r = o.eval(&Env::new()).unwrap().unwrap_or_default().unwrap();
+        assert_eq!(r.field("ad").unwrap().as_bv(), Some(110));
+        assert_eq!(r.field("len").unwrap().as_int(), Some(1));
+        assert_eq!(r.field("origin").unwrap().to_string(), "egp");
     }
 
     #[test]
@@ -283,6 +342,34 @@ mod tests {
     }
 
     #[test]
+    fn origin_breaks_final_ties() {
+        // equal ad/lp/len/med: the igp-origin route wins over egp
+        let s = schema();
+        let def = s.record_def();
+        let comm_def = def.field_type("comms").unwrap().set_def().unwrap().clone();
+        let origin_def = def.field_type("origin").unwrap().enum_def().unwrap().clone();
+        let mk = |origin: &str| {
+            Value::some(Value::record(
+                def,
+                vec![
+                    Value::bv(0, 32),
+                    Value::bv(DEFAULT_AD, 32),
+                    Value::bv(DEFAULT_LP, 32),
+                    Value::bv(DEFAULT_MED, 32),
+                    Value::enum_variant(&origin_def, origin),
+                    Value::int(2),
+                    Value::set_of(&comm_def, []),
+                    Value::Bool(false),
+                ],
+            ))
+        };
+        let igp = mk("igp");
+        let egp = mk("egp");
+        assert_eq!(eval_merge(&s, egp.clone(), igp.clone()), igp);
+        assert_eq!(eval_merge(&s, igp.clone(), egp), igp);
+    }
+
+    #[test]
     fn merge_agrees_with_concrete_bgp_on_lp_len() {
         use timepiece_algebra::{Bgp, BgpRoute, RoutingAlgebra};
         let s = schema();
@@ -301,6 +388,46 @@ mod tests {
                     "{lp_a},{len_a} vs {lp_b},{len_b}"
                 );
                 assert_eq!(got.field("len").unwrap().as_int(), Some(winner.len as i128));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_agrees_with_full_decision_process() {
+        use timepiece_algebra::{DecisionBgp, DecisionRoute, RoutingAlgebra};
+        let s = schema();
+        let def = s.record_def();
+        let comm_def = def.field_type("comms").unwrap().set_def().unwrap().clone();
+        let origin_def = def.field_type("origin").unwrap().enum_def().unwrap().clone();
+        let symbolic = |r: &DecisionRoute| {
+            let origin = r.origin.variant();
+            Value::some(Value::record(
+                def,
+                vec![
+                    Value::bv(0, 32),
+                    Value::bv(DEFAULT_AD, 32),
+                    Value::bv(r.lp, 32),
+                    Value::bv(r.med, 32),
+                    Value::enum_variant(&origin_def, origin),
+                    Value::int(r.len as i64),
+                    Value::set_of(&comm_def, []),
+                    Value::Bool(false),
+                ],
+            ))
+        };
+        let concrete = DecisionBgp::new();
+        let samples = [
+            DecisionRoute { lp: 100, len: 2, med: 0, origin: Origin::Igp },
+            DecisionRoute { lp: 100, len: 2, med: 5, origin: Origin::Igp },
+            DecisionRoute { lp: 100, len: 2, med: 0, origin: Origin::Egp },
+            DecisionRoute { lp: 200, len: 9, med: 9, origin: Origin::Unknown },
+            DecisionRoute { lp: 100, len: 1, med: 9, origin: Origin::Unknown },
+        ];
+        for a in &samples {
+            for b in &samples {
+                let winner = concrete.merge(&Some(*a), &Some(*b)).unwrap();
+                let got = eval_merge(&s, symbolic(a), symbolic(b));
+                assert_eq!(got, symbolic(&winner), "{a:?} vs {b:?}");
             }
         }
     }

@@ -64,13 +64,22 @@ impl HijackBench {
         for c in cores {
             topology.add_undirected(hijacker, c);
         }
-        HijackBench {
-            fattree,
-            dest,
-            schema: BgpSchema::new([], [EXTERNAL_TAG]),
-            topology,
-            hijacker,
-        }
+        HijackBench { fattree, dest, schema: Self::schema(), topology, hijacker }
+    }
+
+    /// The hijack schema: one ghost tag, and a leading merge key modelling
+    /// eBGP's per-prefix RIB slots — routes for the internal prefix `p`
+    /// never compete with (and always beat) routes for other prefixes.
+    fn schema() -> BgpSchema {
+        use timepiece_algebra::{MergeKey, RouteGuard};
+        BgpSchema::with_leading_keys(
+            [],
+            [EXTERNAL_TAG],
+            [MergeKey::GuardFirst(RouteGuard::FieldEqVar {
+                field: "destination".into(),
+                var: PREFIX_VAR.into(),
+            })],
+        )
     }
 
     /// The underlying fattree (without the hijacker).
@@ -101,46 +110,25 @@ impl HijackBench {
         Expr::var(PREFIX_VAR, Type::BitVec(32))
     }
 
+    /// The anti-hijack import policy applied at the cores: drop hijacker
+    /// routes claiming the internal prefix, mark everything else external.
+    fn import_filter() -> timepiece_algebra::RoutePolicy {
+        use timepiece_algebra::{RewriteOp, RouteGuard, RoutePolicy};
+        RoutePolicy::new()
+            .drop_if(RouteGuard::FieldEqVar { field: "destination".into(), var: PREFIX_VAR.into() })
+            .rewrite([RewriteOp::SetBool { field: EXTERNAL_TAG.into(), value: true }])
+            .increment("len")
+    }
+
     /// The network: fattree + hijacker, anti-hijack filters at the cores,
-    /// prefix-aware selection.
+    /// prefix-aware selection (the schema's leading `GuardFirst` merge key).
     pub fn network(&self) -> Network {
-        let schema = self.schema.clone();
-        let mut builder = NetworkBuilder::new(self.topology.clone(), schema.route_type());
-        // ⊕: prefer present, then prefix-p routes, then standard attributes
-        {
-            let schema = schema.clone();
-            builder = builder.merge(move |a, b| {
-                let pa = schema.destination(&a.clone().get_some()).eq(Self::prefix());
-                let pb = schema.destination(&b.clone().get_some()).eq(Self::prefix());
-                let b_wins_prefix = pb.clone().and(pa.clone().not());
-                let same_class = pa.clone().iff(pb);
-                let b_better_attrs = schema.prefer(&b.clone().get_some(), &a.clone().get_some());
-                let choose_b = b
-                    .clone()
-                    .is_some()
-                    .and(a.clone().is_none().or(b_wins_prefix).or(same_class.and(b_better_attrs)));
-                choose_b.ite(b.clone(), a.clone())
-            });
-        }
-        // transfers
+        let schema = &self.schema;
+        let mut builder = NetworkBuilder::from_schema(self.topology.clone(), schema.ir().clone())
+            .default_policy(schema.increment_policy());
         for (u, v) in self.topology.edges() {
-            let schema = schema.clone();
             if u == self.hijacker {
-                // import filter at cores: drop hijacker routes claiming the
-                // internal prefix; mark everything else as external
-                builder = builder.transfer((u, v), move |r| {
-                    let payload_ty = schema.route_type().option_payload().unwrap().clone();
-                    let incremented = schema.transfer_increment(r);
-                    let claims_p =
-                        schema.destination(&incremented.clone().get_some()).eq(Self::prefix());
-                    let marked =
-                        incremented.clone().match_option(Expr::none(payload_ty.clone()), |route| {
-                            route.with_field(EXTERNAL_TAG, Expr::bool(true)).some()
-                        });
-                    incremented.clone().is_some().and(claims_p).ite(Expr::none(payload_ty), marked)
-                });
-            } else {
-                builder = builder.transfer((u, v), move |r| schema.transfer_increment(r));
+                builder = builder.policy((u, v), Self::import_filter());
             }
         }
         // initial routes
@@ -149,8 +137,8 @@ impl HijackBench {
                 builder = builder.init(v, Expr::var(HIJACK_ROUTE_VAR, schema.route_type()));
             } else {
                 let originated = schema.originate(Self::prefix());
-                let none = Expr::constant(timepiece_expr::Value::default_of(&schema.route_type()));
-                builder = builder.init(v, self.dest.is_dest(v).ite(originated, none));
+                builder =
+                    builder.init(v, self.dest.is_dest(v).ite(originated, schema.none_route()));
             }
         }
         // symbolics: the internal prefix, the hijacker's announcement, and
@@ -248,37 +236,19 @@ mod tests {
     fn broken_core_filter_is_caught() {
         // a buggy network whose cores do NOT filter hijacker routes for p:
         // the inductive condition must fail somewhere
+        use timepiece_algebra::{RewriteOp, RoutePolicy};
         let bench = HijackBench::single_dest(4, 0);
         let good = bench.build();
         let schema = bench.schema.clone();
-        let mut builder = NetworkBuilder::new(bench.topology.clone(), schema.route_type());
-        {
-            let schema = schema.clone();
-            builder = builder.merge(move |a, b| {
-                let pa = schema.destination(&a.clone().get_some()).eq(HijackBench::prefix());
-                let pb = schema.destination(&b.clone().get_some()).eq(HijackBench::prefix());
-                let b_wins_prefix = pb.clone().and(pa.clone().not());
-                let same_class = pa.clone().iff(pb);
-                let b_better = schema.prefer(&b.clone().get_some(), &a.clone().get_some());
-                let choose_b = b
-                    .clone()
-                    .is_some()
-                    .and(a.clone().is_none().or(b_wins_prefix).or(same_class.and(b_better)));
-                choose_b.ite(b.clone(), a.clone())
-            });
-        }
+        // BUG: marks external routes but forgets the prefix-drop clause
+        let leaky_import = RoutePolicy::new()
+            .rewrite([RewriteOp::SetBool { field: EXTERNAL_TAG.into(), value: true }])
+            .increment("len");
+        let mut builder = NetworkBuilder::from_schema(bench.topology.clone(), schema.ir().clone())
+            .default_policy(schema.increment_policy());
         for (u, v) in bench.topology.edges() {
-            let schema = schema.clone();
             if u == bench.hijacker {
-                // BUG: marks external routes but forgets the prefix filter
-                builder = builder.transfer((u, v), move |r| {
-                    let payload_ty = schema.route_type().option_payload().unwrap().clone();
-                    schema.transfer_increment(r).match_option(Expr::none(payload_ty), |route| {
-                        route.with_field(EXTERNAL_TAG, Expr::bool(true)).some()
-                    })
-                });
-            } else {
-                builder = builder.transfer((u, v), move |r| schema.transfer_increment(r));
+                builder = builder.policy((u, v), leaky_import.clone());
             }
         }
         for v in bench.topology.nodes() {
@@ -286,8 +256,8 @@ mod tests {
                 builder = builder.init(v, Expr::var(HIJACK_ROUTE_VAR, schema.route_type()));
             } else {
                 let originated = schema.originate(HijackBench::prefix());
-                let none = Expr::constant(timepiece_expr::Value::default_of(&schema.route_type()));
-                builder = builder.init(v, bench.dest.is_dest(v).ite(originated, none));
+                builder =
+                    builder.init(v, bench.dest.is_dest(v).ite(originated, schema.none_route()));
             }
         }
         builder = builder

@@ -22,12 +22,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ad;
 pub mod bgp;
 pub mod example;
+pub mod fail;
 pub mod fattree_common;
 pub mod ghost;
 pub mod hijack;
 pub mod len;
+pub mod med;
 pub mod reach;
 pub mod vf;
 pub mod wan;

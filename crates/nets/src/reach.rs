@@ -68,22 +68,17 @@ impl ReachBench {
         PropertySpec { network: self.network(), property: self.property() }
     }
 
-    /// The network alone (plain eBGP with incrementing transfer).
+    /// The network alone (plain eBGP with incrementing transfer), declared
+    /// through the policy IR: the schema's merge keys are `⊕` and one
+    /// default [`timepiece_algebra::RoutePolicy`] is every edge's transfer.
     pub fn network(&self) -> Network {
-        let schema = self.schema.clone();
-        let mut builder = NetworkBuilder::new(self.fattree.topology().clone(), schema.route_type());
-        {
-            let schema = schema.clone();
-            builder = builder.default_transfer(move |r| schema.transfer_increment(r));
-        }
-        {
-            let schema = schema.clone();
-            builder = builder.merge(move |a, b| schema.merge(a, b));
-        }
+        let schema = &self.schema;
+        let mut builder =
+            NetworkBuilder::from_schema(self.fattree.topology().clone(), schema.ir().clone())
+                .default_policy(schema.increment_policy());
         for v in self.fattree.topology().nodes() {
             let originated = schema.originate(Expr::bv(0, 32));
-            let none = Expr::constant(timepiece_expr::Value::default_of(&schema.route_type()));
-            builder = builder.init(v, self.dest.is_dest(v).ite(originated, none));
+            builder = builder.init(v, self.dest.is_dest(v).ite(originated, schema.none_route()));
         }
         if let Some(c) = self.dest.constraint(&self.fattree) {
             builder = builder.symbolic(Symbolic::new(DEST_VAR, Type::BitVec(32), Some(c)));

@@ -68,43 +68,29 @@ impl VfBench {
     }
 
     /// The valley-free network: down edges tag `D`, up edges drop tagged
-    /// routes.
+    /// routes — two declarative policies assigned by edge direction.
     pub fn network(&self) -> Network {
-        let schema = self.schema.clone();
-        let mut builder = NetworkBuilder::new(self.fattree.topology().clone(), schema.route_type());
-        {
-            let schema = schema.clone();
-            builder = builder.merge(move |a, b| schema.merge(a, b));
-        }
+        use timepiece_algebra::{RewriteOp, RouteGuard, RoutePolicy};
+        let schema = &self.schema;
+        let down_policy = RoutePolicy::new()
+            .increment("len")
+            .rewrite([RewriteOp::AddTag { field: "comms".into(), tag: DOWN.into() }]);
+        let up_policy = RoutePolicy::new()
+            .drop_if(RouteGuard::HasTag { field: "comms".into(), tag: DOWN.into() })
+            .increment("len");
+        let mut builder =
+            NetworkBuilder::from_schema(self.fattree.topology().clone(), schema.ir().clone());
         for (u, v) in self.fattree.topology().edges() {
-            let schema = schema.clone();
-            if self.fattree.is_down_edge(u, v) {
-                // tag D going down
-                builder = builder.transfer((u, v), move |r| {
-                    let payload_ty = schema.route_type().option_payload().unwrap().clone();
-                    schema.transfer_increment(r).match_option(Expr::none(payload_ty), |route| {
-                        let tagged = route.clone().field("comms").add_tag(DOWN);
-                        route.with_field("comms", tagged).some()
-                    })
-                });
+            let policy = if self.fattree.is_down_edge(u, v) {
+                down_policy.clone()
             } else {
-                // drop tagged routes going up
-                builder = builder.transfer((u, v), move |r| {
-                    let payload_ty = schema.route_type().option_payload().unwrap().clone();
-                    let incremented = schema.transfer_increment(r);
-                    let has_down = schema.has_community(&incremented.clone().get_some(), DOWN);
-                    incremented
-                        .clone()
-                        .is_some()
-                        .and(has_down)
-                        .ite(Expr::none(payload_ty), incremented)
-                });
-            }
+                up_policy.clone()
+            };
+            builder = builder.policy((u, v), policy);
         }
         for v in self.fattree.topology().nodes() {
             let originated = schema.originate(Expr::bv(0, 32));
-            let none = Expr::constant(timepiece_expr::Value::default_of(&schema.route_type()));
-            builder = builder.init(v, self.dest.is_dest(v).ite(originated, none));
+            builder = builder.init(v, self.dest.is_dest(v).ite(originated, schema.none_route()));
         }
         if let Some(c) = self.dest.constraint(&self.fattree) {
             builder = builder.symbolic(Symbolic::new(DEST_VAR, Type::BitVec(32), Some(c)));

@@ -86,61 +86,49 @@ impl WanBench {
         PropertySpec { network: self.network(), property: self.block_to_external() }
     }
 
-    /// The WAN network with class-based import and BTE export filtering.
+    /// The export policy on internal→peer links: drop BTE-tagged routes.
+    fn export_policy(schema: &BgpSchema) -> timepiece_algebra::RoutePolicy {
+        use timepiece_algebra::RouteGuard;
+        schema
+            .increment_policy()
+            .drop_if(RouteGuard::HasTag { field: "comms".into(), tag: BTE.into() })
+    }
+
+    /// The import policy on peer→internal links: filter the peer's scrubbed
+    /// community, set the class local-pref and add the class tag.
+    fn import_policy(
+        schema: &BgpSchema,
+        class: PeerClass,
+        scrub: &str,
+    ) -> timepiece_algebra::RoutePolicy {
+        use timepiece_algebra::{RewriteOp, RouteGuard};
+        schema
+            .increment_policy()
+            .drop_if(RouteGuard::HasTag { field: "comms".into(), tag: scrub.into() })
+            .rewrite([
+                RewriteOp::SetBv { field: "lp".into(), value: Self::class_lp(class) },
+                RewriteOp::AddTag { field: "comms".into(), tag: Self::class_tag(class).into() },
+            ])
+    }
+
+    /// The WAN network with class-based import and BTE export filtering —
+    /// every Junos-style term is a declarative policy clause.
     pub fn network(&self) -> Network {
-        let schema = self.schema.clone();
+        let schema = &self.schema;
         let g = self.wan.topology().clone();
-        let mut builder = NetworkBuilder::new(g, schema.route_type());
-        {
-            let schema = schema.clone();
-            builder = builder.merge(move |a, b| schema.merge(a, b));
-        }
+        let mut builder = NetworkBuilder::from_schema(g, schema.ir().clone())
+            .default_policy(schema.increment_policy());
         for (u, v) in self.wan.topology().edges() {
-            let schema = schema.clone();
             match (self.wan.is_internal(u), self.wan.is_internal(v)) {
-                // backbone link: plain increment
-                (true, true) => {
-                    builder = builder.transfer((u, v), move |r| schema.transfer_increment(r));
-                }
-                // export to a peer: drop BTE-tagged routes
+                // backbone link: the plain-increment default policy
+                (true, true) => {}
                 (true, false) => {
-                    builder = builder.transfer((u, v), move |r| {
-                        let payload_ty = schema.route_type().option_payload().unwrap().clone();
-                        let incremented = schema.transfer_increment(r);
-                        let has_bte = schema.has_community(&incremented.clone().get_some(), BTE);
-                        incremented
-                            .clone()
-                            .is_some()
-                            .and(has_bte)
-                            .ite(Expr::none(payload_ty), incremented)
-                    });
+                    builder = builder.policy((u, v), Self::export_policy(schema));
                 }
-                // import from a peer: scrub a community, set lp, add class tag
                 (false, true) => {
                     let class = self.wan.peer_class(u);
                     let scrub = SCRUBBED[u.index() % SCRUBBED.len()];
-                    builder = builder.transfer((u, v), move |r| {
-                        let payload_ty = schema.route_type().option_payload().unwrap().clone();
-                        let incremented = schema.transfer_increment(r);
-                        let carries_scrubbed =
-                            schema.has_community(&incremented.clone().get_some(), scrub);
-                        let imported = incremented.clone().match_option(
-                            Expr::none(payload_ty.clone()),
-                            |route| {
-                                let comms =
-                                    route.clone().field("comms").add_tag(Self::class_tag(class));
-                                route
-                                    .with_field("lp", Expr::bv(Self::class_lp(class), 32))
-                                    .with_field("comms", comms)
-                                    .some()
-                            },
-                        );
-                        incremented
-                            .clone()
-                            .is_some()
-                            .and(carries_scrubbed)
-                            .ite(Expr::none(payload_ty), imported)
-                    });
+                    builder = builder.policy((u, v), Self::import_policy(schema, class, scrub));
                 }
                 (false, false) => unreachable!("peers only attach to the backbone"),
             }
@@ -225,15 +213,8 @@ mod tests {
         let bench = WanBench::with_peers(3, 6);
         let schema = bench.schema.clone();
         let g = bench.wan.topology().clone();
-        let mut builder = NetworkBuilder::new(g, schema.route_type());
-        {
-            let schema = schema.clone();
-            builder = builder.merge(move |a, b| schema.merge(a, b));
-        }
-        {
-            let schema = schema.clone();
-            builder = builder.default_transfer(move |r| schema.transfer_increment(r));
-        }
+        let mut builder = NetworkBuilder::from_schema(g, schema.ir().clone())
+            .default_policy(schema.increment_policy());
         for v in bench.wan.topology().nodes() {
             let name = bench.initial_var(v);
             let var = Expr::var(name.clone(), schema.route_type());

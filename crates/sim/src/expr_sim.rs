@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use timepiece_algebra::Network;
+use timepiece_algebra::{Network, PolicyError};
 use timepiece_expr::{Env, EvalError, Expr, Value};
 use timepiece_topology::NodeId;
 
@@ -17,12 +17,16 @@ pub enum SimError {
     /// Evaluating a route expression failed (unbound symbolic, ill-typed
     /// network function).
     Eval(EvalError),
+    /// Executing a declarative route policy failed (unbound symbolic in a
+    /// guard, or a route value whose shape disagrees with the schema).
+    Policy(PolicyError),
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Eval(e) => write!(f, "simulation failed to evaluate a route: {e}"),
+            SimError::Policy(e) => write!(f, "simulation failed to apply a policy: {e}"),
         }
     }
 }
@@ -31,6 +35,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Eval(e) => Some(e),
+            SimError::Policy(e) => Some(e),
         }
     }
 }
@@ -38,6 +43,12 @@ impl std::error::Error for SimError {
 impl From<EvalError> for SimError {
     fn from(e: EvalError) -> Self {
         SimError::Eval(e)
+    }
+}
+
+impl From<PolicyError> for SimError {
+    fn from(e: PolicyError) -> Self {
+        SimError::Policy(e)
     }
 }
 
@@ -102,20 +113,82 @@ impl Trace {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn simulate(net: &Network, inputs: &Env, max_steps: usize) -> Result<Trace, SimError> {
+    match net.policies() {
+        // policy-built networks run the IR's direct value semantics — no
+        // term construction or interpretation per step
+        Some(_) => simulate_policies(net, inputs, max_steps),
+        None => simulate_interpreted(net, inputs, max_steps),
+    }
+}
+
+/// The term-interpretation path: build each step's route expression and run
+/// it through the reference interpreter. Works for every network; kept
+/// public so the policy fast path can be differentially tested against it.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_interpreted(
+    net: &Network,
+    inputs: &Env,
+    max_steps: usize,
+) -> Result<Trace, SimError> {
     let g = net.topology();
     let initial: Vec<Value> =
         g.nodes().map(|v| net.init(v).eval(inputs)).collect::<Result<_, _>>()?;
+    run_steps(initial, max_steps, |v, prev| {
+        let neighbor_routes: Vec<Expr> =
+            g.preds(v).iter().map(|&u| Expr::constant(prev[u.index()].clone())).collect();
+        Ok(net.step(v, &neighbor_routes).eval(inputs)?)
+    })
+}
+
+/// The declarative fast path: execute the policy IR's concrete semantics
+/// directly on route values.
+fn simulate_policies(net: &Network, inputs: &Env, max_steps: usize) -> Result<Trace, SimError> {
+    let policies = net.policies().expect("caller checked for policies");
+    let g = net.topology();
+    let init: Vec<Value> = g.nodes().map(|v| net.init(v).eval(inputs)).collect::<Result<_, _>>()?;
+    let failures = policies.failures.as_ref();
+    run_steps(init.clone(), max_steps, |v, prev| {
+        let mut acc = init[v.index()].clone();
+        for &u in g.preds(v) {
+            let policy = policies
+                .policy((u, v))
+                .unwrap_or_else(|| panic!("policy network lacks a policy for {u} -> {v}"));
+            let mut transferred = policy.apply(&policies.schema, &prev[u.index()], inputs)?;
+            if let Some(model) = failures {
+                if model.tracks((u, v)) {
+                    let name = timepiece_algebra::FailureModel::var_name(g, (u, v));
+                    let down = inputs
+                        .get(&name)
+                        .and_then(Value::as_bool)
+                        .ok_or(PolicyError::UnboundVar(name))?;
+                    if down {
+                        transferred = policies.schema.none_value();
+                    }
+                }
+            }
+            acc = policies.schema.merge_value(&acc, &transferred, inputs)?;
+        }
+        Ok(acc)
+    })
+}
+
+/// The shared synchronous fixpoint loop around a per-node step function,
+/// starting from an already-evaluated initial state.
+fn run_steps(
+    initial: Vec<Value>,
+    max_steps: usize,
+    mut step: impl FnMut(NodeId, &[Value]) -> Result<Value, SimError>,
+) -> Result<Trace, SimError> {
+    let nodes = initial.len();
     let mut states = vec![initial];
     let mut converged_at = None;
     for t in 1..=max_steps {
         let prev = &states[t - 1];
-        let mut next = Vec::with_capacity(g.node_count());
-        for v in g.nodes() {
-            let neighbor_routes: Vec<Expr> =
-                g.preds(v).iter().map(|&u| Expr::constant(prev[u.index()].clone())).collect();
-            let stepped = net.step(v, &neighbor_routes);
-            next.push(stepped.eval(inputs)?);
-        }
+        let next: Vec<Value> =
+            (0..nodes).map(|i| step(NodeId::new(i as u32), prev)).collect::<Result<_, _>>()?;
         let same = next == *prev;
         states.push(next);
         if same {

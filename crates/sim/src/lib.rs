@@ -41,4 +41,4 @@ pub mod expr_sim;
 
 pub use concrete::{simulate_algebra, AlgebraTrace};
 pub use delay::{simulate_with_delay, DelayOptions};
-pub use expr_sim::{simulate, SimError, Trace};
+pub use expr_sim::{simulate, simulate_interpreted, SimError, Trace};

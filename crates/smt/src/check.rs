@@ -119,6 +119,15 @@ impl Validity {
 pub struct SolverSession {
     enc: Encoder,
     solver: Solver,
+    /// Variables declared before this index have their well-formedness
+    /// constraints *permanently* asserted at the solver's base level; later
+    /// checks need not repeat them. Variables declared inside a check's
+    /// scope get scoped assertions first, then are promoted to permanent on
+    /// the next check — so per-check assertion work stays proportional to
+    /// *newly seen* variables instead of every variable the session ever
+    /// declared (long-lived batched sessions would otherwise age
+    /// quadratically).
+    wf_promoted: usize,
 }
 
 impl SolverSession {
@@ -132,7 +141,7 @@ impl SolverSession {
             params.set_u32("timeout", t.as_millis().clamp(1, u128::from(u32::MAX)) as u32);
             solver.set_params(&params);
         }
-        SolverSession { enc: Encoder::new(), solver }
+        SolverSession { enc: Encoder::new(), solver, wf_promoted: 0 }
     }
 
     /// Checks whether one verification condition is valid.
@@ -142,6 +151,14 @@ impl SolverSession {
     /// Returns [`SmtError`] if the condition is ill-typed or a counterexample
     /// model cannot be decoded.
     pub fn check(&mut self, vc: &Vc) -> Result<Validity, SmtError> {
+        // promote well-formedness of variables declared by earlier checks to
+        // the base level: their declarations outlive the pops, so their
+        // invariants may too (they are per-variable facts, not part of any
+        // one condition)
+        for wf in self.enc.well_formed_from(self.wf_promoted) {
+            self.solver.assert(wf);
+        }
+        self.wf_promoted = self.enc.decl_count();
         self.solver.push();
         let result = self.check_pushed(vc);
         self.solver.pop(1);
@@ -196,10 +213,10 @@ impl SolverSession {
             self.solver.assert(compiled);
         }
         let goal = self.enc.compile_bool(&vc.goal)?;
-        // well-formedness constraints are per-variable and the variable set
-        // only grows across checks; re-asserting them inside the scope keeps
-        // each check self-contained after the pop.
-        for wf in self.enc.well_formed() {
+        // variables first declared by *this* condition get their
+        // well-formedness constraints inside the scope (the pop removes
+        // them; the next check promotes them to the base level)
+        for wf in self.enc.well_formed_from(self.wf_promoted) {
             self.solver.assert(wf);
         }
         self.solver.assert(goal.not());

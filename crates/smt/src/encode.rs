@@ -29,6 +29,10 @@ use crate::sym::{set_width, Sym};
 #[derive(Debug, Default)]
 pub struct Encoder {
     vars: HashMap<String, (Sym, Type)>,
+    /// Declaration order of `vars` keys: lets a long-lived session assert
+    /// well-formedness constraints incrementally ([`Encoder::well_formed_from`])
+    /// instead of re-asserting every variable ever declared on every check.
+    decl_order: Vec<String>,
     /// Compiled subterms by node identity. The cached [`Expr`] handle keeps
     /// the node alive: identities are `Arc` addresses, so an entry for a
     /// dropped term could otherwise alias a *new* term allocated at the same
@@ -62,7 +66,26 @@ impl Encoder {
         }
         let sym = Sym::declare(name, ty);
         self.vars.insert(name.to_owned(), (sym.clone(), ty.clone()));
+        self.decl_order.push(name.to_owned());
         Ok(sym)
+    }
+
+    /// How many variables have been declared (the cursor for
+    /// [`Encoder::well_formed_from`]).
+    pub fn decl_count(&self) -> usize {
+        self.decl_order.len()
+    }
+
+    /// Well-formedness constraints of the variables declared at position
+    /// `start` onward (in declaration order). With `start = 0` this is every
+    /// constraint of [`Encoder::well_formed`].
+    pub fn well_formed_from(&self, start: usize) -> Vec<Bool> {
+        let mut out = Vec::new();
+        for name in &self.decl_order[start.min(self.decl_order.len())..] {
+            let (sym, _) = &self.vars[name];
+            sym.well_formed(&mut out);
+        }
+        out
     }
 
     /// The declared variables, with their symbolic values and types.

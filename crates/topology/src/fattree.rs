@@ -178,6 +178,26 @@ impl FatTree {
         self.topology.nodes().filter(|&v| matches!(self.role(v), FatTreeRole::Edge { .. }))
     }
 
+    /// The *wiring group* of a node: aggregation switch `j` of any pod
+    /// connects exactly the cores `[j·k/2, (j+1)·k/2)`, so those cores and
+    /// every pod's `j`-th aggregation switch form one vertical "plane" of
+    /// the fattree. Returns that plane index for aggregation and core
+    /// switches, and the within-pod index for edge switches.
+    ///
+    /// The MED and link-failure scenarios key per-plane policies and
+    /// witness times off this index.
+    pub fn group(&self, v: NodeId) -> usize {
+        let half = self.k / 2;
+        match self.role(v) {
+            // cores were added first, in plane-major order
+            FatTreeRole::Core => v.index() / half,
+            // within a pod, the k/2 aggregation switches precede the k/2
+            // edge switches; both blocks are in plane order
+            FatTreeRole::Aggregation { pod } => v.index() - (half * half) - pod * self.k,
+            FatTreeRole::Edge { pod } => v.index() - (half * half) - pod * self.k - half,
+        }
+    }
+
     /// Is `u → v` a *down* edge (core→agg or agg→edge)? Used by the
     /// valley-freedom policy, which tags routes travelling down.
     pub fn is_down_edge(&self, u: NodeId, v: NodeId) -> bool {
@@ -361,6 +381,36 @@ mod tests {
         // the six classes partition the node set
         let total: usize = FatTreeClass::ALL.iter().map(|&c| count(c)).sum();
         assert_eq!(total, ft.topology().node_count());
+    }
+
+    #[test]
+    fn groups_match_names_and_wiring() {
+        for k in [4usize, 6] {
+            let ft = FatTree::new(k);
+            let half = k / 2;
+            for v in ft.topology().nodes() {
+                let name = ft.topology().name(v);
+                let g = ft.group(v);
+                match ft.role(v) {
+                    FatTreeRole::Core => {
+                        let i: usize = name.strip_prefix("core-").unwrap().parse().unwrap();
+                        assert_eq!(g, i / half, "{name}");
+                    }
+                    FatTreeRole::Aggregation { .. } | FatTreeRole::Edge { .. } => {
+                        let j: usize = name.rsplit('-').next().unwrap().parse().unwrap();
+                        assert_eq!(g, j, "{name}");
+                    }
+                }
+            }
+            // wiring: aggregation switch j touches exactly the group-j cores
+            for a in ft.aggregation_nodes() {
+                for &c in ft.topology().succs(a) {
+                    if matches!(ft.role(c), FatTreeRole::Core) {
+                        assert_eq!(ft.group(c), ft.group(a));
+                    }
+                }
+            }
+        }
     }
 
     #[test]
