@@ -154,16 +154,33 @@ impl NetworkPolicies {
     /// topologies of different size built from the same policy templates
     /// share a fingerprint when their template sets coincide), and the
     /// failure budget.
+    ///
+    /// Policies are fingerprinted through the hash-consing arena: each
+    /// distinct policy is compiled once against a canonical probe route, and
+    /// the interned result's precomputed [`Expr::structural_hash`] is read
+    /// off in O(1) — the fingerprint therefore sees *compiled* structure, so
+    /// two policies that compile to the same canonical term (after constant
+    /// folding) coincide even when their clause lists differ syntactically.
     pub fn structural_hash(&self) -> u64 {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         let mut h = DefaultHasher::new();
-        self.schema.structural_hash().hash(&mut h);
-        let mut policy_hashes: Vec<u64> =
-            self.edge_policies.values().map(RoutePolicy::structural_hash).collect();
-        if let Some(d) = &self.default_policy {
-            policy_hashes.push(d.structural_hash());
+        let probe_a = Expr::var("·sig-a", self.schema.route_type());
+        let probe_b = Expr::var("·sig-b", self.schema.route_type());
+        self.schema.merge_expr(&probe_a, &probe_b).structural_hash().hash(&mut h);
+        // compile each *syntactically* distinct policy once, then dedup the
+        // compiled hashes too (clause lists that fold to the same term)
+        let mut distinct: Vec<(u64, &RoutePolicy)> = Vec::new();
+        for p in self.edge_policies.values().chain(self.default_policy.as_ref()) {
+            let key = p.structural_hash();
+            if !distinct.iter().any(|(k, _)| *k == key) {
+                distinct.push((key, p));
+            }
         }
+        let mut policy_hashes: Vec<u64> = distinct
+            .iter()
+            .map(|(_, p)| p.compile(&self.schema, &probe_a).structural_hash())
+            .collect();
         policy_hashes.sort_unstable();
         policy_hashes.dedup();
         policy_hashes.hash(&mut h);
@@ -213,6 +230,10 @@ pub struct Network {
     merge: MergeFn,
     symbolics: Vec<Symbolic>,
     policies: Option<Arc<NetworkPolicies>>,
+    /// Memoized [`Network::encoder_signature`]; behind an `Arc` so every
+    /// clone of this network (sweep jobs clone per row) shares one
+    /// computation.
+    signature: Arc<std::sync::OnceLock<String>>,
 }
 
 impl fmt::Debug for Network {
@@ -285,11 +306,17 @@ impl Network {
     /// policy templates produce identical declarations and shared terms),
     /// falling back to the route type for closure-built networks (where the
     /// policy structure is opaque).
+    ///
+    /// Computed once per network (clones included) and memoized; the
+    /// fingerprint itself reads precomputed arena hashes, so repeated calls
+    /// — one per sweep job — are a clone of a cached string.
     pub fn encoder_signature(&self) -> String {
-        match &self.policies {
-            Some(p) => format!("ir:{:016x}", p.structural_hash()),
-            None => format!("ty:{}", self.route_type),
-        }
+        self.signature
+            .get_or_init(|| match &self.policies {
+                Some(p) => format!("ir:{:016x}", p.structural_hash()),
+                None => format!("ty:{}", self.route_type),
+            })
+            .clone()
     }
 
     /// The preconditions of all symbolics, as boolean terms.
@@ -588,6 +615,7 @@ impl NetworkBuilder {
             merge,
             symbolics,
             policies,
+            signature: Arc::new(std::sync::OnceLock::new()),
         })
     }
 }

@@ -13,6 +13,7 @@
 //! repro wan       [--peers N] [--timeout-secs S]
 //! repro keyideas
 //! repro infer     [--bench reach|len|all] [--max-k N] [--no-roles]
+//! repro arena     [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
 //! repro trend     DUMP.json [DUMP.json ...]   (oldest first)
 //! repro shard-worker --bench NAME --k K --shard I --shards N  (internal)
 //! repro all
@@ -56,9 +57,10 @@ subcommands:
   wan        BlockToExternal on the synthetic Internet2
   keyideas   the Figs. 4-10 demonstrations
   infer      infer interfaces from simulation, verify, compare to hand-written
+  arena      per-row term-arena interning traffic and dedup ratios
   trend      per-benchmark wall-time trajectories over --json dumps
   shard-worker  (internal) check one shard of one instance, print JSON report
-  all        everything above (except infer and trend)
+  all        everything above (except infer, arena and trend)
 
 flags:
   --max-k N          largest fattree parameter to sweep (default 12; infer: 8)
@@ -235,6 +237,25 @@ fn row_json(kind: BenchKind, row: &Row, shards: usize) -> timepiece_sched::Json 
         pairs.push(("p99_secs".to_owned(), Json::Num(row.tp_p99.as_secs_f64())));
         pairs.push(("shards".to_owned(), Json::from(shards)));
     }
+    // the term-arena delta for this row: dedup_ratio is constructions per
+    // distinct *new* term, hit_rate the share served by existing nodes
+    let arena = Json::obj([
+        ("new_terms", Json::from(row.arena.terms as usize)),
+        ("hits", Json::from(row.arena.hits as usize)),
+        ("misses", Json::from(row.arena.misses as usize)),
+        ("bytes", Json::from(row.arena.bytes as usize)),
+        ("hit_rate", Json::Num(row.arena.hit_rate())),
+        ("dedup_ratio", Json::Num(row.arena.dedup_ratio())),
+    ]);
+    // the modular engine's compiled-term cache; pooled sweeps carry hits
+    // over from structurally identical earlier rows
+    let terms = row.terms.map_or(Json::Null, |t| {
+        Json::obj([
+            ("hits", Json::from(t.hits as usize)),
+            ("misses", Json::from(t.misses as usize)),
+            ("hit_rate", Json::Num(t.hit_rate())),
+        ])
+    });
     Json::obj([
         ("bench", Json::str(kind.name())),
         ("figure", Json::str(kind.figure())),
@@ -242,6 +263,8 @@ fn row_json(kind: BenchKind, row: &Row, shards: usize) -> timepiece_sched::Json 
         ("nodes", Json::from(row.nodes)),
         ("tp", tp),
         ("ms", row.ms.as_ref().map_or(Json::Null, engine)),
+        ("arena", arena),
+        ("term_cache", terms),
     ])
 }
 
@@ -439,18 +462,22 @@ fn keyideas() {
     );
 }
 
+/// The scenarios a `--bench` spec selects (all of them for `all`).
+fn select_kinds(bench: &str) -> Result<Vec<BenchKind>, String> {
+    if bench.eq_ignore_ascii_case("all") {
+        return Ok(BenchKind::all().collect());
+    }
+    let spec = bench.to_lowercase();
+    let kinds: Vec<BenchKind> =
+        BenchKind::all().filter(|k| k.name().to_lowercase().contains(&spec)).collect();
+    if kinds.is_empty() {
+        return Err(unknown_bench(bench));
+    }
+    Ok(kinds)
+}
+
 fn fig14(args: &Args) -> Result<(), String> {
-    let kinds: Vec<BenchKind> = if args.bench.eq_ignore_ascii_case("all") {
-        BenchKind::all().collect()
-    } else {
-        let spec = args.bench.to_lowercase();
-        let kinds: Vec<BenchKind> =
-            BenchKind::all().filter(|k| k.name().to_lowercase().contains(&spec)).collect();
-        if kinds.is_empty() {
-            return Err(unknown_bench(&args.bench));
-        }
-        kinds
-    };
+    let kinds = select_kinds(&args.bench)?;
     // one persistent checker pool for the whole sweep: rows of every size
     // (and every scenario sharing an IR signature) reuse solver sessions
     let mut pool = (args.shards <= 1).then(|| {
@@ -476,6 +503,56 @@ fn fig14(args: &Args) -> Result<(), String> {
         std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    Ok(())
+}
+
+/// The `repro arena` subcommand: per-row interning traffic, then the
+/// process-wide arena summary. Rows run through one persistent checker
+/// pool, so the compiled-term column shows cross-row reuse directly.
+fn arena_cmd(args: &Args) -> Result<(), String> {
+    use timepiece_expr::arena;
+    let kinds = select_kinds(&args.bench)?;
+    println!("=== term arena — interning and compiled-term traffic per row ===");
+    println!("(arena columns are per-row deltas; `dedup` is constructions per new term;");
+    println!(" `tc hit%` is the persistent pool's compiled-term cache, warm across rows)");
+    println!(
+        "{:>9} {:>3} {:>6} {:>10} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "bench", "k", "nodes", "new terms", "constructed", "arena hit%", "dedup", "kB", "tc hit%"
+    );
+    let options =
+        SweepOptions { timeout: args.timeout, run_monolithic: false, threads: args.threads };
+    let mut pool = CheckerPool::with_default_parallelism(CheckOptions {
+        timeout: Some(args.timeout),
+        threads: args.threads,
+        ..CheckOptions::default()
+    });
+    for kind in kinds {
+        for k in ks(args) {
+            let row = run_row_pooled(kind, k, &options, &mut pool);
+            println!(
+                "{:>9} {:>3} {:>6} {:>10} {:>12} {:>10} {:>8} {:>8} {:>8}",
+                kind.name(),
+                row.k,
+                row.nodes,
+                row.arena.terms,
+                row.arena.constructed(),
+                format!("{:.1}", 100.0 * row.arena.hit_rate()),
+                format!("{:.1}x", row.arena.dedup_ratio()),
+                row.arena.bytes / 1024,
+                row.terms.map_or("-".to_owned(), |t| format!("{:.1}", 100.0 * t.hit_rate())),
+            );
+        }
+    }
+    let total = arena::stats();
+    println!(
+        "\narena lifetime: {} distinct terms (~{} kB retained), {} constructions, \
+         hit rate {:.1}%, dedup {:.1}x",
+        total.terms,
+        total.bytes / 1024,
+        total.constructed(),
+        100.0 * total.hit_rate(),
+        total.dedup_ratio(),
+    );
     Ok(())
 }
 
@@ -684,6 +761,7 @@ fn main() {
             Ok(())
         }
         "infer" => infer(&args),
+        "arena" => arena_cmd(&args),
         "shard-worker" => shard_worker(&args),
         "all" => {
             fig3();

@@ -12,10 +12,12 @@ use std::time::Duration;
 use timepiece_core::check::{CheckOptions, ModularChecker};
 use timepiece_core::monolithic::{check_monolithic, MonolithicOutcome};
 use timepiece_core::sweep::CheckerPool;
+use timepiece_expr::{arena, ArenaStats};
 use timepiece_nets::{
     ad::AdBench, fail::FailBench, hijack::HijackBench, len::LenBench, med::MedBench,
     reach::ReachBench, vf::VfBench, BenchInstance, PropertySpec,
 };
+use timepiece_smt::TermCacheStats;
 use timepiece_topology::{FatTree, NodeId};
 
 /// Everything `repro infer` needs to run interface inference on a scenario
@@ -257,6 +259,14 @@ pub struct Row {
     pub tp_p99: Duration,
     /// Monolithic baseline result (None if skipped).
     pub ms: Option<EngineResult>,
+    /// Term-arena traffic attributable to this row (instance build plus
+    /// check): new terms interned, constructions served by existing
+    /// canonical nodes. Sharded rows only see the coordinator's share —
+    /// worker-process arenas are separate.
+    pub arena: ArenaStats,
+    /// The modular engine's compiled-term cache traffic for this row
+    /// (None for sharded rows, whose encoders live in worker processes).
+    pub terms: Option<TermCacheStats>,
 }
 
 /// Sweep options.
@@ -287,11 +297,13 @@ impl SweepOptions {
 }
 
 /// Assembles a row from an instance's modular report plus the baseline.
+/// `arena_before` is the arena snapshot taken before the instance was built.
 fn assemble_row(
     k: usize,
     inst: &BenchInstance,
     report: &timepiece_core::CheckReport,
     options: &SweepOptions,
+    arena_before: &ArenaStats,
 ) -> Row {
     let stats = report.stats();
     let timed_out = report
@@ -307,34 +319,40 @@ fn assemble_row(
         tp_median: stats.median,
         tp_p99: stats.p99,
         ms,
+        arena: arena::stats().delta_since(arena_before),
+        terms: report.term_cache(),
     }
 }
 
 /// Runs both engines on one instance and assembles a row, with fresh solver
 /// state per call.
 pub fn run_row(kind: BenchKind, k: usize, options: &SweepOptions) -> Row {
+    let arena_before = arena::stats();
     let inst = fattree_instance(kind, k);
     let report = ModularChecker::new(options.check_options())
         .check(&inst.network, &inst.interface, &inst.property)
         .expect("benchmark instances encode");
-    assemble_row(k, &inst, &report, options)
+    assemble_row(k, &inst, &report, options, &arena_before)
 }
 
 /// As [`run_row`], but discharging the modular conditions through a
 /// persistent [`CheckerPool`], so solver sessions (keyed by the network's
 /// structural IR signature) are reused across every row checked on the same
-/// pool — the cross-row session cache of multi-`k` sweeps.
+/// pool — the cross-row session cache of multi-`k` sweeps. The row's term
+/// stats then include cross-row hits: a row structurally identical to an
+/// earlier one starts with its compiled terms already cached.
 pub fn run_row_pooled(
     kind: BenchKind,
     k: usize,
     options: &SweepOptions,
     pool: &mut CheckerPool,
 ) -> Row {
+    let arena_before = arena::stats();
     let inst = fattree_instance(kind, k);
     let report = pool
         .check(&inst.network, &inst.interface, &inst.property)
         .expect("benchmark instances encode");
-    assemble_row(k, &inst, &report, options)
+    assemble_row(k, &inst, &report, options, &arena_before)
 }
 
 /// The monolithic baseline on one instance, when the options ask for it.
@@ -402,6 +420,11 @@ mod tests {
         assert!(matches!(row.tp, EngineResult::Verified(_)), "{row:?}");
         assert!(matches!(row.ms, Some(EngineResult::Verified(_))), "{row:?}");
         assert!(row.tp_median <= row.tp_p99);
+        // building and checking the instance exercises the arena, and the
+        // repeated per-node structure makes some constructions hits
+        assert!(row.arena.constructed() > 0, "{row:?}");
+        assert!(row.arena.hits > 0, "{row:?}");
+        assert!(row.terms.expect("in-process rows carry term stats").lookups() > 0);
     }
 
     #[test]
@@ -415,6 +438,7 @@ mod tests {
         let kind = BenchKind::parse("SpMed").unwrap();
         // the same row twice through one pool (the second reuses sessions),
         // each compared field-for-field against a fresh scoped run
+        let mut term_rows = Vec::new();
         for k in [4usize, 4] {
             let pooled = run_row_pooled(kind, k, &options, &mut pool);
             let fresh = run_row(kind, k, &options);
@@ -425,7 +449,13 @@ mod tests {
             // both row paths carried real per-node timing stats
             assert!(pooled.tp_median <= pooled.tp_p99);
             assert!(pooled.tp_p99 > Duration::ZERO, "{pooled:?}");
+            term_rows.push(pooled.terms.expect("pooled rows carry term stats"));
         }
+        // the second identical row starts warm: the pool's encoders already
+        // hold row one's compiled terms, so hits rise and misses collapse
+        assert!(term_rows[1].hits > 0, "{term_rows:?}");
+        assert!(term_rows[1].misses < term_rows[0].misses, "{term_rows:?}");
+        assert!(term_rows[1].hit_rate() > term_rows[0].hit_rate(), "{term_rows:?}");
     }
 
     #[test]

@@ -283,6 +283,7 @@ pub fn run_row_sharded(
     worker_exe: &Path,
 ) -> Row {
     assert!(shards >= 1, "need at least one shard");
+    let arena_before = timepiece_expr::arena::stats();
     let inst = fattree_instance(kind, k);
     let topology = inst.network.topology();
 
@@ -379,7 +380,18 @@ pub fn run_row_sharded(
     let verified = reports.iter().all(|r| r.failures.is_empty());
     let tp = EngineResult::classify(verified, timed_out, wall);
     let ms = monolithic_result(&inst, options);
-    Row { k, nodes: topology.node_count(), tp, tp_median: stats.median, tp_p99: stats.p99, ms }
+    Row {
+        k,
+        nodes: topology.node_count(),
+        tp,
+        tp_median: stats.median,
+        tp_p99: stats.p99,
+        ms,
+        // coordinator-side traffic only: each worker process has its own
+        // arena and encoder caches, and those die with the worker
+        arena: timepiece_expr::arena::stats().delta_since(&arena_before),
+        terms: None,
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use timepiece_algebra::Network;
 use timepiece_expr::Env;
 use timepiece_sched::{CancelToken, SchedStats};
-use timepiece_smt::{SessionPool, SolverSession, Validity};
+use timepiece_smt::{SessionPool, SolverSession, TermCacheStats, Validity};
 use timepiece_topology::NodeId;
 
 use crate::error::CoreError;
@@ -88,6 +88,7 @@ pub struct CheckReport {
     node_durations: Vec<(NodeId, Duration)>,
     wall: Duration,
     sched: Option<SchedStats>,
+    terms: Option<TermCacheStats>,
 }
 
 impl CheckReport {
@@ -123,6 +124,16 @@ impl CheckReport {
         self.sched.as_ref()
     }
 
+    /// Compiled-term cache traffic attributable to this check, summed over
+    /// the workers that ran it. For a scoped check the counters start at
+    /// zero (fresh sessions); for a [`crate::sweep::CheckerPool`] check the
+    /// hits include terms first compiled by *earlier* rows through the same
+    /// persistent sessions — the cross-row hit rate. `None` when the
+    /// producer predates the counters (e.g. deserialized shard reports).
+    pub fn term_cache(&self) -> Option<TermCacheStats> {
+        self.terms
+    }
+
     /// Assembles a report from its parts (used by the cross-row
     /// [`crate::sweep::CheckerPool`], which collects results from persistent
     /// workers rather than a scoped scheduler run).
@@ -130,26 +141,32 @@ impl CheckReport {
         mut failures: Vec<Failure>,
         mut node_durations: Vec<(NodeId, Duration)>,
         wall: Duration,
+        terms: Option<TermCacheStats>,
     ) -> CheckReport {
         node_durations.sort_by_key(|(v, _)| *v);
         failures.sort_by_key(|f| f.node);
-        CheckReport { failures, node_durations, wall, sched: None }
+        CheckReport { failures, node_durations, wall, sched: None, terms }
     }
 
     /// Merges shard reports into one: failures and durations are
     /// concatenated (and re-sorted by node), the wall time is the maximum —
     /// shards run concurrently, so the slowest one bounds the merged run.
+    /// Term-cache counters sum over the shards that carry them.
     pub fn merge(reports: impl IntoIterator<Item = CheckReport>) -> CheckReport {
         let mut merged = CheckReport {
             failures: Vec::new(),
             node_durations: Vec::new(),
             wall: Duration::ZERO,
             sched: None,
+            terms: None,
         };
         for report in reports {
             merged.failures.extend(report.failures);
             merged.node_durations.extend(report.node_durations);
             merged.wall = merged.wall.max(report.wall);
+            if let Some(t) = report.terms {
+                *merged.terms.get_or_insert_with(TermCacheStats::default) += t;
+            }
         }
         merged.node_durations.sort_by_key(|(v, _)| *v);
         merged.failures.sort_by_key(|f| f.node);
@@ -295,6 +312,9 @@ impl ModularChecker {
         // declarations and shared terms go through the same session
         let signature = net.encoder_signature();
         let fail_fast = self.options.fail_fast;
+        // worker states die with the scoped run, so per-node term-cache
+        // deltas are folded into a shared accumulator as they happen
+        let terms = std::sync::Mutex::new(TermCacheStats::default());
 
         let outcome = timepiece_sched::run(
             nodes.to_vec(),
@@ -302,15 +322,18 @@ impl ModularChecker {
             &token,
             |_worker| SessionPool::new(self.options.timeout),
             |pool: &mut SessionPool, v| -> Result<_, CoreError> {
+                let before = pool.term_cache_stats();
                 let session = pool.session_or_init(&signature, |s| {
                     // a fail-fast cancel must also abort this worker's
                     // in-flight solver call, not just stop the queue
                     let handle = s.interrupt_handle();
                     token.on_cancel(move || handle.interrupt());
                 });
-                let Some((failures, duration)) =
-                    self.check_node_in_session(session, token.flag(), net, interface, property, v)?
-                else {
+                let checked =
+                    self.check_node_in_session(session, token.flag(), net, interface, property, v);
+                *terms.lock().expect("term stats lock") +=
+                    pool.term_cache_stats().delta_since(&before);
+                let Some((failures, duration)) = checked? else {
                     return Ok(None);
                 };
                 if fail_fast && !failures.is_empty() {
@@ -333,6 +356,7 @@ impl ModularChecker {
             node_durations,
             wall: start.elapsed(),
             sched: Some(outcome.stats),
+            terms: Some(terms.into_inner().expect("term stats lock")),
         })
     }
 }

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use timepiece_algebra::Network;
 use timepiece_sched::ShardPlan;
-use timepiece_smt::SessionPool;
+use timepiece_smt::{SessionPool, TermCacheStats};
 use timepiece_topology::NodeId;
 
 use crate::check::{CheckOptions, CheckReport, Failure, ModularChecker};
@@ -45,8 +45,11 @@ struct Job {
     cancel: Arc<AtomicBool>,
 }
 
-/// What a worker sends back per job.
-type JobResult = Result<(Vec<Failure>, Vec<(NodeId, Duration)>), CoreError>;
+/// What a worker sends back per job: failures, per-node durations, and the
+/// job's term-cache traffic (whose hits include terms compiled by *earlier*
+/// jobs into the worker's persistent sessions — the cross-row reuse this
+/// pool exists for).
+type JobResult = Result<(Vec<Failure>, Vec<(NodeId, Duration)>, TermCacheStats), CoreError>;
 
 /// A pool of persistent verification workers with long-lived solver
 /// sessions. See the module docs.
@@ -177,6 +180,7 @@ impl CheckerPool {
         }
         let mut failures = Vec::new();
         let mut node_durations = Vec::new();
+        let mut terms = TermCacheStats::default();
         let mut first_error = None;
         for (i, fed) in active {
             if !fed {
@@ -184,9 +188,10 @@ impl CheckerPool {
                 continue;
             }
             match self.workers[i].rx.recv() {
-                Ok(Ok((fs, ds))) => {
+                Ok(Ok((fs, ds, ts))) => {
                     failures.extend(fs);
                     node_durations.extend(ds);
+                    terms += ts;
                 }
                 Ok(Err(e)) => {
                     first_error.get_or_insert(e);
@@ -200,7 +205,7 @@ impl CheckerPool {
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok(CheckReport::from_parts(failures, node_durations, start.elapsed()))
+        Ok(CheckReport::from_parts(failures, node_durations, start.elapsed(), Some(terms)))
     }
 }
 
@@ -211,6 +216,7 @@ fn run_job(
     job: &Job,
 ) -> JobResult {
     let signature = job.net.encoder_signature();
+    let before = sessions.term_cache_stats();
     let mut failures = Vec::new();
     let mut durations = Vec::new();
     for &v in &job.nodes {
@@ -236,7 +242,7 @@ fn run_job(
         failures.extend(node_failures);
         durations.push((v, duration));
     }
-    Ok((failures, durations))
+    Ok((failures, durations, sessions.term_cache_stats().delta_since(&before)))
 }
 
 impl Drop for CheckerPool {
@@ -335,6 +341,24 @@ mod tests {
         let report = pool.check(&net, &good, &property).unwrap();
         assert!(report.is_verified());
         assert_eq!(report.node_durations().len(), 8);
+    }
+
+    #[test]
+    fn identical_rows_start_warm_from_the_cross_row_term_cache() {
+        // with hash-consed intern ids, row 2's terms are the *same nodes* as
+        // row 1's, so the persistent sessions serve them from cache: the
+        // second structurally identical row must show hits and fewer misses
+        let mut pool = CheckerPool::new(1, CheckOptions::default());
+        let net = reach_net(5);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let first = pool.check(&net, &interface, &property).unwrap();
+        let second = pool.check(&net, &interface, &property).unwrap();
+        let t1 = first.term_cache().expect("pooled reports carry term stats");
+        let t2 = second.term_cache().expect("pooled reports carry term stats");
+        assert!(t2.hits > 0, "row 2 saw no cache hits: {t2:?}");
+        assert!(t2.misses < t1.misses, "row 2 must start warm from row 1: {t1:?} vs {t2:?}");
+        assert!(t2.hit_rate() > t1.hit_rate());
     }
 
     #[test]

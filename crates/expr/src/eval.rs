@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use crate::arena::InternId;
 use crate::error::{EvalError, TypeError};
 use crate::expr::{Expr, ExprKind};
 use crate::value::{truncate, Value};
@@ -93,7 +94,7 @@ impl Expr {
 
 struct Interp<'a> {
     env: &'a Env,
-    cache: HashMap<usize, Value>,
+    cache: HashMap<InternId, Value>,
 }
 
 fn ill(context: &'static str, found: &Value) -> EvalError {

@@ -1,17 +1,24 @@
 //! Expression terms and their smart constructors.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use crate::arena::{self, ExprNode, InternId};
 use crate::error::TypeError;
 use crate::types::{RecordDef, Type};
 use crate::value::Value;
 
 /// An expression term of the IR.
 ///
-/// `Expr` is a cheaply clonable handle to an immutable node; shared subterms
-/// are represented once (a DAG), and both backends (interpreter and Z3
-/// compiler) cache by node identity so shared subterms are processed once.
+/// `Expr` is a cheaply clonable handle to a node in the global hash-consing
+/// arena ([`crate::arena`]): structurally equal terms are the *same* node,
+/// however and wherever they were built, so equality (`==`,
+/// [`Expr::same_node`]) is a pointer comparison and [`Expr::node_id`] is a
+/// stable [`InternId`] that backend caches key by. Shared subterms are
+/// represented once, and both backends (interpreter and Z3 compiler) cache by
+/// node identity so shared subterms are processed once.
 ///
 /// Construct terms with the associated functions ([`Expr::var`],
 /// [`Expr::int`], …) and combinator methods ([`Expr::and`], [`Expr::ite`], …),
@@ -24,15 +31,22 @@ use crate::value::Value;
 /// let x = Expr::var("x", Type::Int);
 /// let e = x.clone().add(Expr::int(1)).le(Expr::int(10));
 /// assert_eq!(e.type_of().unwrap(), Type::Bool);
+/// // hash-consing: rebuilding the same structure yields the same node
+/// let e2 = Expr::var("x", Type::Int).add(Expr::int(1)).le(Expr::int(10));
+/// assert_eq!(e, e2);
 /// ```
-#[derive(Debug, Clone)]
-pub struct Expr(Arc<ExprKind>);
+#[derive(Clone)]
+pub struct Expr(pub(crate) Arc<ExprNode>);
 
 /// The node variants of an [`Expr`].
 ///
 /// Exposed so that backends (interpreter, SMT compiler, printer) can match on
 /// structure; users normally construct terms via the smart constructors.
-#[derive(Debug)]
+///
+/// Equality and hashing are *shallow*: child [`Expr`]s compare by canonical
+/// identity (O(1)), which is exactly the invariant the interning arena
+/// maintains — children are canonical before their parent is interned.
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub enum ExprKind {
     /// A typed free variable.
     Var(String, Type),
@@ -85,22 +99,61 @@ pub enum ExprKind {
     SetInter(Expr, Expr),
 }
 
+/// Structural equality, O(1): the arena guarantees structurally equal terms
+/// share one canonical node, so this is a pointer comparison.
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for Expr {}
+
+/// Hashes the precomputed structural hash — O(1), consistent with `==`.
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // print structure only: the id and hash are arena bookkeeping, and
+        // repeating them at every nesting level would drown the term
+        fmt::Debug::fmt(&self.0.kind, f)
+    }
+}
+
 impl Expr {
     fn new(kind: ExprKind) -> Expr {
-        Expr(Arc::new(kind))
+        arena::intern(kind)
     }
 
     /// The underlying node.
     pub fn kind(&self) -> &ExprKind {
-        &self.0
+        &self.0.kind
     }
 
-    /// A stable identity for this node, used by backend caches.
-    pub fn node_id(&self) -> usize {
-        Arc::as_ptr(&self.0) as usize
+    /// The stable intern id of this node, used by backend caches.
+    ///
+    /// Equal ids ⇔ structurally equal terms; ids are never reused, so caches
+    /// keyed by them stay valid for the life of the process (there is no ABA
+    /// hazard, unlike the address-based identities this replaces).
+    pub fn node_id(&self) -> InternId {
+        self.0.id
     }
 
-    /// Do two handles point at the same node?
+    /// The term's structural hash, as precomputed by the arena.
+    ///
+    /// Deterministic within a build; cheap enough to fingerprint whole
+    /// policy programs without re-walking the IR.
+    pub fn structural_hash(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// Do two handles point at the same node? With hash-consing this *is*
+    /// structural equality (`==`); kept for call sites that want to spell
+    /// out that identity, not just equivalence, is being asserted.
     pub fn same_node(&self, other: &Expr) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
     }
@@ -421,7 +474,7 @@ impl Expr {
     fn collect_vars(
         &self,
         out: &mut BTreeMap<String, Type>,
-        seen: &mut std::collections::HashSet<usize>,
+        seen: &mut std::collections::HashSet<InternId>,
     ) -> Result<(), TypeError> {
         if !seen.insert(self.node_id()) {
             return Ok(());
@@ -474,7 +527,7 @@ impl Expr {
 
     /// The number of distinct nodes in this term (DAG size).
     pub fn dag_size(&self) -> usize {
-        fn walk(e: &Expr, seen: &mut std::collections::HashSet<usize>) {
+        fn walk(e: &Expr, seen: &mut std::collections::HashSet<InternId>) {
             if !seen.insert(e.node_id()) {
                 return;
             }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -47,6 +48,7 @@ pub mod value;
 
 mod display;
 
+pub use arena::{ArenaStats, InternId};
 pub use error::{EvalError, TypeError};
 pub use eval::Env;
 pub use expr::{Expr, ExprKind};

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::arena::InternId;
 use crate::error::TypeError;
 use crate::expr::{Expr, ExprKind};
 use crate::types::Type;
@@ -30,7 +31,7 @@ impl Expr {
 }
 
 struct Checker {
-    cache: HashMap<usize, Type>,
+    cache: HashMap<InternId, Type>,
 }
 
 impl Checker {

@@ -8,7 +8,7 @@ use std::time::Duration;
 use timepiece_expr::{Env, Expr};
 use z3::{InterruptHandle, SatResult, Solver};
 
-use crate::encode::Encoder;
+use crate::encode::{Encoder, TermCacheStats};
 use crate::error::SmtError;
 
 /// A named verification condition: prove `goal` under `assumptions`.
@@ -163,6 +163,15 @@ impl SolverSession {
         let result = self.check_pushed(vc);
         self.solver.pop(1);
         result
+    }
+
+    /// Hit/miss counters of this session's compiled-term cache.
+    ///
+    /// The cache is keyed by stable intern ids, so hits accumulate across
+    /// every condition this session ever discharged — including conditions
+    /// from *earlier sweep rows* when the session lives in a pool.
+    pub fn term_cache_stats(&self) -> TermCacheStats {
+        self.enc.term_cache_stats()
     }
 
     /// A [`Send`]/[`Sync`] handle another thread can use to interrupt this
@@ -336,6 +345,17 @@ impl SessionPool {
     /// How many distinct signatures have sessions.
     pub fn len(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Aggregated compiled-term cache counters across every session in the
+    /// pool. Snapshot before and after a batch of checks to attribute the
+    /// traffic (hits on structurally shared terms, including terms first
+    /// compiled by *previous* batches through the same pool).
+    pub fn term_cache_stats(&self) -> TermCacheStats {
+        self.sessions
+            .values()
+            .map(SolverSession::term_cache_stats)
+            .fold(TermCacheStats::default(), |acc, s| acc + s)
     }
 
     /// Is the pool empty?

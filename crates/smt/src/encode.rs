@@ -1,12 +1,67 @@
 //! Compilation from expression terms to symbolic values.
 
 use std::collections::HashMap;
+use std::ops::{Add, AddAssign};
 
-use timepiece_expr::{Expr, ExprKind, Type, TypeError, Value};
+use timepiece_expr::{Expr, ExprKind, InternId, Type, TypeError, Value};
 use z3::ast::{Bool, Int, BV};
 
 use crate::error::SmtError;
 use crate::sym::{set_width, Sym};
+
+/// Hit/miss counters of an encoder's compiled-term cache.
+///
+/// With hash-consed terms the cache is keyed by stable [`InternId`]s, so a
+/// hit can come from *any* earlier compilation through the same encoder —
+/// another condition of the same node, another node, or another sweep row
+/// entirely (encoders live inside `SolverSession`s that a `SessionPool`
+/// keeps alive per signature). The cross-row hit rate is the number this
+/// refactor exists to make nonzero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TermCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a new term.
+    pub misses: u64,
+}
+
+impl TermCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache, in `0.0..=1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The traffic between an `earlier` snapshot and this one.
+    pub fn delta_since(&self, earlier: &TermCacheStats) -> TermCacheStats {
+        TermCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+impl Add for TermCacheStats {
+    type Output = TermCacheStats;
+    fn add(self, rhs: TermCacheStats) -> TermCacheStats {
+        TermCacheStats { hits: self.hits + rhs.hits, misses: self.misses + rhs.misses }
+    }
+}
+
+impl AddAssign for TermCacheStats {
+    fn add_assign(&mut self, rhs: TermCacheStats) {
+        *self = *self + rhs;
+    }
+}
 
 /// Compiles [`Expr`] terms into [`Sym`] values against a single Z3
 /// (thread-local) context.
@@ -33,12 +88,14 @@ pub struct Encoder {
     /// well-formedness constraints incrementally ([`Encoder::well_formed_from`])
     /// instead of re-asserting every variable ever declared on every check.
     decl_order: Vec<String>,
-    /// Compiled subterms by node identity. The cached [`Expr`] handle keeps
-    /// the node alive: identities are `Arc` addresses, so an entry for a
-    /// dropped term could otherwise alias a *new* term allocated at the same
-    /// address (encoders now outlive single conditions via
-    /// `SolverSession`).
-    cache: HashMap<usize, (Expr, Sym)>,
+    /// Compiled subterms by intern id. Ids are stable and never reused (the
+    /// hash-consing arena owns every node for the life of the process), so
+    /// entries stay valid for as long as the encoder lives — across
+    /// conditions, nodes, and sweep rows — and the cache no longer needs to
+    /// pin an `Expr` handle to guard against address reuse.
+    cache: HashMap<InternId, Sym>,
+    hits: u64,
+    misses: u64,
 }
 
 impl Encoder {
@@ -124,12 +181,19 @@ impl Encoder {
     /// Returns [`SmtError::IllTyped`] for ill-typed terms and
     /// [`SmtError::IntTooLarge`] for out-of-range integer literals.
     pub fn compile(&mut self, e: &Expr) -> Result<Sym, SmtError> {
-        if let Some((_, s)) = self.cache.get(&e.node_id()) {
+        if let Some(s) = self.cache.get(&e.node_id()) {
+            self.hits += 1;
             return Ok(s.clone());
         }
         let s = self.compile_uncached(e)?;
-        self.cache.insert(e.node_id(), (e.clone(), s.clone()));
+        self.misses += 1;
+        self.cache.insert(e.node_id(), s.clone());
         Ok(s)
+    }
+
+    /// Cumulative hit/miss counters of the compiled-term cache.
+    pub fn term_cache_stats(&self) -> TermCacheStats {
+        TermCacheStats { hits: self.hits, misses: self.misses }
     }
 
     /// Compiles a boolean term, failing if it is not boolean.

@@ -39,7 +39,7 @@ pub mod error;
 pub mod sym;
 
 pub use check::{check_validity, CounterExample, SessionPool, SolverSession, Validity, Vc};
-pub use encode::Encoder;
+pub use encode::{Encoder, TermCacheStats};
 pub use error::SmtError;
 pub use sym::Sym;
 pub use z3::InterruptHandle;
