@@ -6,14 +6,15 @@
 //! repro fig3
 //! repro fig13
 //! repro fig14     [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
-//!                 [--no-ms] [--shards N] [--json PATH]
+//!                 [--no-ms] [--shards N] [--json PATH] [--trace PATH]
 //! repro table1
 //! repro table2
 //! repro table3
 //! repro wan       [--peers N] [--timeout-secs S]
 //! repro keyideas
-//! repro infer     [--bench reach|len|all] [--max-k N] [--no-roles]
+//! repro infer     [--bench reach|len|all] [--max-k N] [--no-roles] [--trace PATH]
 //! repro arena     [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
+//! repro profile   [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
 //! repro trend     DUMP.json [DUMP.json ...]   (oldest first)
 //! repro shard-worker --bench NAME --k K --shard I --shards N  (internal)
 //! repro all
@@ -28,6 +29,15 @@
 //! subprocesses per row, merges their shard reports, and asserts full node
 //! coverage; without sharding, sweep rows share one persistent checker pool
 //! whose solver sessions carry over between rows.
+//!
+//! `--trace PATH` (fig14, infer) collects spans from every layer —
+//! per-node checks, per-VC encode/solve, scheduler claim/steal, CEGIS
+//! rounds — and writes a Chrome trace-event JSON loadable in Perfetto or
+//! `chrome://tracing`, one track per worker thread (and per shard process
+//! when combined with `--shards`). The registry's metrics snapshot rides
+//! along under `otherData`. `repro profile` runs sweep rows with tracing on
+//! and prints the phase breakdown directly: encode/solve/steal-idle/other
+//! shares per row, per-node-class attribution, and the slowest nodes.
 
 use std::time::Duration;
 
@@ -58,6 +68,7 @@ subcommands:
   keyideas   the Figs. 4-10 demonstrations
   infer      infer interfaces from simulation, verify, compare to hand-written
   arena      per-row term-arena interning traffic and dedup ratios
+  profile    phase-attributed breakdown per sweep row (encode/solve/steal-idle)
   trend      per-benchmark wall-time trajectories over --json dumps
   shard-worker  (internal) check one shard of one instance, print JSON report
   all        everything above (except infer, arena and trend)
@@ -74,8 +85,10 @@ flags:
   --peers N          external peer count for the wan subcommand (default 253)
   --shards N         fork N shard-worker processes per modular sweep row
   --json PATH        also write fig14 rows as machine-readable JSON to PATH
+  --trace PATH       write a Chrome trace-event JSON of the run (fig14, infer)
   --k K              (shard-worker) fattree parameter of the instance
-  --shard I          (shard-worker) which shard of the plan to check";
+  --shard I          (shard-worker) which shard of the plan to check
+  --trace-spans      (shard-worker) collect spans and embed them in the report";
 
 struct Args {
     max_k: Option<usize>,
@@ -88,8 +101,10 @@ struct Args {
     peers: usize,
     shards: usize,
     json: Option<String>,
+    trace: Option<String>,
     k: Option<usize>,
     shard: Option<usize>,
+    trace_spans: bool,
 }
 
 /// The next flag value, or a usage error naming the flag and what it wants.
@@ -123,8 +138,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         peers: 253,
         shards: 1,
         json: None,
+        trace: None,
         k: None,
         shard: None,
+        trace_spans: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -168,8 +185,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--json" => args.json = Some(next_value(&mut it, flag, "output path")?),
+            "--trace" => args.trace = Some(next_value(&mut it, flag, "output path")?),
             "--k" => args.k = Some(parse_value(&mut it, flag, "integer k")?),
             "--shard" => args.shard = Some(parse_value(&mut it, flag, "shard index")?),
+            "--trace-spans" => args.trace_spans = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -476,8 +495,26 @@ fn select_kinds(bench: &str) -> Result<Vec<BenchKind>, String> {
     Ok(kinds)
 }
 
+/// Drains the collected spans and writes them as a Chrome trace-event JSON
+/// (one track per worker thread / shard process), with the metrics
+/// registry's snapshot attached under `otherData`.
+fn write_trace(path: &str) {
+    use timepiece_sched::Json;
+    let trace = timepiece_trace::take();
+    let spans = trace.spans.len();
+    let mut doc = timepiece_trace::chrome_trace(&trace);
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.push(("otherData".to_owned(), timepiece_trace::metrics_json()));
+    }
+    std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path} ({spans} spans)");
+}
+
 fn fig14(args: &Args) -> Result<(), String> {
     let kinds = select_kinds(&args.bench)?;
+    if args.trace.is_some() {
+        timepiece_trace::enable();
+    }
     // one persistent checker pool for the whole sweep: rows of every size
     // (and every scenario sharing an IR signature) reuse solver sessions
     let mut pool = (args.shards <= 1).then(|| {
@@ -502,6 +539,9 @@ fn fig14(args: &Args) -> Result<(), String> {
         ]);
         std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.trace {
+        write_trace(path);
     }
     Ok(())
 }
@@ -556,6 +596,82 @@ fn arena_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `repro profile` subcommand: run sweep rows with tracing on and print
+/// the phase-attributed breakdown — self-time shares per phase, per-class
+/// rollups, and slowest-node attribution — instead of writing a trace file.
+fn profile_cmd(args: &Args) -> Result<(), String> {
+    use timepiece_trace::{Phase, Profile};
+    let kinds = select_kinds(&args.bench)?;
+    timepiece_trace::enable();
+    println!("=== repro profile — phase-attributed breakdown per sweep row ===");
+    println!("(phase columns are self-time shares of the traced work; `intern` is the");
+    println!(" arena counter — it overlaps encode, so it reports beside the shares, not");
+    println!(" inside them; `other` folds node bookkeeping, rounds and simulation)");
+    let options =
+        SweepOptions { timeout: args.timeout, run_monolithic: false, threads: args.threads };
+    let mut pool = CheckerPool::with_default_parallelism(CheckOptions {
+        timeout: Some(args.timeout),
+        threads: args.threads,
+        ..CheckOptions::default()
+    });
+    for kind in kinds {
+        println!("\n--- {} ---", kind.name());
+        println!(
+            "{:>4} {:>6} {:>9} {:>8} {:>8} {:>11} {:>8} {:>9}",
+            "k", "nodes", "wall", "encode", "solve", "steal-idle", "other", "intern"
+        );
+        for k in ks(args) {
+            let intern_before = timepiece_trace::metrics::counter_value("expr.arena.intern_ns");
+            // drop spans left over from the previous row so each profile
+            // covers exactly one row's work
+            let _ = timepiece_trace::take();
+            let row = run_row_pooled(kind, k, &options, &mut pool);
+            let trace = timepiece_trace::take();
+            let intern_ns = timepiece_trace::metrics::counter_value("expr.arena.intern_ns")
+                .saturating_sub(intern_before);
+            let profile = Profile::from_trace(&trace, intern_ns);
+            let accounted = profile.accounted_ns().max(1);
+            let pct = |ns: u64| format!("{:.1}%", 100.0 * ns as f64 / accounted as f64);
+            let other = profile.phase_ns(Phase::Other)
+                + profile.phase_ns(Phase::Round)
+                + profile.phase_ns(Phase::Sim);
+            println!(
+                "{:>4} {:>6} {:>9} {:>8} {:>8} {:>11} {:>8} {:>9}",
+                row.k,
+                row.nodes,
+                format!("{:.2}s", row.tp.wall().as_secs_f64()),
+                pct(profile.phase_ns(Phase::Encode)),
+                pct(profile.phase_ns(Phase::Solve)),
+                pct(profile.phase_ns(Phase::Idle)),
+                pct(other),
+                format!("{:.0}ms", intern_ns as f64 / 1e6),
+            );
+            for class in &profile.classes {
+                println!(
+                    "       {:<14} {:>4} nodes   total {:>8}   encode {:>8}   solve {:>8}",
+                    if class.class.is_empty() { "(unclassed)" } else { class.class.as_str() },
+                    class.nodes,
+                    format!("{:.3}s", class.total_ns as f64 / 1e9),
+                    format!("{:.3}s", class.encode_ns as f64 / 1e9),
+                    format!("{:.3}s", class.solve_ns as f64 / 1e9),
+                );
+            }
+            for node in profile.nodes.iter().take(3) {
+                println!(
+                    "       slowest: {:<12} class {:<12} total {:>8}  solve {:>8}  {}",
+                    node.name,
+                    if node.class.is_empty() { "-" } else { node.class.as_str() },
+                    format!("{:.3}s", node.total_ns as f64 / 1e9),
+                    format!("{:.3}s", node.solve_ns as f64 / 1e9),
+                    node.verdict,
+                );
+            }
+        }
+    }
+    timepiece_trace::disable();
+    Ok(())
+}
+
 /// An unknown-benchmark error that names what *is* registered.
 fn unknown_bench(given: &str) -> String {
     format!("unknown benchmark {given:?}; registered benchmarks: {}", BenchKind::names().join(", "))
@@ -587,6 +703,11 @@ fn trend_cmd(paths: &[String]) -> Result<(), String> {
 /// The (internal) shard-worker entrypoint: check one shard of one instance
 /// and print the JSON report on stdout.
 fn shard_worker(args: &Args) -> Result<(), String> {
+    if args.trace_spans {
+        // the coordinator asked for spans: collect them and let `run_shard`
+        // embed the drained trace in the report
+        timepiece_trace::enable();
+    }
     let bench = BenchKind::parse(&args.bench)
         .ok_or_else(|| format!("--bench: {}", unknown_bench(&args.bench)))?;
     let k = args.k.ok_or("shard-worker requires --k")?;
@@ -664,6 +785,9 @@ fn infer_row(kind: BenchKind, k: usize, args: &Args) {
 }
 
 fn infer(args: &Args) -> Result<(), String> {
+    if args.trace.is_some() {
+        timepiece_trace::enable();
+    }
     println!("=== timepiece-infer — interfaces from simulation, repaired by CEGIS ===");
     println!(
         "(property-only specs; role generalization {}; {} templates per instance)",
@@ -703,6 +827,9 @@ fn infer(args: &Args) -> Result<(), String> {
         for &k in &ks {
             infer_row(kind, k, args);
         }
+    }
+    if let Some(path) = &args.trace {
+        write_trace(path);
     }
     Ok(())
 }
@@ -762,6 +889,7 @@ fn main() {
         }
         "infer" => infer(&args),
         "arena" => arena_cmd(&args),
+        "profile" => profile_cmd(&args),
         "shard-worker" => shard_worker(&args),
         "all" => {
             fig3();

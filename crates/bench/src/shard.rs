@@ -73,6 +73,10 @@ pub struct ShardReport {
     pub failures: Vec<ShardFailure>,
     /// The worker's wall-clock time for its shard.
     pub wall_secs: f64,
+    /// The worker's span trace, when the coordinator asked for one
+    /// (`--trace-spans`); the coordinator ingests it as its own
+    /// pid-tagged process track.
+    pub trace: Option<timepiece_trace::Trace>,
 }
 
 /// A shard report that did not parse or did not match the expected shape.
@@ -123,6 +127,7 @@ impl ShardReport {
                 })
                 .collect(),
             wall_secs: report.wall().as_secs_f64(),
+            trace: None,
         }
     }
 
@@ -153,6 +158,7 @@ impl ShardReport {
                 })),
             ),
             ("wall_secs", Json::Num(self.wall_secs)),
+            ("trace", self.trace.as_ref().map_or(Json::Null, timepiece_trace::trace_to_json)),
         ])
     }
 
@@ -228,6 +234,14 @@ impl ShardReport {
                 .get("wall_secs")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| err("wall_secs"))?,
+            // absent and null both mean "worker did not trace" — older
+            // reports simply lack the field
+            trace: match value.get("trace") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    timepiece_trace::trace_from_json(v).map_err(|e| err(&format!("trace: {e}")))?,
+                ),
+            },
         })
     }
 }
@@ -253,7 +267,12 @@ pub fn run_shard(
     let report = checker
         .check_nodes(&inst.network, &inst.interface, &inst.property, nodes)
         .expect("benchmark instances encode");
-    ShardReport::from_check(kind, k, shard, shards, inst.network.topology(), nodes, &report)
+    let mut report =
+        ShardReport::from_check(kind, k, shard, shards, inst.network.topology(), nodes, &report);
+    if timepiece_trace::enabled() {
+        report.trace = Some(timepiece_trace::take());
+    }
+    report
 }
 
 /// The coordinator side: fork one `shard-worker` subprocess per shard, merge
@@ -320,6 +339,11 @@ pub fn run_row_sharded(
                 // sub-second budget to an effectively zero solver timeout
                 .args(["--timeout-millis", &options.timeout.as_millis().to_string()])
                 .args(["--threads", &worker_threads.to_string()]);
+            if timepiece_trace::enabled() {
+                // the worker collects its own spans and ships them back in
+                // the report; the coordinator merges them as its track
+                cmd.arg("--trace-spans");
+            }
             cmd.stdout(Stdio::piped());
             KillOnDrop(Some(
                 cmd.spawn().unwrap_or_else(|e| panic!("spawning shard worker {shard}: {e}")),
@@ -336,7 +360,7 @@ pub fn run_row_sharded(
             let text = String::from_utf8(out.stdout).expect("shard report is UTF-8");
             let json = Json::parse(&text)
                 .unwrap_or_else(|e| panic!("shard worker {shard} emitted bad JSON: {e}"));
-            let report = ShardReport::from_json(&json)
+            let mut report = ShardReport::from_json(&json)
                 .unwrap_or_else(|e| panic!("shard worker {shard}: {e}"));
             assert_eq!(report.shard, shard, "shard worker reported the wrong index");
             assert_eq!(
@@ -344,6 +368,9 @@ pub fn run_row_sharded(
                 (kind.name(), k, shards),
                 "shard worker checked the wrong instance"
             );
+            if let Some(trace) = report.trace.take() {
+                timepiece_trace::ingest(format!("shard{shard}"), trace);
+            }
             report
         })
         .collect();
@@ -426,6 +453,40 @@ mod tests {
                 kind: "counterexample".to_owned(),
             }],
             wall_secs: 0.5,
+            trace: None,
+        };
+        let parsed = ShardReport::from_json(&Json::parse(&report.to_json().to_string()).unwrap());
+        assert_eq!(parsed.unwrap(), report);
+    }
+
+    #[test]
+    fn shard_report_carries_its_trace_through_json() {
+        use timepiece_trace::{Phase, SpanKind, SpanRecord, ThreadInfo, Trace};
+        let report = ShardReport {
+            bench: "SpReach".to_owned(),
+            k: 4,
+            shard: 0,
+            shards: 2,
+            assigned: vec!["core-0".to_owned()],
+            durations: vec![("core-0".to_owned(), 0.25)],
+            failures: vec![],
+            wall_secs: 0.25,
+            trace: Some(Trace {
+                spans: vec![SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    kind: SpanKind::Complete,
+                    phase: Phase::Node,
+                    name: "core-0".to_owned(),
+                    start_ns: 10,
+                    dur_ns: 250,
+                    pid: 0,
+                    tid: 3,
+                    args: vec![("class".to_owned(), "core".to_owned())],
+                }],
+                threads: vec![ThreadInfo { pid: 0, tid: 3, label: "worker0".to_owned() }],
+                processes: vec![],
+            }),
         };
         let parsed = ShardReport::from_json(&Json::parse(&report.to_json().to_string()).unwrap());
         assert_eq!(parsed.unwrap(), report);

@@ -226,6 +226,9 @@ impl ModularChecker {
         v: NodeId,
     ) -> Result<Option<(Vec<Failure>, Duration)>, CoreError> {
         let start = Instant::now();
+        let mut node_span =
+            timepiece_trace::span(timepiece_trace::Phase::Node, net.topology().name(v));
+        node_span.arg("class", net.topology().node_class(v));
         let conditions = [
             (VcKind::Initial, initial_vc(net, interface, v)),
             (VcKind::Inductive, inductive_vc(net, interface, v, self.options.delay)),
@@ -238,7 +241,10 @@ impl ModularChecker {
         let mut failures = Vec::new();
         for (kind, vc) in conditions {
             match session.check_cancellable(&vc, cancel)? {
-                None => return Ok(None),
+                None => {
+                    node_span.arg("verdict", "abandoned");
+                    return Ok(None);
+                }
                 Some(Validity::Valid) => {}
                 Some(Validity::Invalid(cex)) => failures.push(Failure {
                     node: v,
@@ -254,6 +260,7 @@ impl ModularChecker {
                 }),
             }
         }
+        node_span.arg("verdict", if failures.is_empty() { "verified" } else { "failed" });
         Ok(Some((failures, start.elapsed())))
     }
 

@@ -93,11 +93,12 @@ impl CheckerPool {
     pub fn new(workers: usize, options: CheckOptions) -> CheckerPool {
         assert!(workers > 0, "a checker pool needs at least one worker");
         let workers = (0..workers)
-            .map(|_| {
+            .map(|i| {
                 let (job_tx, job_rx) = mpsc::channel::<Job>();
                 let (result_tx, result_rx) = mpsc::channel::<JobResult>();
                 let options = options.clone();
                 let handle = std::thread::spawn(move || {
+                    timepiece_trace::set_thread_label(format!("pool-worker{i}"));
                     // the sessions (and their Z3 contexts, declarations and
                     // compiled-term caches) live exactly as long as this
                     // thread: across every job the pool ever runs

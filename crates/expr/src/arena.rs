@@ -31,9 +31,31 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use timepiece_trace::Counter;
 
 use crate::expr::{Expr, ExprKind};
+
+/// The arena's mirrors in the shared metrics registry, so `repro profile`
+/// and metrics snapshots see intern traffic next to every other subsystem.
+/// Handles are cached: the steady-state cost per intern is two relaxed
+/// atomic adds (plus two clock reads when tracing is armed — interning is
+/// far too hot for per-call spans, so its time is accumulated here instead).
+struct ArenaMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    intern_ns: Arc<Counter>,
+}
+
+fn arena_metrics() -> &'static ArenaMetrics {
+    static M: OnceLock<ArenaMetrics> = OnceLock::new();
+    M.get_or_init(|| ArenaMetrics {
+        hits: timepiece_trace::counter("expr.arena.intern_hits"),
+        misses: timepiece_trace::counter("expr.arena.intern_misses"),
+        intern_ns: timepiece_trace::counter("expr.arena.intern_ns"),
+    })
+}
 
 /// The stable identity of an interned term.
 ///
@@ -148,6 +170,15 @@ pub fn stats() -> ArenaStats {
 /// out of this function), so the probe hashes and compares one level deep
 /// only — child comparisons are pointer comparisons.
 pub(crate) fn intern(kind: ExprKind) -> Expr {
+    let timed = timepiece_trace::enabled().then(timepiece_trace::now_ns);
+    let expr = intern_probe(kind);
+    if let Some(start) = timed {
+        arena_metrics().intern_ns.add(timepiece_trace::now_ns().saturating_sub(start));
+    }
+    expr
+}
+
+fn intern_probe(kind: ExprKind) -> Expr {
     let hash = shallow_hash(&kind);
     // optimistic read-lock probe: the common case is an already-interned
     // structure, and readers don't serialize
@@ -155,6 +186,7 @@ pub(crate) fn intern(kind: ExprKind) -> Expr {
         let nodes = ARENA.nodes.read().expect("arena lock poisoned");
         if let Some(node) = find(&nodes, hash, &kind) {
             ARENA.hits.fetch_add(1, Ordering::Relaxed);
+            arena_metrics().hits.inc();
             return Expr(node);
         }
     }
@@ -163,9 +195,11 @@ pub(crate) fn intern(kind: ExprKind) -> Expr {
     let mut nodes = ARENA.nodes.write().expect("arena lock poisoned");
     if let Some(node) = find(&nodes, hash, &kind) {
         ARENA.hits.fetch_add(1, Ordering::Relaxed);
+        arena_metrics().hits.inc();
         return Expr(node);
     }
     ARENA.misses.fetch_add(1, Ordering::Relaxed);
+    arena_metrics().misses.inc();
     ARENA.bytes.fetch_add(approx_bytes(&kind), Ordering::Relaxed);
     let id = InternId(ARENA.next_id.fetch_add(1, Ordering::Relaxed));
     let node = Arc::new(ExprNode { kind, id, hash });
@@ -247,6 +281,18 @@ mod tests {
         assert!(delta.hits >= 2);
         assert!(after_second.hit_rate() > 0.0);
         assert!(after_second.dedup_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn intern_traffic_is_mirrored_into_the_metrics_registry() {
+        use timepiece_trace::metrics::counter_value;
+        let (misses_before, hits_before) =
+            (counter_value("expr.arena.intern_misses"), counter_value("expr.arena.intern_hits"));
+        let salt = "arena-registry-probe";
+        let _a = Expr::var(salt, Type::Int);
+        let _b = Expr::var(salt, Type::Int);
+        assert!(counter_value("expr.arena.intern_misses") > misses_before);
+        assert!(counter_value("expr.arena.intern_hits") > hits_before);
     }
 
     #[test]

@@ -220,12 +220,16 @@ impl InferenceEngine {
         }
         let sim_start = Instant::now();
         let mut traces = Vec::with_capacity(inputs.len());
-        for env in inputs {
-            let trace = simulate(net, env, self.options.max_steps)?;
-            if trace.converged_at().is_none() {
-                return Err(InferError::Unconverged { steps: self.options.max_steps });
+        {
+            let mut sim_span = timepiece_trace::span(timepiece_trace::Phase::Sim, "simulate");
+            sim_span.arg("scenarios", inputs.len().to_string());
+            for env in inputs {
+                let trace = simulate(net, env, self.options.max_steps)?;
+                if trace.converged_at().is_none() {
+                    return Err(InferError::Unconverged { steps: self.options.max_steps });
+                }
+                traces.push(trace);
             }
-            traces.push(trace);
         }
         let sim_wall = sim_start.elapsed();
 
@@ -386,6 +390,9 @@ impl Inference<'_> {
         let mut rounds = 0usize;
 
         loop {
+            let mut round_span =
+                timepiece_trace::span(timepiece_trace::Phase::Round, format!("round{rounds}"));
+            round_span.arg("pending", pending.len().to_string());
             for v in std::mem::take(&mut pending) {
                 let t0 = Instant::now();
                 let result = checker.check_node(self.net, &interface, self.property, v)?;
@@ -395,6 +402,7 @@ impl Inference<'_> {
             }
             let failing: Vec<NodeId> =
                 latest.iter().filter(|(_, (fs, _))| !fs.is_empty()).map(|(&v, _)| v).collect();
+            round_span.arg("failing", failing.len().to_string());
             if failing.is_empty() || rounds >= self.options.max_rounds {
                 break;
             }

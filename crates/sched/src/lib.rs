@@ -50,10 +50,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cancel;
-pub mod json;
 pub mod pool;
 pub mod queue;
 pub mod shard;
+
+/// The hand-rolled JSON codec the shard reports travel in. It moved to the
+/// bottom of the crate stack (`timepiece-trace`, which exports traces
+/// through it); re-exported here so shard-protocol call sites keep their
+/// `timepiece_sched::json` paths.
+pub use timepiece_trace::json;
 
 pub use cancel::CancelToken;
 pub use json::{Json, JsonError};

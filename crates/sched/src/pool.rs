@@ -141,10 +141,19 @@ where
                 let init = &init;
                 let task = &task;
                 scope.spawn(move || {
+                    timepiece_trace::set_thread_label(format!("worker{w}"));
                     let mut state = init(w);
                     let mut claimed = 0usize;
                     while !token.is_cancelled() {
-                        let Some(item) = queue.pop(w) else { break };
+                        // claim time (own-deque pop or steal scan) is the
+                        // scheduler's contribution to the profile's
+                        // steal-idle bucket
+                        let item = {
+                            let _claim =
+                                timepiece_trace::span(timepiece_trace::Phase::Idle, "claim");
+                            queue.pop(w)
+                        };
+                        let Some(item) = item else { break };
                         claimed += 1;
                         match task(&mut state, item) {
                             Ok(Some(result)) => results.lock().push(result),

@@ -11,8 +11,18 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use timepiece_trace::Histogram;
+
+/// Distribution of steal-batch sizes, in the shared metrics registry
+/// (`repro profile` and the metrics snapshot report it). The handle is
+/// cached: steady-state cost is one relaxed atomic add per steal.
+fn steal_batch_sizes() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| timepiece_trace::histogram("sched.steal.batch_tasks"))
+}
 
 /// Per-worker deques with batched work stealing.
 ///
@@ -110,6 +120,7 @@ impl<T> StealQueue<T> {
             let mut batch = victim_deque.split_off(len - len.div_ceil(2));
             self.steals.fetch_add(1, Ordering::Relaxed);
             self.stolen_tasks.fetch_add(batch.len(), Ordering::Relaxed);
+            steal_batch_sizes().record(batch.len() as u64);
             let first = batch.pop_front();
             own.extend(batch);
             return first;

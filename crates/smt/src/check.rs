@@ -159,9 +159,11 @@ impl SolverSession {
             self.solver.assert(wf);
         }
         self.wf_promoted = self.enc.decl_count();
+        timepiece_trace::instant(timepiece_trace::Phase::Other, "push");
         self.solver.push();
         let result = self.check_pushed(vc);
         self.solver.pop(1);
+        timepiece_trace::instant(timepiece_trace::Phase::Other, "pop");
         result
     }
 
@@ -207,29 +209,47 @@ impl SolverSession {
         cancel: &AtomicBool,
     ) -> Result<Option<Validity>, SmtError> {
         if cancel.load(Ordering::Acquire) {
+            timepiece_trace::instant(timepiece_trace::Phase::Other, "cancel-skip");
             return Ok(None);
         }
         let result = self.check(vc)?;
         if matches!(result, Validity::Unknown(_)) && cancel.load(Ordering::Acquire) {
+            timepiece_trace::instant(timepiece_trace::Phase::Other, "cancel-interrupt");
             return Ok(None);
         }
         Ok(Some(result))
     }
 
     fn check_pushed(&mut self, vc: &Vc) -> Result<Validity, SmtError> {
-        for a in &vc.assumptions {
-            let compiled = self.enc.compile_bool(a)?;
-            self.solver.assert(compiled);
+        {
+            let _encode = timepiece_trace::span(timepiece_trace::Phase::Encode, vc.name());
+            for a in &vc.assumptions {
+                let compiled = self.enc.compile_bool(a)?;
+                self.solver.assert(compiled);
+            }
+            let goal = self.enc.compile_bool(&vc.goal)?;
+            // variables first declared by *this* condition get their
+            // well-formedness constraints inside the scope (the pop removes
+            // them; the next check promotes them to the base level)
+            for wf in self.enc.well_formed_from(self.wf_promoted) {
+                self.solver.assert(wf);
+            }
+            self.solver.assert(goal.not());
         }
-        let goal = self.enc.compile_bool(&vc.goal)?;
-        // variables first declared by *this* condition get their
-        // well-formedness constraints inside the scope (the pop removes
-        // them; the next check promotes them to the base level)
-        for wf in self.enc.well_formed_from(self.wf_promoted) {
-            self.solver.assert(wf);
-        }
-        self.solver.assert(goal.not());
-        match self.solver.check() {
+        let sat = {
+            let mut solve = timepiece_trace::span(timepiece_trace::Phase::Solve, vc.name());
+            let sat = self.solver.check();
+            solve.arg(
+                "result",
+                match sat {
+                    SatResult::Unsat => "unsat",
+                    SatResult::Sat => "sat",
+                    SatResult::Unknown => "unknown",
+                },
+            );
+            sat
+        };
+        match sat {
             SatResult::Unsat => Ok(Validity::Valid),
             SatResult::Sat => {
                 let model = self

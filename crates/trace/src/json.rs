@@ -1,10 +1,14 @@
 //! A minimal JSON value, writer and parser.
 //!
-//! The shard protocol and the benchmark row dumps need machine-readable
-//! output, and the workspace builds offline (no serde). This module covers
-//! exactly what those producers and consumers use: the six JSON value kinds,
-//! string escaping, and a strict recursive-descent parser that round-trips
-//! everything the writer emits.
+//! The trace exporters, the shard protocol and the benchmark row dumps all
+//! need machine-readable output, and the workspace builds offline (no
+//! serde). This module covers exactly what those producers and consumers
+//! use: the six JSON value kinds, string escaping (including surrogate-pair
+//! decoding — span names carry arbitrary node and scenario names), and a
+//! strict recursive-descent parser that round-trips everything the writer
+//! emits. It lives at the bottom of the crate stack so both this crate's
+//! exporters and `timepiece-sched`'s shard reports (which re-exports it)
+//! can use it.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -311,6 +315,17 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads the 4 hex digits of a `\u` escape starting at `at` (the offset
+    /// of the first digit).
+    fn hex4(&self, at: usize) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))
+    }
+
     fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -333,17 +348,32 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            // surrogates are not emitted by our writer;
-                            // map unpaired ones to the replacement character
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            let code = self.hex4(self.pos + 1)?;
+                            if (0xd800..0xdc00).contains(&code)
+                                && self.bytes.get(self.pos + 5..self.pos + 7) == Some(b"\\u")
+                            {
+                                // high surrogate followed by another \u
+                                // escape: decode the pair (JSON's only way
+                                // to spell astral-plane characters)
+                                let low = self.hex4(self.pos + 7)?;
+                                if (0xdc00..0xe000).contains(&low) {
+                                    let combined =
+                                        0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    out.push(char::from_u32(combined).expect("paired surrogates"));
+                                    self.pos += 10;
+                                } else {
+                                    // \u pair that is not a surrogate pair:
+                                    // lone high surrogate, then the second
+                                    // escape stands alone
+                                    out.push('\u{fffd}');
+                                    self.pos += 4;
+                                }
+                            } else {
+                                // unpaired surrogates have no scalar value;
+                                // map them to the replacement character
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
                         }
                         _ => return Err(self.err("invalid escape")),
                     }
@@ -445,5 +475,81 @@ mod tests {
     fn whitespace_is_tolerated() {
         let value = Json::parse(" {\n\t\"a\" : [ 1 , 2 ] }\r\n").unwrap();
         assert_eq!(value.get("a").and_then(Json::as_arr).unwrap().len(), 2);
+    }
+
+    // ---- string-emission hardening (span names carry arbitrary text) ----
+
+    fn roundtrip(s: &str) {
+        let text = Json::str(s).to_string();
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("{s:?} emitted {text:?}: {e}"));
+        assert_eq!(back.as_str(), Some(s), "round-trip of {s:?} via {text:?}");
+    }
+
+    #[test]
+    fn roundtrips_every_control_character() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            roundtrip(&format!("a{c}b"));
+        }
+        roundtrip("\u{7f}");
+    }
+
+    #[test]
+    fn roundtrips_quotes_backslashes_and_mixtures() {
+        for s in [
+            "\"",
+            "\\",
+            "\\\\",
+            "\\\"",
+            "a\"b\\c",
+            "\\n",
+            "ends with backslash\\",
+            "\"quoted\"",
+            "\\u0041 not an escape",
+        ] {
+            roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn roundtrips_non_ascii_and_astral_characters() {
+        for s in ["ü", "nodeα·β", "日本語", "🦀 trace", "\u{10ffff}", "e\u{301}"] {
+            roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn roundtrips_strings_used_as_object_keys() {
+        for key in ["sp\"reach\"", "tab\there", "日本", "back\\slash"] {
+            let value = Json::obj([(key, Json::from(1usize))]);
+            let back = Json::parse(&value.to_string()).unwrap();
+            assert_eq!(back.get(key).and_then(Json::as_usize), Some(1), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn decodes_surrogate_pair_escapes() {
+        // other JSON writers spell astral characters as surrogate pairs
+        assert_eq!(Json::parse("\"\\ud83e\\udd80\"").unwrap().as_str(), Some("🦀"));
+        assert_eq!(Json::parse("\"x\\ud834\\udd1ey\"").unwrap().as_str(), Some("x𝄞y"));
+    }
+
+    #[test]
+    fn lone_surrogate_escapes_become_replacement_characters() {
+        // a high surrogate with no low half after it
+        assert_eq!(Json::parse("\"\\ud800\"").unwrap().as_str(), Some("\u{fffd}"));
+        assert_eq!(Json::parse("\"\\ud800x\"").unwrap().as_str(), Some("\u{fffd}x"));
+        // a lone low surrogate
+        assert_eq!(Json::parse("\"\\udc00\"").unwrap().as_str(), Some("\u{fffd}"));
+        // high surrogate followed by a \u escape that is not a low half:
+        // the replacement character, then the second escape stands alone
+        assert_eq!(Json::parse("\"\\ud800\\u0041\"").unwrap().as_str(), Some("\u{fffd}A"));
+    }
+
+    #[test]
+    fn truncated_unicode_escapes_are_rejected() {
+        for bad in ["\"\\u12\"", "\"\\u\"", "\"\\uzzzz\"", "\"\\ud83e\\uqqqq\""] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 }

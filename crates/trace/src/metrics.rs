@@ -1,0 +1,293 @@
+//! A static metrics registry: named counters and log-bucketed histograms.
+//!
+//! Instrumented code holds `&'static` handles (resolved once through a
+//! `OnceLock` at the call site), so the steady-state cost of a metric update
+//! is one relaxed atomic add — no name lookups, no locks. The registry keeps
+//! every metric ever created for the life of the process; [`snapshot`]
+//! renders them all, and [`reset`] zeroes the values (keeping registration)
+//! so benchmarks can take per-row deltas.
+//!
+//! Histograms are log₂-bucketed: recording classifies a value into bucket
+//! ⌊log₂ v⌋ + 1 with one atomic add, and quantiles are estimated by
+//! nearest-rank over the bucket counts (reported as the bucket's geometric
+//! midpoint). That subsumes the sweep reports' `TimingStats` for streaming
+//! use: where `TimingStats` needs every sample retained and sorted, a
+//! histogram answers p50/p99 from 65 counters at any moment.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `b ≥ 1` holds
+/// values with ⌊log₂ v⌋ = b − 1, i.e. `v ∈ [2^(b−1), 2^b)`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The geometric midpoint of bucket `b` — the value a quantile estimate
+/// reports for samples landing there.
+fn bucket_mid(b: usize) -> u64 {
+    if b == 0 {
+        return 0;
+    }
+    let lo = 1u64 << (b - 1);
+    // 1.5 × 2^(b−1), saturating at the top bucket
+    lo.saturating_add(lo / 2)
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration, in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// How many samples were recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The mean sample, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Nearest-rank `q`-quantile estimate (the geometric midpoint of the
+    /// bucket holding the rank). Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_mid(b);
+            }
+        }
+        bucket_mid(BUCKETS - 1)
+    }
+
+    /// Median estimate (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// The counter registered under `name`, created on first use. Call sites on
+/// hot paths should cache the handle in a `OnceLock`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    Arc::clone(registry().counters.lock().entry(name.to_owned()).or_default())
+}
+
+/// The histogram registered under `name`, created on first use.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    Arc::clone(registry().histograms.lock().entry(name.to_owned()).or_default())
+}
+
+/// One metric's rendered form in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's value.
+    Counter(u64),
+    /// A histogram, summarized.
+    Histogram {
+        /// Sample count.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Median estimate.
+        p50: u64,
+        /// 99th-percentile estimate.
+        p99: u64,
+    },
+}
+
+/// A flat snapshot of every registered metric, sorted by name.
+pub fn snapshot() -> Vec<(String, MetricValue)> {
+    let mut out: Vec<(String, MetricValue)> = Vec::new();
+    for (name, c) in registry().counters.lock().iter() {
+        out.push((name.clone(), MetricValue::Counter(c.get())));
+    }
+    for (name, h) in registry().histograms.lock().iter() {
+        out.push((
+            name.clone(),
+            MetricValue::Histogram { count: h.count(), sum: h.sum(), p50: h.p50(), p99: h.p99() },
+        ));
+    }
+    out.sort_by(|(a, _), (b, _)| a.cmp(b));
+    out
+}
+
+/// The current value of counter `name`, zero if never registered. (Reads the
+/// registry; not for hot paths.)
+pub fn counter_value(name: &str) -> u64 {
+    registry().counters.lock().get(name).map_or(0, |c| c.get())
+}
+
+/// Zeroes every registered metric, keeping the handles valid.
+pub fn reset() {
+    for c in registry().counters.lock().values() {
+        c.reset();
+    }
+    for h in registry().histograms.lock().values() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let a = counter("test.metrics.shared");
+        let b = counter("test.metrics.shared");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(counter_value("test.metrics.shared"), 3);
+        assert_eq!(counter_value("test.metrics.never"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.mean(), 50);
+        // log-bucketed estimates: the median of 1..=100 (50.5) lands in the
+        // [32,64) bucket, p99 in [64,128)
+        assert_eq!(h.p50(), 48);
+        assert_eq!(h.p99(), 96);
+        h.record(0);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_records_durations() {
+        let h = histogram("test.metrics.dur");
+        h.record_duration(Duration::from_nanos(7));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 7);
+    }
+
+    #[test]
+    fn snapshot_lists_both_kinds_sorted() {
+        counter("test.snap.a").add(1);
+        histogram("test.snap.b").record(4);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        let a = names.iter().position(|n| *n == "test.snap.a").unwrap();
+        let b = names.iter().position(|n| *n == "test.snap.b").unwrap();
+        assert!(a < b);
+        assert!(matches!(
+            snap.iter().find(|(n, _)| n == "test.snap.b").unwrap().1,
+            MetricValue::Histogram { count, .. } if count >= 1
+        ));
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_mid(0), 0);
+        assert_eq!(bucket_mid(1), 1);
+        assert_eq!(bucket_mid(7), 96);
+    }
+}

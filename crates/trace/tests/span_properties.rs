@@ -1,0 +1,100 @@
+//! Property tests for the span collector: under any well-nested sequence of
+//! span opens and closes on one thread, every drained complete span ends at
+//! or after its start, and every child span (or instant) lies entirely
+//! inside the span that was open when it was created.
+
+use proptest::prelude::*;
+use timepiece_trace::{instant, span, take, Phase, SpanKind, Trace};
+
+/// Tests in this binary share the process-global collector; serialize them.
+/// (The shim's `lock()` hands back the std guard directly.)
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Replays `ops` as a well-nested span workload and drains the result.
+/// Opcodes: 0–3 open a span of one of four phases, 4–5 close the innermost
+/// open span, 6 emits an instant, anything else is a no-op.
+fn run_workload(ops: &[u8]) -> Trace {
+    let _guard = serial();
+    let _ = take();
+    timepiece_trace::enable();
+    let phases = [Phase::Encode, Phase::Solve, Phase::Idle, Phase::Node];
+    let mut open = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            0..=3 => {
+                let mut guard = span(phases[op as usize], format!("s{i}"));
+                guard.arg("i", i.to_string());
+                open.push(guard);
+            }
+            4 | 5 => {
+                // closing always pops the innermost guard, so the workload
+                // is well-nested by construction
+                open.pop();
+            }
+            6 => instant(Phase::Other, format!("e{i}")),
+            _ => {}
+        }
+    }
+    while open.pop().is_some() {}
+    timepiece_trace::disable();
+    take()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spans_end_after_start_and_parents_enclose_children(
+        ops in proptest::collection::vec(0u8..8, 0..96),
+    ) {
+        let trace = run_workload(&ops);
+        for record in &trace.spans {
+            prop_assert!(
+                record.end_ns() >= record.start_ns,
+                "span {} ends before it starts", record.name
+            );
+            if record.parent == 0 {
+                continue;
+            }
+            let parent = trace
+                .spans
+                .iter()
+                .find(|p| p.id == record.parent)
+                .expect("the parent closed before the drain, so it was drained too");
+            prop_assert_eq!(parent.kind, SpanKind::Complete, "only spans parent");
+            prop_assert_eq!(parent.tid, record.tid, "parent links stay on-thread");
+            prop_assert!(
+                parent.start_ns <= record.start_ns && record.end_ns() <= parent.end_ns(),
+                "parent {} [{}, {}] does not enclose child {} [{}, {}]",
+                parent.name, parent.start_ns, parent.end_ns(),
+                record.name, record.start_ns, record.end_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn open_spans_are_not_drained_and_ids_are_unique(
+        ops in proptest::collection::vec(0u8..8, 0..96),
+    ) {
+        let trace = run_workload(&ops);
+        let opens = ops.iter().filter(|&&op| op <= 3).count();
+        let closes = ops.iter().filter(|&&op| op == 4 || op == 5).count();
+        let instants = ops.iter().filter(|&&op| op == 6).count();
+        // every opened span was eventually closed by the final unwind, so
+        // the drain sees exactly the opened spans plus the instants
+        prop_assert_eq!(trace.spans.len(), opens + instants, "closes = {}", closes);
+        let mut ids: Vec<u64> = trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Complete)
+            .map(|s| s.id)
+            .collect();
+        ids.sort_unstable();
+        let len = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), len, "span ids are unique");
+    }
+}
