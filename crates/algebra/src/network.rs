@@ -95,6 +95,17 @@ pub enum NetworkError {
     /// Declarative policies were mixed with closure-based transfer/merge
     /// components on the same builder.
     MixedPolicyModes,
+    /// A policy delta was applied to a network not built through the policy
+    /// IR (closure-built transfers are opaque and cannot be edited).
+    NotPolicyMode,
+    /// A delta named an edge the topology does not have.
+    UnknownEdge {
+        /// The unknown edge.
+        edge: (NodeId, NodeId),
+    },
+    /// A failure-budget delta was applied to a network without a
+    /// [`FailureModel`].
+    NoFailureModel,
 }
 
 impl fmt::Display for NetworkError {
@@ -109,6 +120,15 @@ impl fmt::Display for NetworkError {
             NetworkError::BadType { what, source } => write!(f, "ill-typed {what}: {source}"),
             NetworkError::MixedPolicyModes => {
                 write!(f, "declarative policies cannot be mixed with closure transfers/merge")
+            }
+            NetworkError::NotPolicyMode => {
+                write!(f, "policy deltas require a network built through the policy IR")
+            }
+            NetworkError::UnknownEdge { edge } => {
+                write!(f, "the topology has no edge {} -> {}", edge.0, edge.1)
+            }
+            NetworkError::NoFailureModel => {
+                write!(f, "the network has no failure model to re-budget")
             }
         }
     }
@@ -334,6 +354,138 @@ impl Network {
     /// a counterexample assignment binds that node's route under.
     pub fn route_var_name(&self, u: NodeId) -> String {
         format!("route-{}", self.topology.name(u))
+    }
+
+    /// A clone of this network with the policy of one edge replaced
+    /// (`Some`) or its override removed so the edge falls back to the
+    /// default policy (`None`) — the policy-delta primitive of the
+    /// `timepieced` daemon. Only the edited edge's transfer is recompiled;
+    /// every other component is shared with `self`. The memoized
+    /// [`Network::encoder_signature`] is reset, since the policy set (and so
+    /// the IR fingerprint) may have changed.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::NotPolicyMode`] for closure-built networks;
+    /// * [`NetworkError::UnknownEdge`] if the topology lacks the edge;
+    /// * [`NetworkError::MissingTransfer`] if removing the override leaves
+    ///   the edge with no policy (no default was declared);
+    /// * [`NetworkError::BadType`] if the new policy's output is ill-typed.
+    pub fn set_edge_policy(
+        &self,
+        edge: (NodeId, NodeId),
+        policy: Option<RoutePolicy>,
+    ) -> Result<Network, NetworkError> {
+        let Some(old) = &self.policies else { return Err(NetworkError::NotPolicyMode) };
+        if !self.transfers.contains_key(&edge) {
+            return Err(NetworkError::UnknownEdge { edge });
+        }
+        let mut edited = (**old).clone();
+        match policy {
+            Some(p) => {
+                edited.edge_policies.insert(edge, p);
+            }
+            None => {
+                edited.edge_policies.remove(&edge);
+            }
+        }
+        let policies = Arc::new(edited);
+        let Some(effective) = policies.policy(edge).cloned() else {
+            return Err(NetworkError::MissingTransfer { edge });
+        };
+        // recompile exactly the edited edge, as `build` would have: the
+        // other edges' closures capture the previous `Arc<NetworkPolicies>`,
+        // which is fine — they only read the (unchanged) schema from it
+        let p = Arc::clone(&policies);
+        let fail_var = policies
+            .failures
+            .as_ref()
+            .filter(|f| f.tracks(edge))
+            .map(|_| FailureModel::var(&self.topology, edge));
+        let transfer: TransferFn = Arc::new(move |r: &Expr| {
+            let transferred = effective.compile(&p.schema, r);
+            match &fail_var {
+                Some(fail) => fail.clone().ite(p.schema.none_route(), transferred),
+                None => transferred,
+            }
+        });
+        let probe = Expr::var("probe-a", self.route_type.clone());
+        expect_type(
+            &transfer(&probe),
+            &self.route_type,
+            &format!(
+                "transfer result of {} -> {}",
+                self.topology.name(edge.0),
+                self.topology.name(edge.1)
+            ),
+        )?;
+        let mut net = self.clone();
+        net.transfers.insert(edge, transfer);
+        net.policies = Some(policies);
+        net.signature = Arc::new(std::sync::OnceLock::new());
+        Ok(net)
+    }
+
+    /// A clone of this network with the failure budget `f` replaced: the
+    /// same tracked edges, a new at-most-`budget` assumption. Every failure
+    /// symbolic's constraint is rebuilt (the budget constraint is a global
+    /// fact each of them carries), transfers are untouched (they gate on the
+    /// failure *variable*, not the budget), and the memoized signature is
+    /// reset.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::NotPolicyMode`] for closure-built networks;
+    /// * [`NetworkError::NoFailureModel`] if the network tracks no failures.
+    pub fn with_failure_budget(&self, budget: u64) -> Result<Network, NetworkError> {
+        let Some(old) = &self.policies else { return Err(NetworkError::NotPolicyMode) };
+        let Some(model) = &old.failures else { return Err(NetworkError::NoFailureModel) };
+        let model = FailureModel::at_most(budget, model.edges().iter().copied());
+        let constraint = model.budget_constraint(&self.topology);
+        let fail_names: std::collections::HashSet<String> =
+            model.edges().iter().map(|&e| FailureModel::var_name(&self.topology, e)).collect();
+        let mut edited = (**old).clone();
+        edited.failures = Some(model);
+        let mut net = self.clone();
+        net.symbolics = self
+            .symbolics
+            .iter()
+            .map(|s| {
+                if fail_names.contains(s.name()) {
+                    Symbolic::new(s.name().to_owned(), s.ty().clone(), Some(constraint.clone()))
+                } else {
+                    s.clone()
+                }
+            })
+            .collect();
+        net.policies = Some(Arc::new(edited));
+        net.signature = Arc::new(std::sync::OnceLock::new());
+        Ok(net)
+    }
+
+    /// A structural fingerprint of everything node `v`'s one-step behavior
+    /// depends on: its initial route, the compiled transfer of each in-edge
+    /// (probed with the predecessor's canonical route variable, so the
+    /// neighbor *identity* is part of the hash), the merge order, and the
+    /// symbolic preconditions. Two networks assigning `v` the same hash make
+    /// `v`'s verification conditions identical up to its interface
+    /// annotations — the decidable "did this node change" test behind
+    /// incremental re-checking.
+    pub fn node_structural_hash(&self, v: NodeId) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.init(v).structural_hash().hash(&mut h);
+        for &u in self.topology.preds(v) {
+            self.transfer((u, v), &self.route_var(u)).structural_hash().hash(&mut h);
+        }
+        let probe_a = Expr::var("·sig-a", self.route_type.clone());
+        let probe_b = Expr::var("·sig-b", self.route_type.clone());
+        self.merge(&probe_a, &probe_b).structural_hash().hash(&mut h);
+        for c in self.symbolic_constraints() {
+            c.structural_hash().hash(&mut h);
+        }
+        h.finish()
     }
 
     /// The one-step update `I(v) ⊕ ⨁_u f_{uv}(r_u)` of equation (4), given a
@@ -838,6 +990,139 @@ mod tests {
         assert_eq!(transferred.eval(&env).unwrap().is_some_option(), Some(false));
         env.bind(fail_name, Value::Bool(false));
         assert_eq!(transferred.eval(&env).unwrap().is_some_option(), Some(true));
+    }
+
+    #[test]
+    fn set_edge_policy_recompiles_one_edge_and_restores() {
+        use crate::policy::{MergeKey, RouteGuard, RoutePolicy, RouteSchema};
+        let schema = RouteSchema::new(
+            "Hop",
+            [("len".to_owned(), Type::Int)],
+            [MergeKey::Lower("len".into())],
+        );
+        let g = gen::path(3);
+        let dest = g.node_by_name("v0").unwrap();
+        let v1 = g.node_by_name("v1").unwrap();
+        let v2 = g.node_by_name("v2").unwrap();
+        let origin = Expr::record(schema.record_def(), vec![Expr::int(0)]).some();
+        let net = NetworkBuilder::from_schema(g, schema.clone())
+            .default_policy(RoutePolicy::new().increment("len"))
+            .init(dest, origin)
+            .build()
+            .unwrap();
+        let sig = net.encoder_signature();
+        let hashes: Vec<u64> =
+            net.topology().nodes().map(|v| net.node_structural_hash(v)).collect();
+        let sample = Expr::record(schema.record_def(), vec![Expr::int(0)]).some();
+        let down = net
+            .set_edge_policy((dest, v1), Some(RoutePolicy::new().drop_if(RouteGuard::True)))
+            .unwrap();
+        // the edited edge now drops every route; the other edge still works
+        assert_eq!(
+            down.transfer((dest, v1), &sample).eval(&Env::new()).unwrap().is_some_option(),
+            Some(false)
+        );
+        assert_eq!(
+            down.transfer((v1, v2), &sample).eval(&Env::new()).unwrap().is_some_option(),
+            Some(true)
+        );
+        assert_ne!(down.encoder_signature(), sig, "the policy set changed");
+        // only v1 (the edge's head) sees a different structural hash
+        let changed: Vec<bool> = down
+            .topology()
+            .nodes()
+            .zip(&hashes)
+            .map(|(v, h)| down.node_structural_hash(v) != *h)
+            .collect();
+        assert_eq!(changed, [false, true, false]);
+        // removing the override restores the default policy — and the hashes
+        let restored = down.set_edge_policy((dest, v1), None).unwrap();
+        assert_eq!(restored.encoder_signature(), sig);
+        for (v, h) in restored.topology().nodes().zip(&hashes) {
+            assert_eq!(restored.node_structural_hash(v), *h);
+        }
+    }
+
+    #[test]
+    fn set_edge_policy_rejects_bad_inputs() {
+        use crate::policy::{MergeKey, RoutePolicy, RouteSchema};
+        let closure_net = hoplimit_net();
+        let v0 = closure_net.topology().node_by_name("v0").unwrap();
+        let v1 = closure_net.topology().node_by_name("v1").unwrap();
+        assert_eq!(
+            closure_net.set_edge_policy((v0, v1), None).unwrap_err(),
+            NetworkError::NotPolicyMode
+        );
+        let schema = RouteSchema::new(
+            "Hop",
+            [("len".to_owned(), Type::Int)],
+            [MergeKey::Lower("len".into())],
+        );
+        let g = gen::path(2);
+        let v0 = g.node_by_name("v0").unwrap();
+        let v1 = g.node_by_name("v1").unwrap();
+        let net = NetworkBuilder::from_schema(g, schema)
+            .policy((v0, v1), RoutePolicy::new().increment("len"))
+            .build()
+            .unwrap();
+        // no edge v1 -> v0 on a directed path
+        assert!(matches!(
+            net.set_edge_policy((v1, v0), None).unwrap_err(),
+            NetworkError::UnknownEdge { .. }
+        ));
+        // removing the only policy of an edge with no default
+        assert!(matches!(
+            net.set_edge_policy((v0, v1), None).unwrap_err(),
+            NetworkError::MissingTransfer { .. }
+        ));
+    }
+
+    #[test]
+    fn with_failure_budget_rebuilds_constraints() {
+        use crate::policy::{FailureModel, MergeKey, RoutePolicy, RouteSchema};
+        let schema = RouteSchema::new(
+            "Hop",
+            [("len".to_owned(), Type::Int)],
+            [MergeKey::Lower("len".into())],
+        );
+        let g = gen::undirected_path(3);
+        let dest = g.node_by_name("v0").unwrap();
+        let v1 = g.node_by_name("v1").unwrap();
+        let v2 = g.node_by_name("v2").unwrap();
+        let origin = Expr::record(schema.record_def(), vec![Expr::int(0)]).some();
+        let net = NetworkBuilder::from_schema(g, schema)
+            .default_policy(RoutePolicy::new().increment("len"))
+            .failures(FailureModel::at_most(0, [(dest, v1), (v1, v2)]))
+            .init(dest, origin)
+            .build()
+            .unwrap();
+        let sig = net.encoder_signature();
+        let rebudgeted = net.with_failure_budget(1).unwrap();
+        assert_ne!(rebudgeted.encoder_signature(), sig, "the budget is in the fingerprint");
+        assert_eq!(
+            rebudgeted.policies().unwrap().failures.as_ref().unwrap().budget(),
+            1,
+            "new model installed"
+        );
+        // under budget 1 a single failure satisfies every constraint;
+        // under the original budget 0 it violated them
+        let mut env = Env::new();
+        let model = rebudgeted.policies().unwrap().failures.as_ref().unwrap().clone();
+        model.bind_failures(rebudgeted.topology(), &mut env, &[(dest, v1)]);
+        for c in rebudgeted.symbolic_constraints() {
+            assert_eq!(c.eval(&env).unwrap(), Value::Bool(true));
+        }
+        assert!(net
+            .symbolic_constraints()
+            .iter()
+            .all(|c| c.eval(&env).unwrap() == Value::Bool(false)));
+        // a budget-only change keeps every node's structural hash... changed:
+        // the budget constraint is part of each node's symbolic preconditions
+        for v in net.topology().nodes() {
+            assert_ne!(net.node_structural_hash(v), rebudgeted.node_structural_hash(v));
+        }
+        // closure-built networks cannot be re-budgeted
+        assert_eq!(hoplimit_net().with_failure_budget(1).unwrap_err(), NetworkError::NotPolicyMode);
     }
 
     #[test]

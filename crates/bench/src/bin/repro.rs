@@ -16,6 +16,9 @@
 //! repro arena     [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
 //! repro profile   [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
 //! repro trend     DUMP.json [DUMP.json ...]   (oldest first)
+//! repro serve     [--bench NAME] [--k K] [--port P] [--timeout-secs S] [--threads T]
+//! repro ask       [--port P] [--request JSON]
+//! repro soak      [--bench NAME] [--ks 4,6,8] [--clients N] [--deltas M] [--json PATH]
 //! repro shard-worker --bench NAME --k K --shard I --shards N  (internal)
 //! repro all
 //! ```
@@ -38,16 +41,25 @@
 //! along under `otherData`. `repro profile` runs sweep rows with tracing on
 //! and prints the phase breakdown directly: encode/solve/steal-idle/other
 //! shares per row, per-node-class attribution, and the slowest nodes.
+//!
+//! `repro serve` starts `timepieced` — the verification daemon of
+//! `timepiece-daemon` — on one warm instance; `repro ask` sends it a single
+//! request; `repro soak` measures it under concurrent delta streams (cold
+//! full-check baseline, single-edge probe, then N clients × M randomized
+//! deltas) and dumps soak rows that `repro trend` can ingest alongside
+//! fig14 dumps.
 
 use std::time::Duration;
 
 use timepiece_bench::{
-    loc, run_row, run_row_pooled, run_row_sharded, run_shard, trend, BenchKind, Row, SweepOptions,
+    fattree_instance, loc, run_row, run_row_pooled, run_row_sharded, run_shard, run_soak, trend,
+    BenchKind, Row, SoakOptions, SweepOptions,
 };
 use timepiece_core::check::{CheckOptions, ModularChecker};
 use timepiece_core::monolithic::check_monolithic;
 use timepiece_core::strawperson::check_strawperson;
 use timepiece_core::sweep::CheckerPool;
+use timepiece_daemon::{serve, spawn_sigterm_watcher, Client, DaemonState, Request};
 use timepiece_expr::Env;
 use timepiece_nets::example::{RunningExample, EXTERNAL_ROUTE_VAR};
 use timepiece_nets::ghost;
@@ -70,8 +82,11 @@ subcommands:
   arena      per-row term-arena interning traffic and dedup ratios
   profile    phase-attributed breakdown per sweep row (encode/solve/steal-idle)
   trend      per-benchmark wall-time trajectories over --json dumps
+  serve      start timepieced: the verification daemon, warm on one instance
+  ask        send one NDJSON request to a running timepieced and print the reply
+  soak       concurrent delta streams against one warm daemon (p50/p95, cones)
   shard-worker  (internal) check one shard of one instance, print JSON report
-  all        everything above (except infer, arena and trend)
+  all        everything above (except infer, arena, trend and the daemon)
 
 flags:
   --max-k N          largest fattree parameter to sweep (default 12; infer: 8)
@@ -86,9 +101,13 @@ flags:
   --shards N         fork N shard-worker processes per modular sweep row
   --json PATH        also write fig14 rows as machine-readable JSON to PATH
   --trace PATH       write a Chrome trace-event JSON of the run (fig14, infer)
-  --k K              (shard-worker) fattree parameter of the instance
+  --k K              (serve, shard-worker) fattree parameter of the instance
   --shard I          (shard-worker) which shard of the plan to check
-  --trace-spans      (shard-worker) collect spans and embed them in the report";
+  --trace-spans      (shard-worker) collect spans and embed them in the report
+  --port P           (serve, ask) daemon TCP port on 127.0.0.1 (default 7171)
+  --request JSON     (ask) raw request frame to send (default: status)
+  --clients N        (soak) concurrent client threads (default 4)
+  --deltas M         (soak) deltas each client streams (default 8)";
 
 struct Args {
     max_k: Option<usize>,
@@ -105,6 +124,10 @@ struct Args {
     k: Option<usize>,
     shard: Option<usize>,
     trace_spans: bool,
+    port: u16,
+    request: Option<String>,
+    clients: usize,
+    deltas: usize,
 }
 
 /// The next flag value, or a usage error naming the flag and what it wants.
@@ -142,6 +165,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         k: None,
         shard: None,
         trace_spans: false,
+        port: 7171,
+        request: None,
+        clients: 4,
+        deltas: 8,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -189,6 +216,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--k" => args.k = Some(parse_value(&mut it, flag, "integer k")?),
             "--shard" => args.shard = Some(parse_value(&mut it, flag, "shard index")?),
             "--trace-spans" => args.trace_spans = true,
+            "--port" => args.port = parse_value(&mut it, flag, "TCP port")?,
+            "--request" => args.request = Some(next_value(&mut it, flag, "JSON frame")?),
+            "--clients" => {
+                args.clients = parse_value(&mut it, flag, "client count")?;
+                if args.clients == 0 {
+                    return Err(format!("{flag} requires at least one client"));
+                }
+            }
+            "--deltas" => args.deltas = parse_value(&mut it, flag, "deltas per client")?,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -700,6 +736,114 @@ fn trend_cmd(paths: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The benchmark `serve`/`soak` run when `--bench` is unrestricted: soaking
+/// all thirteen scenarios is a sweep, not a service, so the daemon commands
+/// default to the canonical reachability one.
+fn daemon_bench(args: &Args) -> Result<BenchKind, String> {
+    let name = if args.bench == "all" { "SpReach" } else { args.bench.as_str() };
+    BenchKind::parse(name).ok_or_else(|| format!("--bench: {}", unknown_bench(name)))
+}
+
+/// The `repro serve` subcommand: start `timepieced` warm on one fattree
+/// instance and serve until `shutdown` or SIGTERM drains it.
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    let kind = daemon_bench(args)?;
+    let k = args.k.unwrap_or(4);
+    let label = format!("{} k={k}", kind.name());
+    eprintln!("compiling {label} and running the warm-up check...");
+    let options = CheckOptions {
+        timeout: Some(args.timeout),
+        threads: args.threads,
+        session_cap: Some(64),
+        ..CheckOptions::default()
+    };
+    let state = DaemonState::new(label, fattree_instance(kind, k), options)
+        .map_err(|e| format!("warm-up check failed: {e}"))?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", args.port))
+        .map_err(|e| format!("binding 127.0.0.1:{}: {e}", args.port))?;
+    let addr = listener.local_addr().map_err(|e| format!("local address: {e}"))?;
+    spawn_sigterm_watcher(state.drain());
+    // the smoke test and scripts wait for this line before connecting
+    println!("timepieced listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    serve(listener, state).map_err(|e| format!("serve: {e}"))
+}
+
+/// The `repro ask` subcommand: one request to a running daemon, reply on
+/// stdout. Without `--request` it sends `status`.
+fn ask_cmd(args: &Args) -> Result<(), String> {
+    let mut client = Client::connect(("127.0.0.1", args.port))
+        .map_err(|e| format!("connecting to 127.0.0.1:{}: {e}", args.port))?;
+    let reply = match &args.request {
+        Some(raw) => {
+            let frame = timepiece_sched::Json::parse(raw).map_err(|e| format!("--request: {e}"))?;
+            client.request(&frame)
+        }
+        None => client.send(&Request::Status),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
+    println!("{reply}");
+    Ok(())
+}
+
+/// The `repro soak` subcommand: measure a warm daemon under concurrent
+/// delta streams, one row per fattree size.
+fn soak_cmd(args: &Args) -> Result<(), String> {
+    let kind = daemon_bench(args)?;
+    let options = SoakOptions {
+        clients: args.clients,
+        deltas_per_client: args.deltas,
+        timeout: args.timeout,
+        threads: args.threads,
+        ..SoakOptions::default()
+    };
+    println!("=== repro soak — {} under concurrent delta streams ===", kind.name());
+    println!(
+        "({} clients x {} deltas each; cold full-check baseline and single-edge \
+         link-down probe per row)",
+        args.clients, args.deltas
+    );
+    println!(
+        "{:>4} {:>6} {:>10} {:>6} {:>6} {:>10} {:>9} {:>9} {:>9} {:>8} {:>5}",
+        "k", "nodes", "cold", "cone", "cone%", "probe", "speedup", "p50", "p95", "avgcone", "err"
+    );
+    let mut rows = Vec::new();
+    // the soak grid defaults to the recorded EXPERIMENTS.md sizes
+    let ks = args.ks.clone().unwrap_or_else(|| vec![4, 6, 8]);
+    for k in ks {
+        let r = run_soak(kind, k, &options);
+        println!(
+            "{:>4} {:>6} {:>10} {:>6} {:>6} {:>10} {:>9} {:>9} {:>9} {:>8} {:>5}",
+            r.k,
+            r.nodes,
+            format!("{:.0}ms", r.baseline_full_ms),
+            r.probe_cone,
+            format!("{:.0}%", 100.0 * r.probe_cone_frac()),
+            format!("{:.0}ms", r.probe_ms),
+            format!("{:.1}x", r.probe_speedup()),
+            format!("{:.0}ms", r.p50_ms),
+            format!("{:.0}ms", r.p95_ms),
+            format!("{:.1}", r.mean_cone),
+            r.storm_errors,
+        );
+        rows.push(r.to_json());
+    }
+    if let Some(path) = &args.json {
+        use timepiece_sched::Json;
+        let doc = Json::obj([
+            ("soak", Json::Bool(true)),
+            ("clients", Json::from(args.clients)),
+            ("deltas_per_client", Json::from(args.deltas)),
+            ("timeout_secs", Json::Num(args.timeout.as_secs_f64())),
+            ("rows", Json::Arr(rows)),
+        ]);
+        std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// The (internal) shard-worker entrypoint: check one shard of one instance
 /// and print the JSON report on stdout.
 fn shard_worker(args: &Args) -> Result<(), String> {
@@ -890,6 +1034,9 @@ fn main() {
         "infer" => infer(&args),
         "arena" => arena_cmd(&args),
         "profile" => profile_cmd(&args),
+        "serve" => serve_cmd(&args),
+        "ask" => ask_cmd(&args),
+        "soak" => soak_cmd(&args),
         "shard-worker" => shard_worker(&args),
         "all" => {
             fig3();

@@ -12,6 +12,7 @@
 pub mod loc;
 pub mod runner;
 pub mod shard;
+pub mod soak;
 pub mod trend;
 
 pub use runner::{
@@ -19,3 +20,4 @@ pub use runner::{
     SweepOptions,
 };
 pub use shard::{run_row_sharded, run_shard, ShardReport};
+pub use soak::{run_soak, SoakOptions, SoakResult};

@@ -6,6 +6,11 @@
 //! prints per-`(benchmark, k)` wall-time trajectories — the first run, every
 //! subsequent run, and the end-to-end speedup — so regressions and wins are
 //! visible without spreadsheet archaeology.
+//!
+//! `repro soak --json PATH` dumps (marked `"soak": true`) ingest too: each
+//! soak row becomes a `BENCH+delta` series whose wall time is the median
+//! storm-delta latency, so daemon serving latency trends alongside the
+//! from-scratch sweep times.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -48,6 +53,9 @@ pub fn parse_dump(text: &str) -> Result<Vec<TrendPoint>, TrendError> {
         .get("rows")
         .and_then(Json::as_arr)
         .ok_or_else(|| TrendError("missing rows array".to_owned()))?;
+    if doc.get("soak").and_then(Json::as_bool) == Some(true) {
+        return rows.iter().map(parse_soak_row).collect();
+    }
     rows.iter()
         .map(|row| {
             let field = |key: &str| row.get(key).ok_or_else(|| TrendError(format!("row.{key}")));
@@ -70,6 +78,24 @@ pub fn parse_dump(text: &str) -> Result<Vec<TrendPoint>, TrendError> {
             })
         })
         .collect()
+}
+
+/// One `repro soak` row as a trend point: the series is `BENCH+delta`, the
+/// wall time the median storm-delta latency, and the outcome `verified`
+/// exactly when the probe restored a verified network (`ok`).
+fn parse_soak_row(row: &Json) -> Result<TrendPoint, TrendError> {
+    let field = |key: &str| row.get(key).ok_or_else(|| TrendError(format!("soak row.{key}")));
+    let bench =
+        field("bench")?.as_str().ok_or_else(|| TrendError("soak row.bench type".to_owned()))?;
+    let p50_ms =
+        field("p50_ms")?.as_f64().ok_or_else(|| TrendError("soak row.p50_ms type".to_owned()))?;
+    let ok = field("ok")?.as_bool().ok_or_else(|| TrendError("soak row.ok type".to_owned()))?;
+    Ok(TrendPoint {
+        bench: format!("{bench}+delta"),
+        k: field("k")?.as_usize().ok_or_else(|| TrendError("soak row.k type".to_owned()))?,
+        outcome: if ok { "verified".to_owned() } else { "failed".to_owned() },
+        wall_secs: p50_ms / 1e3,
+    })
 }
 
 /// The trajectory of one `(bench, k)` series across dumps: `None` where a
@@ -123,14 +149,16 @@ pub fn trajectories(dumps: &[Vec<TrendPoint>]) -> Vec<Trajectory> {
 pub fn render(labels: &[String], dumps: &[Vec<TrendPoint>]) -> String {
     use std::fmt::Write as _;
     let width = labels.iter().map(String::len).max().unwrap_or(0).max(10);
+    let rows = trajectories(dumps);
+    let bench_width = rows.iter().map(|t| t.bench.len()).max().unwrap_or(0).max(10);
     let mut out = String::new();
-    let _ = write!(out, "{:<10} {:>3}", "bench", "k");
+    let _ = write!(out, "{:<bench_width$} {:>3}", "bench", "k");
     for label in labels {
         let _ = write!(out, " {label:>width$}");
     }
     let _ = writeln!(out, " {:>9}", "speedup");
-    for trajectory in trajectories(dumps) {
-        let _ = write!(out, "{:<10} {:>3}", trajectory.bench, trajectory.k);
+    for trajectory in rows {
+        let _ = write!(out, "{:<bench_width$} {:>3}", trajectory.bench, trajectory.k);
         for point in &trajectory.points {
             let cell = match point {
                 Some(p) if p.outcome == "verified" => format!("{:.2}s", p.wall_secs),
@@ -188,6 +216,25 @@ mod tests {
         let len = ts.iter().find(|t| t.bench == "SpLen").unwrap();
         assert_eq!(len.points[1], None, "absent from the second dump");
         assert_eq!(len.endpoints(), Some((8.0, 8.0)));
+    }
+
+    #[test]
+    fn soak_dumps_become_delta_series() {
+        let soak = r#"{"soak":true,"clients":4,"deltas_per_client":8,"rows":[
+            {"bench":"SpReach","k":8,"nodes":80,"p50_ms":250.0,"ok":true},
+            {"bench":"SpReach","k":4,"nodes":20,"p50_ms":40.0,"ok":false}]}"#;
+        let points = parse_dump(soak).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].bench, "SpReach+delta");
+        assert_eq!(points[0].outcome, "verified");
+        assert_eq!(points[0].wall_secs, 0.25);
+        assert_eq!(points[1].outcome, "failed");
+        // soak and fig14 dumps align in one trajectory table
+        let fig14 = parse_dump(&dump(&[("SpReach", 8, "verified", 2.0)])).unwrap();
+        let table = render(&["sweep".to_owned(), "soak".to_owned()], &[fig14, points]);
+        assert!(table.contains("SpReach+delta"));
+        assert!(table.contains("0.25s"));
+        assert!(parse_dump(r#"{"soak":true,"rows":[{"bench":"X","k":4}]}"#).is_err());
     }
 
     #[test]

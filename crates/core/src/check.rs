@@ -34,6 +34,22 @@ pub struct CheckOptions {
     pub delay: u64,
     /// Stop scheduling new nodes after the first failure.
     pub fail_fast: bool,
+    /// Bound each worker's solver-session pool to this many sessions,
+    /// evicting least-recently-used ones (`None`: unbounded). Long-running
+    /// services set this: every distinct policy edit opens a session under a
+    /// fresh encoder signature.
+    pub session_cap: Option<usize>,
+}
+
+impl CheckOptions {
+    /// A session pool honoring [`CheckOptions::timeout`] and
+    /// [`CheckOptions::session_cap`].
+    pub(crate) fn session_pool(&self) -> SessionPool {
+        match self.session_cap {
+            Some(cap) => SessionPool::with_capacity(self.timeout, cap),
+            None => SessionPool::new(self.timeout),
+        }
+    }
 }
 
 /// Why a node failed its check.
@@ -327,7 +343,7 @@ impl ModularChecker {
             nodes.to_vec(),
             workers,
             &token,
-            |_worker| SessionPool::new(self.options.timeout),
+            |_worker| self.options.session_pool(),
             |pool: &mut SessionPool, v| -> Result<_, CoreError> {
                 let before = pool.term_cache_stats();
                 let session = pool.session_or_init(&signature, |s| {

@@ -53,6 +53,7 @@
 
 pub mod check;
 pub mod error;
+pub mod incremental;
 pub mod interface;
 pub mod monolithic;
 pub mod stats;
@@ -63,6 +64,7 @@ pub mod vc;
 
 pub use check::{CheckOptions, CheckReport, Failure, ModularChecker};
 pub use error::CoreError;
+pub use incremental::{Fingerprints, NodeVerdict, VerdictCache};
 pub use interface::NodeAnnotations;
 pub use temporal::Temporal;
 pub use vc::VcKind;

@@ -16,14 +16,12 @@
 //! the pool trades a little intra-row balance for cross-row cache reuse;
 //! the scoped scheduler remains the right tool for one-shot checks.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use timepiece_algebra::Network;
-use timepiece_sched::ShardPlan;
+use timepiece_sched::{CancelToken, ShardPlan};
 use timepiece_smt::{SessionPool, TermCacheStats};
 use timepiece_topology::NodeId;
 
@@ -38,11 +36,12 @@ struct Job {
     interface: NodeAnnotations,
     property: NodeAnnotations,
     nodes: Vec<NodeId>,
-    /// Shared across every worker of one `check` call: raised on the first
-    /// failure under [`CheckOptions::fail_fast`], abandoning remaining
-    /// nodes pool-wide (matching the scoped checker's semantics, minus the
-    /// in-flight solver interrupt).
-    cancel: Arc<AtomicBool>,
+    /// Shared across every worker of one `check_nodes` call: raised on the
+    /// first failure under [`CheckOptions::fail_fast`] *or* by an external
+    /// canceller (e.g. a daemon draining for shutdown). Each worker
+    /// registers its session's interrupt handle as a hook, so raising the
+    /// token also aborts in-flight solver calls.
+    cancel: CancelToken,
 }
 
 /// What a worker sends back per job: failures, per-node durations, and the
@@ -102,7 +101,7 @@ impl CheckerPool {
                     // the sessions (and their Z3 contexts, declarations and
                     // compiled-term caches) live exactly as long as this
                     // thread: across every job the pool ever runs
-                    let mut sessions = SessionPool::new(options.timeout);
+                    let mut sessions = options.session_pool();
                     let fail_fast = options.fail_fast;
                     let checker = ModularChecker::new(options);
                     while let Ok(job) = job_rx.recv() {
@@ -150,13 +149,38 @@ impl CheckerPool {
         interface: &NodeAnnotations,
         property: &NodeAnnotations,
     ) -> Result<CheckReport, CoreError> {
+        let nodes: Vec<NodeId> = net.topology().nodes().collect();
+        self.check_nodes(net, interface, property, &nodes, &CancelToken::new())
+    }
+
+    /// Checks a *subset* of nodes across the persistent workers — the
+    /// incremental re-check path: a daemon that knows which nodes a delta
+    /// dirtied re-verifies exactly those, through sessions still warm from
+    /// the previous request.
+    ///
+    /// Raising `cancel` abandons unchecked nodes *and* interrupts in-flight
+    /// solver calls (each worker registers its session's interrupt handle on
+    /// the token), so an external canceller — a daemon draining for
+    /// shutdown — stops a long check promptly. Nodes abandoned that way
+    /// report neither failures nor durations.
+    ///
+    /// # Errors
+    ///
+    /// As [`CheckerPool::check`].
+    pub fn check_nodes(
+        &mut self,
+        net: &Network,
+        interface: &NodeAnnotations,
+        property: &NodeAnnotations,
+        nodes: &[NodeId],
+        cancel: &CancelToken,
+    ) -> Result<CheckReport, CoreError> {
         let start = Instant::now();
         let g = net.topology();
-        let nodes: Vec<NodeId> = g.nodes().collect();
         // deterministic class striping, as in multi-process sharding: every
         // worker gets the same mix of cheap and expensive node classes
-        let plan = ShardPlan::by_class(nodes, self.workers.len(), |v| g.node_class(v).to_owned());
-        let cancel = Arc::new(AtomicBool::new(false));
+        let plan =
+            ShardPlan::by_class(nodes.to_vec(), self.workers.len(), |v| g.node_class(v).to_owned());
         let mut active = Vec::new();
         for (i, worker) in self.workers.iter().enumerate() {
             let assigned = plan.nodes_of(i);
@@ -168,7 +192,7 @@ impl CheckerPool {
                 interface: interface.clone(),
                 property: property.clone(),
                 nodes: assigned.to_vec(),
-                cancel: Arc::clone(&cancel),
+                cancel: cancel.clone(),
             });
             if sent.is_err() {
                 // a worker that panicked in an earlier check closed its
@@ -218,16 +242,25 @@ fn run_job(
 ) -> JobResult {
     let signature = job.net.encoder_signature();
     let before = sessions.term_cache_stats();
+    {
+        // the job's token must reach this worker's in-flight solver calls:
+        // hooks are per-token (jobs come with fresh tokens), so the handle
+        // is registered anew for every job — on an already-raised token the
+        // hook fires immediately and the loop below never starts a check
+        let session = sessions.session(&signature);
+        let handle = session.interrupt_handle();
+        job.cancel.on_cancel(move || handle.interrupt());
+    }
     let mut failures = Vec::new();
     let mut durations = Vec::new();
     for &v in &job.nodes {
-        if job.cancel.load(Ordering::Acquire) {
+        if job.cancel.is_cancelled() {
             break;
         }
         let session = sessions.session(&signature);
         let Some((node_failures, duration)) = checker.check_node_in_session(
             session,
-            &job.cancel,
+            job.cancel.flag(),
             &job.net,
             &job.interface,
             &job.property,
@@ -238,7 +271,7 @@ fn run_job(
             break;
         };
         if fail_fast && !node_failures.is_empty() {
-            job.cancel.store(true, Ordering::Release);
+            job.cancel.cancel();
         }
         failures.extend(node_failures);
         durations.push((v, duration));
@@ -360,6 +393,73 @@ mod tests {
         assert!(t2.hits > 0, "row 2 saw no cache hits: {t2:?}");
         assert!(t2.misses < t1.misses, "row 2 must start warm from row 1: {t1:?} vs {t2:?}");
         assert!(t2.hit_rate() > t1.hit_rate());
+    }
+
+    #[test]
+    fn check_nodes_covers_exactly_the_requested_subset() {
+        let mut pool = CheckerPool::new(2, CheckOptions::default());
+        let net = reach_net(6);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let all: Vec<NodeId> = net.topology().nodes().collect();
+        let subset = &all[1..4];
+        let report =
+            pool.check_nodes(&net, &interface, &property, subset, &CancelToken::new()).unwrap();
+        assert!(report.is_verified());
+        let checked: Vec<NodeId> = report.node_durations().iter().map(|(v, _)| *v).collect();
+        assert_eq!(checked, subset, "exactly the requested nodes, in id order");
+    }
+
+    #[test]
+    fn an_already_cancelled_token_checks_nothing() {
+        // a daemon draining for shutdown raises its token before the job:
+        // every node is abandoned, the pool stays reusable
+        let mut pool = CheckerPool::new(2, CheckOptions::default());
+        let net = reach_net(5);
+        let interface = reach_interface(&net);
+        let property = NodeAnnotations::new(net.topology(), Temporal::any());
+        let all: Vec<NodeId> = net.topology().nodes().collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let report = pool.check_nodes(&net, &interface, &property, &all, &token).unwrap();
+        assert_eq!(report.node_durations().len(), 0, "all nodes abandoned");
+        assert!(report.is_verified(), "abandoned nodes report no failures");
+        let report =
+            pool.check_nodes(&net, &interface, &property, &all, &CancelToken::new()).unwrap();
+        assert_eq!(report.node_durations().len(), 5, "fresh token, full check");
+    }
+
+    #[test]
+    fn session_cap_bounds_worker_pools() {
+        // one worker, cap 1: checking two structurally different networks
+        // (distinct signatures) must evict rather than accumulate — smoke
+        // for the daemon's bounded-session configuration
+        let mut pool =
+            CheckerPool::new(1, CheckOptions { session_cap: Some(1), ..Default::default() });
+        let property_of = |net: &Network| NodeAnnotations::new(net.topology(), Temporal::any());
+        let bool_net = reach_net(3);
+        let int_net = {
+            let g = gen::undirected_path(3);
+            let v0 = g.node_by_name("v0").unwrap();
+            NetworkBuilder::new(g, Type::option(Type::Int))
+                .merge(|a, b| b.clone().is_none().ite(a.clone(), b.clone()))
+                .default_transfer(|r| r.clone())
+                .init(v0, Expr::int(0).some())
+                .build()
+                .unwrap()
+        };
+        let bool_interface = reach_interface(&bool_net);
+        let int_interface = NodeAnnotations::new(int_net.topology(), Temporal::any());
+        for _ in 0..2 {
+            assert!(pool
+                .check(&bool_net, &bool_interface, &property_of(&bool_net))
+                .unwrap()
+                .is_verified());
+            assert!(pool
+                .check(&int_net, &int_interface, &property_of(&int_net))
+                .unwrap()
+                .is_verified());
+        }
     }
 
     #[test]

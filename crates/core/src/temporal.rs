@@ -107,6 +107,36 @@ impl Temporal {
         Temporal::globally(|_| Expr::bool(true))
     }
 
+    /// This operator with its outermost witness time replaced by `tau` —
+    /// the witness-time *delta* of incremental re-checking: `φ U^τ Q`
+    /// becomes `φ U^tau Q` (and the rewrite distributes over the lifted
+    /// connectives). Returns `None` when the operator has no witness time
+    /// anywhere (`G(φ)` all the way down), so callers can reject the edit
+    /// instead of silently ignoring it.
+    pub fn with_witness(&self, tau: &Expr) -> Option<Temporal> {
+        match self {
+            Temporal::Globally(_) => None,
+            Temporal::Until(_, phi, q) => {
+                Some(Temporal::Until(tau.clone(), Arc::clone(phi), q.clone()))
+            }
+            Temporal::And(a, b) => match (a.with_witness(tau), b.with_witness(tau)) {
+                (None, None) => None,
+                (ra, rb) => Some(Temporal::And(
+                    Box::new(ra.unwrap_or_else(|| (**a).clone())),
+                    Box::new(rb.unwrap_or_else(|| (**b).clone())),
+                )),
+            },
+            Temporal::Or(a, b) => match (a.with_witness(tau), b.with_witness(tau)) {
+                (None, None) => None,
+                (ra, rb) => Some(Temporal::Or(
+                    Box::new(ra.unwrap_or_else(|| (**a).clone())),
+                    Box::new(rb.unwrap_or_else(|| (**b).clone())),
+                )),
+            },
+            Temporal::Not(a) => a.with_witness(tau).map(|r| Temporal::Not(Box::new(r))),
+        }
+    }
+
     /// Instantiates the operator: the predicate holding at time `t` applied
     /// to `route`. `t` may be any integer-typed term (symbolic or constant).
     ///
@@ -202,6 +232,24 @@ mod tests {
         assert!(holds(&op, 1, Value::int(0)));
         assert!(!holds(&op, 2, Value::int(0)));
         assert!(holds(&op, 2, Value::int(1)));
+    }
+
+    #[test]
+    fn with_witness_moves_the_switch_point() {
+        let op = Temporal::finally_at(2, ge(1));
+        let later = op.with_witness(&Expr::int(5)).expect("an until has a witness");
+        // the original switches at 2, the rewritten one at 5
+        assert!(!holds(&op, 3, Value::int(0)));
+        assert!(holds(&later, 3, Value::int(0)));
+        assert!(!holds(&later, 5, Value::int(0)));
+        assert!(holds(&later, 5, Value::int(1)));
+        // operators with no witness time anywhere reject the edit
+        assert!(ge(1).with_witness(&Expr::int(5)).is_none());
+        assert!(Temporal::any().not().with_witness(&Expr::int(5)).is_none());
+        // the rewrite reaches through lifted connectives
+        let both = op.and(ge(0)).with_witness(&Expr::int(4)).expect("left side has a witness");
+        assert!(holds(&both, 3, Value::int(0)));
+        assert!(!holds(&both, 4, Value::int(0)));
     }
 
     #[test]

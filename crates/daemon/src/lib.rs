@@ -1,0 +1,64 @@
+//! `timepieced`: verification as a service with incremental dirty-cone
+//! re-checking.
+//!
+//! Modular verification (Algorithm 1) already pays for this crate's premise:
+//! each node's three conditions depend on a bounded slice of the network, so
+//! an *edit* — a policy change, a link failure, a new witness time, a new
+//! failure budget — invalidates a bounded **cone** of nodes. A daemon that
+//! keeps the compiled network, the solver sessions and the last verdict per
+//! node warm can answer "is the network still correct after this edit?" by
+//! re-checking only that cone, orders of magnitude faster than a cold run.
+//!
+//! The pieces:
+//!
+//! * [`mod@protocol`] — the NDJSON wire protocol: `check`, `delta`,
+//!   `status`, `profile`, `shutdown` (framing via
+//!   [`timepiece_trace::json`]);
+//! * [`mod@state`] — [`DaemonState`]: the warm instance, the persistent
+//!   [`timepiece_core::sweep::CheckerPool`], the
+//!   [`timepiece_core::Fingerprints`] snapshot and the
+//!   [`timepiece_core::VerdictCache`]; `delta` handling = apply → diff
+//!   fingerprints → re-check the cone → fold verdicts back in;
+//! * [`mod@server`] — the TCP accept/state/connection threads, graceful
+//!   drain on `shutdown` or SIGTERM (in-flight solver calls are interrupted
+//!   through [`timepiece_sched::CancelToken`] hooks);
+//! * [`mod@client`] — a minimal blocking client, used by `repro ask` and
+//!   the soak harness;
+//! * [`mod@fixture`] — small self-contained instances for tests and smoke
+//!   runs.
+//!
+//! # Example
+//!
+//! Drive the state machine in process (the TCP server runs the same code):
+//!
+//! ```
+//! use timepiece_core::check::CheckOptions;
+//! use timepiece_daemon::fixture::hop_path;
+//! use timepiece_daemon::{DaemonState, Delta, Request};
+//! use timepiece_trace::Json;
+//!
+//! let options = CheckOptions { threads: Some(2), ..Default::default() };
+//! let mut state = DaemonState::new("hop n=4", hop_path(4, None), options)?;
+//! assert!(state.all_verified());
+//!
+//! let down = Request::Delta(Delta::LinkDown { u: "v2".into(), v: "v3".into() });
+//! let reply = state.handle(&down).reply;
+//! let cone = reply.get("cone_size").and_then(Json::as_f64).unwrap() as usize;
+//! assert!(cone < state.nodes(), "a delta re-checks a strict subset");
+//! assert!(!state.all_verified(), "v3 lost its only route");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod fixture;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::Client;
+pub use protocol::{error_response, Delta, PolicySpec, ProtocolError, Request};
+pub use server::{serve, spawn_sigterm_watcher, trigger_sigterm};
+pub use state::{DaemonState, DrainSignal, Handled};

@@ -1,0 +1,293 @@
+//! The `timepieced` wire protocol: newline-delimited JSON requests and
+//! responses.
+//!
+//! Every frame is one JSON object on one `\n`-terminated line (the codec is
+//! [`timepiece_trace::json::read_line_value`] /
+//! [`timepiece_trace::json::write_line_value`]). A request carries a
+//! `"verb"`; a response always carries `"ok"` (and `"error"` when `ok` is
+//! false). The verbs:
+//!
+//! | verb | request fields | effect |
+//! |---|---|---|
+//! | `check` | — | re-verify every node |
+//! | `delta` | `kind` + kind-specific fields | apply one edit, re-verify the dirty cone |
+//! | `status` | — | instance, verdict and counter summary |
+//! | `profile` | — | the metrics-registry snapshot |
+//! | `shutdown` | — | drain in-flight checks and stop serving |
+//!
+//! Delta kinds: `link_down`/`link_up` (`u`, `v`: node names),
+//! `edge_policy` (`u`, `v`, `policy`: `"drop"`, `"default"`, or
+//! `{"increment": <field>}`), `witness_time` (`node`, `tau`),
+//! `failure_budget` (`budget`).
+
+use timepiece_trace::Json;
+
+/// How an edge's policy is respecified by an `edge_policy` delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// Drop every route (`drop_if true`).
+    Drop,
+    /// Remove the edge's override; it falls back to the default policy.
+    Default,
+    /// Increment the named route field (e.g. a path length).
+    Increment(String),
+}
+
+/// One network edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delta {
+    /// Both directions of the link get an always-drop policy.
+    LinkDown {
+        /// One endpoint's node name.
+        u: String,
+        /// The other endpoint's node name.
+        v: String,
+    },
+    /// Both directions get their pre-`link_down` policies back.
+    LinkUp {
+        /// One endpoint's node name.
+        u: String,
+        /// The other endpoint's node name.
+        v: String,
+    },
+    /// One directed edge's policy is replaced.
+    EdgePolicy {
+        /// The edge's tail node name.
+        u: String,
+        /// The edge's head node name.
+        v: String,
+        /// The new policy.
+        policy: PolicySpec,
+    },
+    /// One node's interface gets a new outermost witness time.
+    WitnessTime {
+        /// The node name.
+        node: String,
+        /// The new witness time.
+        tau: i64,
+    },
+    /// The link-failure budget `f` is replaced.
+    FailureBudget {
+        /// The new at-most budget.
+        budget: u64,
+    },
+}
+
+/// One protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Re-verify every node.
+    Check,
+    /// Apply one edit and re-verify its dirty cone.
+    Delta(Delta),
+    /// Summarize the instance, verdicts and counters.
+    Status,
+    /// Snapshot the metrics registry.
+    Profile,
+    /// Drain in-flight checks and stop serving.
+    Shutdown,
+}
+
+/// A malformed request or response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(message: impl Into<String>) -> ProtocolError {
+    ProtocolError(message.into())
+}
+
+fn field<'j>(value: &'j Json, key: &str) -> Result<&'j Json, ProtocolError> {
+    value.get(key).ok_or_else(|| bad(format!("missing field {key:?}")))
+}
+
+fn str_field(value: &Json, key: &str) -> Result<String, ProtocolError> {
+    field(value, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| bad(format!("field {key:?} must be a string")))
+}
+
+fn num_field(value: &Json, key: &str) -> Result<f64, ProtocolError> {
+    field(value, key)?.as_f64().ok_or_else(|| bad(format!("field {key:?} must be a number")))
+}
+
+impl PolicySpec {
+    fn to_json(&self) -> Json {
+        match self {
+            PolicySpec::Drop => Json::str("drop"),
+            PolicySpec::Default => Json::str("default"),
+            PolicySpec::Increment(fieldname) => {
+                Json::obj([("increment", Json::str(fieldname.clone()))])
+            }
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<PolicySpec, ProtocolError> {
+        match value {
+            Json::Str(s) if s == "drop" => Ok(PolicySpec::Drop),
+            Json::Str(s) if s == "default" => Ok(PolicySpec::Default),
+            Json::Obj(_) => Ok(PolicySpec::Increment(str_field(value, "increment")?)),
+            other => Err(bad(format!("bad policy spec {other}"))),
+        }
+    }
+}
+
+impl Request {
+    /// The request as a wire frame.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Check => Json::obj([("verb", Json::str("check"))]),
+            Request::Status => Json::obj([("verb", Json::str("status"))]),
+            Request::Profile => Json::obj([("verb", Json::str("profile"))]),
+            Request::Shutdown => Json::obj([("verb", Json::str("shutdown"))]),
+            Request::Delta(delta) => {
+                let mut pairs: Vec<(String, Json)> = vec![("verb".to_owned(), Json::str("delta"))];
+                match delta {
+                    Delta::LinkDown { u, v } => {
+                        pairs.push(("kind".to_owned(), Json::str("link_down")));
+                        pairs.push(("u".to_owned(), Json::str(u.clone())));
+                        pairs.push(("v".to_owned(), Json::str(v.clone())));
+                    }
+                    Delta::LinkUp { u, v } => {
+                        pairs.push(("kind".to_owned(), Json::str("link_up")));
+                        pairs.push(("u".to_owned(), Json::str(u.clone())));
+                        pairs.push(("v".to_owned(), Json::str(v.clone())));
+                    }
+                    Delta::EdgePolicy { u, v, policy } => {
+                        pairs.push(("kind".to_owned(), Json::str("edge_policy")));
+                        pairs.push(("u".to_owned(), Json::str(u.clone())));
+                        pairs.push(("v".to_owned(), Json::str(v.clone())));
+                        pairs.push(("policy".to_owned(), policy.to_json()));
+                    }
+                    Delta::WitnessTime { node, tau } => {
+                        pairs.push(("kind".to_owned(), Json::str("witness_time")));
+                        pairs.push(("node".to_owned(), Json::str(node.clone())));
+                        pairs.push(("tau".to_owned(), Json::Num(*tau as f64)));
+                    }
+                    Delta::FailureBudget { budget } => {
+                        pairs.push(("kind".to_owned(), Json::str("failure_budget")));
+                        pairs.push(("budget".to_owned(), Json::from(*budget as usize)));
+                    }
+                }
+                Json::Obj(pairs)
+            }
+        }
+    }
+
+    /// Parses a wire frame into a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on unknown verbs/kinds or missing fields.
+    pub fn from_json(value: &Json) -> Result<Request, ProtocolError> {
+        let verb = str_field(value, "verb")?;
+        match verb.as_str() {
+            "check" => Ok(Request::Check),
+            "status" => Ok(Request::Status),
+            "profile" => Ok(Request::Profile),
+            "shutdown" => Ok(Request::Shutdown),
+            "delta" => {
+                let kind = str_field(value, "kind")?;
+                let delta = match kind.as_str() {
+                    "link_down" => {
+                        Delta::LinkDown { u: str_field(value, "u")?, v: str_field(value, "v")? }
+                    }
+                    "link_up" => {
+                        Delta::LinkUp { u: str_field(value, "u")?, v: str_field(value, "v")? }
+                    }
+                    "edge_policy" => Delta::EdgePolicy {
+                        u: str_field(value, "u")?,
+                        v: str_field(value, "v")?,
+                        policy: PolicySpec::from_json(field(value, "policy")?)?,
+                    },
+                    "witness_time" => Delta::WitnessTime {
+                        node: str_field(value, "node")?,
+                        tau: num_field(value, "tau")? as i64,
+                    },
+                    "failure_budget" => {
+                        Delta::FailureBudget { budget: num_field(value, "budget")? as u64 }
+                    }
+                    other => return Err(bad(format!("unknown delta kind {other:?}"))),
+                };
+                Ok(Request::Delta(delta))
+            }
+            other => Err(bad(format!("unknown verb {other:?}"))),
+        }
+    }
+}
+
+/// Builds an error response frame.
+pub fn error_response(message: impl Into<String>) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message.into()))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            Request::Check,
+            Request::Status,
+            Request::Profile,
+            Request::Shutdown,
+            Request::Delta(Delta::LinkDown { u: "a0".into(), v: "t1".into() }),
+            Request::Delta(Delta::LinkUp { u: "a0".into(), v: "t1".into() }),
+            Request::Delta(Delta::EdgePolicy {
+                u: "c0".into(),
+                v: "a2".into(),
+                policy: PolicySpec::Drop,
+            }),
+            Request::Delta(Delta::EdgePolicy {
+                u: "c0".into(),
+                v: "a2".into(),
+                policy: PolicySpec::Increment("len".into()),
+            }),
+            Request::Delta(Delta::EdgePolicy {
+                u: "c0".into(),
+                v: "a2".into(),
+                policy: PolicySpec::Default,
+            }),
+            Request::Delta(Delta::WitnessTime { node: "e3".into(), tau: 7 }),
+            Request::Delta(Delta::FailureBudget { budget: 2 }),
+        ];
+        for request in requests {
+            let wire = request.to_json();
+            // through the text form too, as the socket would carry it
+            let parsed = Json::parse(&wire.to_string()).unwrap();
+            assert_eq!(Request::from_json(&parsed).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad_frame in [
+            r#"{"no_verb": 1}"#,
+            r#"{"verb": "dance"}"#,
+            r#"{"verb": "delta"}"#,
+            r#"{"verb": "delta", "kind": "link_down", "u": "a0"}"#,
+            r#"{"verb": "delta", "kind": "warp", "u": "a0", "v": "t0"}"#,
+            r#"{"verb": "delta", "kind": "witness_time", "node": "e0", "tau": "soon"}"#,
+            r#"{"verb": "delta", "kind": "edge_policy", "u": "a", "v": "b", "policy": "explode"}"#,
+        ] {
+            let frame = Json::parse(bad_frame).unwrap();
+            assert!(Request::from_json(&frame).is_err(), "{bad_frame} must not parse");
+        }
+    }
+
+    #[test]
+    fn error_responses_carry_the_message() {
+        let response = error_response("no such node");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(response.get("error").and_then(Json::as_str), Some("no such node"));
+    }
+}

@@ -1,0 +1,272 @@
+//! The TCP serving loop: NDJSON frames in, NDJSON frames out.
+//!
+//! Threading model: one accept loop (the caller's thread), one *state*
+//! thread owning the [`DaemonState`] (requests are serialized — the state
+//! holds mutable caches and a checker pool), and one reader thread per
+//! connection forwarding `(frame, reply-channel)` pairs to the state
+//! thread. Clients therefore see strict request/reply ordering on their own
+//! connection, and deltas from concurrent clients interleave atomically.
+//!
+//! Shutdown is cooperative through the state's [`DrainSignal`]: a
+//! `shutdown` request (after its reply is sent) or a SIGTERM (via
+//! [`spawn_sigterm_watcher`]) raises it, which cancels the in-flight
+//! check's [`timepiece_sched::CancelToken`] — firing the registered
+//! solver-interrupt hooks — pre-cancels any queued checks, stops the accept
+//! loop, and lets [`serve`] return `Ok(())` so the process exits 0.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use timepiece_trace::json::{read_line_value, write_line_value, MAX_LINE_BYTES};
+use timepiece_trace::Json;
+
+use crate::protocol::{error_response, Request};
+use crate::state::{DaemonState, DrainSignal};
+
+/// How often the accept, state and signal-watcher loops poll.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Set by the SIGTERM handler; polled by [`spawn_sigterm_watcher`]'s
+/// thread. Process-global because POSIX handlers cannot carry state.
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    /// POSIX `signal(2)`; taking the handler as a typed function pointer
+    /// keeps this FFI-minimal (no libc crate, no numeric casts).
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM handler and spawns a detached watcher thread that
+/// raises `drain` when the signal arrives, so a `kill <pid>` drains the
+/// daemon (cancelling any in-flight check) instead of killing it mid-solve.
+/// The `timepieced` serve mode calls this once before [`serve`].
+pub fn spawn_sigterm_watcher(drain: DrainSignal) {
+    const SIGTERM_NUM: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NUM, on_sigterm);
+    }
+    std::thread::spawn(move || {
+        timepiece_trace::set_thread_label("sigterm-watcher");
+        while !SIGTERM.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL);
+        }
+        drain.raise();
+    });
+}
+
+/// Raises the same flag as a delivered SIGTERM — what tests (and anything
+/// else embedding the server) use to exercise the watcher without a real
+/// signal.
+pub fn trigger_sigterm() {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// One unit forwarded to the state thread: the raw frame and where to send
+/// the reply.
+type Forwarded = (Json, mpsc::Sender<Json>);
+
+/// Serves requests on `listener` until the state's [`DrainSignal`] rises —
+/// via a `shutdown` request, [`DrainSignal::raise`], or SIGTERM when
+/// [`spawn_sigterm_watcher`] is installed — then drains and returns
+/// `Ok(())`.
+///
+/// # Errors
+///
+/// Only setup/accept I/O errors; per-connection errors close that
+/// connection.
+pub fn serve(listener: TcpListener, state: DaemonState) -> std::io::Result<()> {
+    let drain = state.drain();
+    let (req_tx, req_rx) = mpsc::channel::<Forwarded>();
+
+    let state_drain = drain.clone();
+    let state_thread = std::thread::spawn(move || {
+        timepiece_trace::set_thread_label("daemon-state");
+        run_state_loop(state, &state_drain, &req_rx);
+    });
+
+    listener.set_nonblocking(true)?;
+    loop {
+        if drain.is_draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let tx = req_tx.clone();
+                std::thread::spawn(move || {
+                    timepiece_trace::set_thread_label("daemon-conn");
+                    // best effort: a broken connection only ends itself
+                    let _ = run_connection(stream, &tx);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                drain.raise();
+                drop(req_tx);
+                let _ = state_thread.join();
+                return Err(e);
+            }
+        }
+    }
+    drop(req_tx);
+    let _ = state_thread.join();
+    // connection threads are detached; give the one carrying the shutdown
+    // reply a beat to flush before the caller exits the process
+    std::thread::sleep(POLL);
+    Ok(())
+}
+
+/// The state thread: applies forwarded frames to the state in arrival
+/// order, stopping when the drain rises or every sender hung up.
+fn run_state_loop(mut state: DaemonState, drain: &DrainSignal, req_rx: &mpsc::Receiver<Forwarded>) {
+    loop {
+        match req_rx.recv_timeout(POLL) {
+            Ok((frame, reply_tx)) => {
+                match Request::from_json(&frame) {
+                    Ok(request) => {
+                        let handled = state.handle(&request);
+                        // the reply leaves before the drain rises, so the
+                        // shutdown caller hears its ack
+                        let _ = reply_tx.send(handled.reply);
+                        if handled.shutdown {
+                            drain.raise();
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = reply_tx.send(error_response(e.to_string()));
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if drain.is_draining() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// One connection: read a frame, forward it, write the reply, repeat until
+/// EOF or error. Runs on its own thread.
+fn run_connection(stream: TcpStream, tx: &mpsc::Sender<Forwarded>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match read_line_value(&mut reader, MAX_LINE_BYTES) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(e) => {
+                // a framing error poisons the stream: answer once and close
+                let _ = write_line_value(&mut writer, &error_response(e.to_string()));
+                return Ok(());
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx.send((frame, reply_tx)).is_err() {
+            // the state thread is gone (drained); tell the client and close
+            let _ = write_line_value(&mut writer, &error_response("daemon is shutting down"));
+            return Ok(());
+        }
+        let reply = match reply_rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => error_response("daemon is shutting down"),
+        };
+        write_line_value(&mut writer, &reply)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::fixture::hop_path;
+    use crate::protocol::{Delta, Request};
+    use timepiece_core::check::CheckOptions;
+
+    fn options() -> CheckOptions {
+        CheckOptions { threads: Some(2), session_cap: Some(4), ..Default::default() }
+    }
+
+    #[test]
+    fn serve_answers_status_delta_and_shutdown() {
+        let state = DaemonState::new("hop n=5", hop_path(5, None), options()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(listener, state));
+
+        let mut client = Client::connect(addr).unwrap();
+        let status = client.send(&Request::Status).unwrap();
+        assert_eq!(status.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(status.get("verified").and_then(Json::as_bool), Some(true));
+        assert_eq!(status.get("nodes").and_then(Json::as_f64), Some(5.0));
+
+        // dropping the v3 -- v4 link re-checks a strict subset of nodes;
+        // v4's only route came through v3, so its exact interface now fails
+        let down = Request::Delta(Delta::LinkDown { u: "v3".into(), v: "v4".into() });
+        let reply = client.send(&down).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        let cone = reply.get("cone_size").and_then(Json::as_f64).unwrap() as usize;
+        assert!(cone > 0 && cone < 5, "strict subset, got {cone}");
+        assert_eq!(reply.get("verified").and_then(Json::as_bool), Some(false));
+
+        // restoring the link restores the verdict
+        let up = Request::Delta(Delta::LinkUp { u: "v3".into(), v: "v4".into() });
+        let reply = client.send(&up).unwrap();
+        assert_eq!(reply.get("verified").and_then(Json::as_bool), Some(true));
+
+        let reply = client.send(&Request::Shutdown).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_frames_get_an_error_and_close() {
+        use std::io::{BufRead, Write};
+        let state = DaemonState::new("hop n=3", hop_path(3, None), options()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(listener, state));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{this is not json\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().unwrap()).read_line(&mut line).unwrap();
+        let reply = Json::parse(line.trim_end()).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+
+        // unknown verbs answer an error but keep the connection usable
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.request(&Json::obj([("verb", Json::str("dance"))])).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        let reply = client.send(&Request::Shutdown).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn the_sigterm_watcher_raises_the_drain() {
+        // exercises only the watcher (with its own drain signal), so the
+        // process-global flag cannot disturb the other servers under test
+        let drain = DrainSignal::new();
+        spawn_sigterm_watcher(drain.clone());
+        assert!(!drain.is_draining());
+        trigger_sigterm();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !drain.is_draining() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(drain.is_draining(), "the watcher must relay SIGTERM");
+        SIGTERM.store(false, Ordering::SeqCst); // reset for any later watcher
+    }
+}

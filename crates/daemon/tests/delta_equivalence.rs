@@ -1,0 +1,98 @@
+//! The daemon's incremental verdicts must equal a from-scratch check.
+//!
+//! Property: after *any* sequence of deltas — link down/up, edge-policy
+//! edits (including sabotage drops), witness-time changes, failure-budget
+//! changes, some of them deliberately invalid — the daemon's per-node
+//! verdict map equals what a fresh [`ModularChecker`] says about the
+//! daemon's current instance. That is the soundness claim of dirty-cone
+//! re-checking: nodes outside the cone may keep cached verdicts *because*
+//! their conditions are structurally unchanged.
+
+use proptest::prelude::*;
+use timepiece_core::check::{CheckOptions, ModularChecker};
+use timepiece_daemon::fixture::hop_path;
+use timepiece_daemon::{DaemonState, Delta, PolicySpec, Request};
+use timepiece_topology::NodeId;
+
+fn options() -> CheckOptions {
+    CheckOptions { threads: Some(2), session_cap: Some(8), ..Default::default() }
+}
+
+/// Decodes one `(kind, a, b)` opcode into a delta against an `n`-node hop
+/// path. Some decodes are deliberately invalid (unknown edges, `v0`'s
+/// witness) — the daemon must reject them *without* changing state.
+fn decode(n: usize, kind: u8, a: u64, b: u64) -> Delta {
+    let edge = |i: u64| {
+        let i = (i as usize) % (n - 1);
+        (format!("v{i}"), format!("v{}", i + 1))
+    };
+    match kind {
+        0 => {
+            let (u, v) = edge(a);
+            Delta::LinkDown { u, v }
+        }
+        1 => {
+            let (u, v) = edge(a);
+            Delta::LinkUp { u, v }
+        }
+        2 => {
+            let (u, v) = edge(a);
+            // both directions of the path edge, all three policy kinds
+            let (u, v) = if b.is_multiple_of(2) { (u, v) } else { (v, u) };
+            let policy = match b % 3 {
+                0 => PolicySpec::Drop,
+                1 => PolicySpec::Default,
+                _ => PolicySpec::Increment("len".into()),
+            };
+            Delta::EdgePolicy { u, v, policy }
+        }
+        3 => Delta::WitnessTime {
+            // node v0 has no witness time: that decode must be rejected
+            node: format!("v{}", a as usize % n),
+            tau: (b % 8) as i64,
+        },
+        _ => Delta::FailureBudget { budget: a % 3 },
+    }
+}
+
+/// The reference: a fresh checker run on the daemon's current instance.
+fn from_scratch_failed(state: &DaemonState) -> Vec<NodeId> {
+    let report = ModularChecker::new(options())
+        .check(state.net(), state.interface(), state.property())
+        .expect("reference check");
+    let mut failed: Vec<NodeId> = report.failures().iter().map(|f| f.node).collect();
+    failed.sort_unstable();
+    failed.dedup();
+    failed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, rng_seed: 0x5ced_0008 })]
+
+    #[test]
+    fn incremental_verdicts_match_from_scratch(
+        ops in proptest::collection::vec((0u8..5, 0u64..32, 0u64..32), 1..6),
+    ) {
+        let n = 5;
+        // a failure budget makes every delta kind meaningful (and makes the
+        // exact interface fail at some nodes, so both verdicts occur)
+        let mut state =
+            DaemonState::new("hop equivalence", hop_path(n, Some(1)), options()).unwrap();
+        for (kind, a, b) in ops {
+            let delta = decode(n, kind, a, b);
+            let reply = state.handle(&Request::Delta(delta.clone())).reply;
+            let ok = reply.get("ok").and_then(timepiece_trace::Json::as_bool);
+            prop_assert!(ok.is_some(), "reply must carry ok: {reply}");
+            prop_assert_eq!(
+                state.verdicts().len(), n,
+                "no cancellation ran, so every node must keep a verdict"
+            );
+            let cached_failed = state.verdicts().failed_nodes();
+            let reference_failed = from_scratch_failed(&state);
+            prop_assert_eq!(
+                cached_failed, reference_failed,
+                "after {:?} (ok={:?}) the cache diverged from a fresh check", delta, ok
+            );
+        }
+    }
+}

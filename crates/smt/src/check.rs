@@ -333,13 +333,41 @@ pub fn check_validity(vc: &Vc, timeout: Option<Duration>) -> Result<Validity, Sm
 #[derive(Debug)]
 pub struct SessionPool {
     timeout: Option<Duration>,
+    /// At most this many sessions are kept (`None`: unbounded); opening one
+    /// beyond the bound evicts the least-recently-used session.
+    capacity: Option<usize>,
+    /// Least-recently-used order of signatures (front = coldest).
+    order: Vec<String>,
+    evictions: usize,
     sessions: HashMap<String, SolverSession>,
 }
 
 impl SessionPool {
     /// Creates an empty pool; every session it opens uses `timeout`.
     pub fn new(timeout: Option<Duration>) -> SessionPool {
-        SessionPool { timeout, sessions: HashMap::new() }
+        SessionPool {
+            timeout,
+            capacity: None,
+            order: Vec::new(),
+            evictions: 0,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// A pool keeping at most `capacity` sessions, evicting the
+    /// least-recently-used one beyond that. Long-running services want this:
+    /// every distinct policy edit opens a session under a fresh signature,
+    /// and an unbounded pool would accumulate solver contexts forever.
+    /// Evicted sessions drop their declarations, compiled-term caches *and*
+    /// term-cache counters (so [`SessionPool::term_cache_stats`] only sums
+    /// the live sessions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(timeout: Option<Duration>, capacity: usize) -> SessionPool {
+        assert!(capacity > 0, "a session pool needs room for at least one session");
+        SessionPool { capacity: Some(capacity), ..SessionPool::new(timeout) }
     }
 
     /// The session for `signature`, created on first use.
@@ -355,11 +383,33 @@ impl SessionPool {
         signature: &str,
         init: impl FnOnce(&SolverSession),
     ) -> &mut SolverSession {
+        match self.order.iter().position(|s| s == signature) {
+            Some(pos) => {
+                // touch: move to the warm end
+                let key = self.order.remove(pos);
+                self.order.push(key);
+            }
+            None => {
+                self.order.push(signature.to_owned());
+                if let Some(cap) = self.capacity {
+                    while self.order.len() > cap {
+                        let coldest = self.order.remove(0);
+                        self.sessions.remove(&coldest);
+                        self.evictions += 1;
+                    }
+                }
+            }
+        }
         self.sessions.entry(signature.to_owned()).or_insert_with(|| {
             let session = SolverSession::new(self.timeout);
             init(&session);
             session
         })
+    }
+
+    /// How many sessions this pool evicted to stay within its capacity.
+    pub fn evictions(&self) -> usize {
+        self.evictions
     }
 
     /// How many distinct signatures have sessions.
@@ -518,6 +568,32 @@ mod tests {
         assert_eq!(pool.len(), 2);
         // ...but not on the original session
         assert!(pool.session("sig-a").check(&clash).is_err());
+    }
+
+    #[test]
+    fn bounded_pool_evicts_least_recently_used() {
+        let mut pool = SessionPool::with_capacity(None, 2);
+        let x = Expr::var("x", Type::Int);
+        let vc = Vc::new("t", [x.clone().gt(Expr::int(2))], x.clone().gt(Expr::int(1)));
+        assert!(pool.session("a").check(&vc).unwrap().is_valid());
+        assert!(pool.session("b").check(&vc).unwrap().is_valid());
+        // touch "a" so "b" is now the coldest
+        pool.session("a");
+        assert!(pool.session("c").check(&vc).unwrap().is_valid());
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.evictions(), 1);
+        // "b" was evicted: recreating it evicts the new coldest ("a")
+        let mut created = false;
+        pool.session_or_init("b", |_| created = true);
+        assert!(created, "evicted session must be rebuilt on next use");
+        assert_eq!(pool.evictions(), 2);
+        // an unbounded pool never evicts
+        let mut pool = SessionPool::new(None);
+        for sig in ["a", "b", "c", "d"] {
+            pool.session(sig);
+        }
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.evictions(), 0);
     }
 
     #[test]

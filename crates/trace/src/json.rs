@@ -414,6 +414,99 @@ pub fn object_map(value: &Json) -> Option<BTreeMap<&str, &Json>> {
     }
 }
 
+/// Default per-line byte bound for [`read_line_value`]: generous enough for
+/// any report the workspace produces, small enough that a protocol peer
+/// cannot make a reader buffer unboundedly.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+fn framing_err(message: impl Into<String>, offset: usize) -> JsonError {
+    JsonError { message: message.into(), offset }
+}
+
+/// Reads one newline-delimited JSON value from `reader`.
+///
+/// This is the wire codec of the NDJSON protocols (shard reports, the
+/// `timepieced` daemon): one value per `\n`-terminated line, at most
+/// `max_bytes` per line. A trailing `\r` before the newline is tolerated.
+/// Returns `Ok(None)` on a clean end of stream (no bytes before EOF).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when
+///
+/// * the stream ends mid-line (a partial read: bytes arrived but no
+///   terminating newline),
+/// * a line exceeds `max_bytes` (the offending prefix is *not* consumed
+///   further; the connection should be dropped),
+/// * the line is not valid UTF-8, or
+/// * the line is not a single well-formed JSON document.
+///
+/// I/O errors are folded into the same error type (`message` starts with
+/// `"io:"`), so protocol loops have one failure path.
+pub fn read_line_value(
+    reader: &mut impl std::io::BufRead,
+    max_bytes: usize,
+) -> Result<Option<Json>, JsonError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(framing_err(format!("io: {e}"), buf.len())),
+        };
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(framing_err("unexpected end of stream inside a line", buf.len()));
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if buf.len() + i > max_bytes {
+                    return Err(framing_err(
+                        format!("line exceeds {max_bytes} bytes"),
+                        buf.len() + i,
+                    ));
+                }
+                buf.extend_from_slice(&chunk[..i]);
+                reader.consume(i + 1);
+                break;
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > max_bytes {
+                    return Err(framing_err(
+                        format!("line exceeds {max_bytes} bytes"),
+                        buf.len() + n,
+                    ));
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    let text = std::str::from_utf8(&buf)
+        .map_err(|e| framing_err("line is not valid UTF-8", e.valid_up_to()))?;
+    Json::parse(text).map(Some)
+}
+
+/// Writes one JSON value as an NDJSON line (compact form, terminated by
+/// `\n`) and flushes, so a blocking peer sees the frame immediately.
+///
+/// The writer's compact [`fmt::Display`] form never contains a raw newline
+/// (strings are escaped), so every value is exactly one frame.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O errors.
+pub fn write_line_value(writer: &mut impl std::io::Write, value: &Json) -> std::io::Result<()> {
+    writeln!(writer, "{value}")?;
+    writer.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,5 +644,74 @@ mod tests {
         for bad in ["\"\\u12\"", "\"\\u\"", "\"\\uzzzz\"", "\"\\ud83e\\uqqqq\""] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn line_codec_roundtrips_values() {
+        let values = [
+            Json::obj([("verb", Json::str("status")), ("id", Json::from(3usize))]),
+            Json::arr([Json::Null, Json::from(true)]),
+            Json::str("newline \n and \"quotes\""),
+        ];
+        let mut wire = Vec::new();
+        for v in &values {
+            write_line_value(&mut wire, v).unwrap();
+        }
+        // escaped strings keep each value on exactly one line
+        assert_eq!(wire.iter().filter(|&&b| b == b'\n').count(), values.len());
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        for v in &values {
+            assert_eq!(read_line_value(&mut reader, MAX_LINE_BYTES).unwrap().as_ref(), Some(v));
+        }
+        assert_eq!(read_line_value(&mut reader, MAX_LINE_BYTES).unwrap(), None);
+    }
+
+    #[test]
+    fn line_codec_reads_across_tiny_buffer_chunks() {
+        // a BufReader with a 1-byte buffer forces the multi-fill path
+        let value = Json::obj([("k", Json::from(8usize)), ("name", Json::str("SpReach"))]);
+        let mut wire = Vec::new();
+        write_line_value(&mut wire, &value).unwrap();
+        let mut reader = std::io::BufReader::with_capacity(1, wire.as_slice());
+        assert_eq!(read_line_value(&mut reader, MAX_LINE_BYTES).unwrap(), Some(value));
+    }
+
+    #[test]
+    fn line_codec_rejects_partial_reads() {
+        // bytes arrived, but the peer died before the terminating newline
+        let mut reader = std::io::BufReader::new(&b"{\"verb\":\"check\""[..]);
+        let err = read_line_value(&mut reader, MAX_LINE_BYTES).unwrap_err();
+        assert!(err.message.contains("end of stream"), "{err}");
+    }
+
+    #[test]
+    fn line_codec_rejects_oversized_lines() {
+        let mut wire = Vec::new();
+        write_line_value(&mut wire, &Json::str("x".repeat(100))).unwrap();
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let err = read_line_value(&mut reader, 16).unwrap_err();
+        assert!(err.message.contains("exceeds 16 bytes"), "{err}");
+        // the same line fits under a larger bound
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        assert!(read_line_value(&mut reader, 4096).unwrap().is_some());
+    }
+
+    #[test]
+    fn line_codec_rejects_invalid_utf8() {
+        let mut reader = std::io::BufReader::new(&b"\"ab\xff\xfe\"\n"[..]);
+        let err = read_line_value(&mut reader, MAX_LINE_BYTES).unwrap_err();
+        assert!(err.message.contains("UTF-8"), "{err}");
+        assert_eq!(err.offset, 3, "offset points at the first bad byte");
+    }
+
+    #[test]
+    fn line_codec_tolerates_crlf_and_rejects_garbage() {
+        let mut reader = std::io::BufReader::new(&b"[1,2]\r\n"[..]);
+        assert_eq!(
+            read_line_value(&mut reader, MAX_LINE_BYTES).unwrap(),
+            Some(Json::arr([Json::from(1usize), Json::from(2usize)]))
+        );
+        let mut reader = std::io::BufReader::new(&b"not json\n"[..]);
+        assert!(read_line_value(&mut reader, MAX_LINE_BYTES).is_err());
     }
 }

@@ -46,13 +46,16 @@ pub enum Phase {
     Round,
     /// Network simulation.
     Sim,
+    /// One protocol request handled by the `timepieced` daemon (its self
+    /// time is the request overhead beyond the node checks nested inside).
+    Request,
     /// Everything else (scope events, cancellations, harness work).
     Other,
 }
 
 impl Phase {
     /// Every phase, in profile-table order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Encode,
         Phase::Solve,
         Phase::Idle,
@@ -60,6 +63,7 @@ impl Phase {
         Phase::Node,
         Phase::Round,
         Phase::Sim,
+        Phase::Request,
         Phase::Other,
     ];
 
@@ -73,6 +77,7 @@ impl Phase {
             Phase::Node => "node",
             Phase::Round => "round",
             Phase::Sim => "sim",
+            Phase::Request => "request",
             Phase::Other => "other",
         }
     }
