@@ -7,6 +7,8 @@
 //! repro fig13
 //! repro fig14     [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
 //!                 [--no-ms] [--shards N] [--json PATH] [--trace PATH]
+//!                 [--workers HOST:PORT,...] [--plan striped|adaptive]
+//!                 [--history DUMP.json,...] [--halt-workers]
 //! repro table1
 //! repro table2
 //! repro table3
@@ -19,7 +21,10 @@
 //! repro serve     [--bench NAME] [--k K] [--port P] [--timeout-secs S] [--threads T]
 //! repro ask       [--port P] [--request JSON]
 //! repro soak      [--bench NAME] [--ks 4,6,8] [--clients N] [--deltas M] [--json PATH]
-//! repro shard-worker --bench NAME --k K --shard I --shards N  (internal)
+//! repro plan      [--bench NAME] [--k K] [--shards N] [--history DUMP.json,...]
+//! repro worker    [--listen HOST:PORT] [--die-after N]
+//! repro shard-worker --bench NAME --k K --shard I --shards N
+//!                 [--nodes a,b,...] [--plan-spec JSON]  (internal)
 //! repro all
 //! ```
 //!
@@ -32,6 +37,16 @@
 //! subprocesses per row, merges their shard reports, and asserts full node
 //! coverage; without sharding, sweep rows share one persistent checker pool
 //! whose solver sessions carry over between rows.
+//!
+//! With `--workers host:port,...` the sweep goes *distributed*: each row's
+//! shards are dispatched over TCP to `repro worker --listen` processes
+//! (anywhere), with heartbeat liveness, dead-worker reassignment and
+//! batched cross-worker stealing; `--shards` then defaults to 4x the worker
+//! count so the steal scheduler has batches to move. `--plan adaptive`
+//! replaces class-striped shard plans with cost-model LPT packing, fit from
+//! the accumulated `--json` dumps named by `--history` (uniform costs when
+//! no history exists); `repro plan` prints the resulting plan without
+//! running anything.
 //!
 //! `--trace PATH` (fig14, infer) collects spans from every layer —
 //! per-node checks, per-VC encode/solve, scheduler claim/steal, CEGIS
@@ -52,8 +67,9 @@
 use std::time::Duration;
 
 use timepiece_bench::{
-    fattree_instance, loc, run_row, run_row_pooled, run_row_sharded, run_shard, run_soak, trend,
-    BenchKind, Row, SoakOptions, SweepOptions,
+    fattree_instance, halt_workers, loc, plan_row, run_row, run_row_distributed, run_row_pooled,
+    run_row_sharded, run_shard, run_shard_nodes, run_soak, run_worker, trend, BenchKind,
+    DistOptions, PlanChoice, PlanSpec, Row, SoakOptions, SweepOptions, WorkerExit, WorkerOptions,
 };
 use timepiece_core::check::{CheckOptions, ModularChecker};
 use timepiece_core::monolithic::check_monolithic;
@@ -85,6 +101,8 @@ subcommands:
   serve      start timepieced: the verification daemon, warm on one instance
   ask        send one NDJSON request to a running timepieced and print the reply
   soak       concurrent delta streams against one warm daemon (p50/p95, cones)
+  plan       print the striped and adaptive shard plans without running anything
+  worker     serve shard checks over TCP until a coordinator sends halt
   shard-worker  (internal) check one shard of one instance, print JSON report
   all        everything above (except infer, arena, trend and the daemon)
 
@@ -99,6 +117,20 @@ flags:
   --no-roles         infer without fattree role generalization
   --peers N          external peer count for the wan subcommand (default 253)
   --shards N         fork N shard-worker processes per modular sweep row
+                     (with --workers: shards per row, default 4x worker count;
+                      plan: shards to plan, default 4)
+  --workers LIST     (fig14) dispatch shards over TCP to these comma-separated
+                     `repro worker` host:port addresses instead of forking
+  --plan P           (fig14, plan) shard plan: striped (default) or adaptive
+  --history LIST     (fig14, plan) comma-separated fig14 --json dumps the
+                     adaptive cost model is fit from (none: uniform costs)
+  --halt-workers     (fig14) send halt to every --workers address afterwards
+  --listen ADDR      (worker) TCP address to bind (default 127.0.0.1:7272)
+  --die-after N      (worker) fault injection: silently drop the connection
+                     after N check frames and exit nonzero
+  --nodes LIST       (shard-worker) comma-separated node names to check,
+                     overriding the locally recomputed striped plan
+  --plan-spec JSON   (shard-worker) plan spec to record in the shard report
   --json PATH        also write fig14 rows as machine-readable JSON to PATH
   --trace PATH       write a Chrome trace-event JSON of the run (fig14, infer)
   --k K              (serve, shard-worker) fattree parameter of the instance
@@ -119,6 +151,14 @@ struct Args {
     use_roles: bool,
     peers: usize,
     shards: usize,
+    workers: Vec<String>,
+    plan: String,
+    history: Vec<String>,
+    halt_workers: bool,
+    listen: Option<String>,
+    die_after: Option<usize>,
+    nodes: Option<String>,
+    plan_spec: Option<String>,
     json: Option<String>,
     trace: Option<String>,
     k: Option<usize>,
@@ -160,6 +200,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         use_roles: true,
         peers: 253,
         shards: 1,
+        workers: Vec::new(),
+        plan: "striped".to_owned(),
+        history: Vec::new(),
+        halt_workers: false,
+        listen: None,
+        die_after: None,
+        nodes: None,
+        plan_spec: None,
         json: None,
         trace: None,
         k: None,
@@ -211,6 +259,43 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err(format!("{flag} requires at least one shard"));
                 }
             }
+            "--workers" => {
+                let raw = next_value(&mut it, flag, "comma-separated host:port list")?;
+                args.workers = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(String::from)
+                    .collect();
+                if args.workers.is_empty() {
+                    return Err(format!("{flag} requires at least one worker address"));
+                }
+            }
+            "--plan" => {
+                args.plan = next_value(&mut it, flag, "striped or adaptive")?;
+                if args.plan != "striped" && args.plan != "adaptive" {
+                    return Err(format!(
+                        "{flag}: expected striped or adaptive, got {:?}",
+                        args.plan
+                    ));
+                }
+            }
+            "--history" => {
+                let raw = next_value(&mut it, flag, "comma-separated dump paths")?;
+                args.history = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--halt-workers" => args.halt_workers = true,
+            "--listen" => args.listen = Some(next_value(&mut it, flag, "host:port address")?),
+            "--die-after" => args.die_after = Some(parse_value(&mut it, flag, "check count")?),
+            "--nodes" => {
+                args.nodes = Some(next_value(&mut it, flag, "comma-separated node names")?)
+            }
+            "--plan-spec" => args.plan_spec = Some(next_value(&mut it, flag, "plan spec JSON")?),
             "--json" => args.json = Some(next_value(&mut it, flag, "output path")?),
             "--trace" => args.trace = Some(next_value(&mut it, flag, "output path")?),
             "--k" => args.k = Some(parse_value(&mut it, flag, "integer k")?),
@@ -244,7 +329,52 @@ fn ks(args: &Args) -> Vec<usize> {
     }
 }
 
-fn sweep(kind: BenchKind, args: &Args, mut pool: Option<&mut CheckerPool>) -> Vec<Row> {
+/// Reads and parses the `--history` dumps the adaptive cost model fits from,
+/// labelled by file stem (matching `repro trend` column headers).
+fn load_history(paths: &[String]) -> Result<Vec<(String, Vec<trend::TrendPoint>)>, String> {
+    paths
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let points = trend::parse_dump(&text).map_err(|e| format!("{path}: {e}"))?;
+            let label = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+            Ok((label, points))
+        })
+        .collect()
+}
+
+/// The shard plan a sweep row uses: striped, or LPT packing over a cost
+/// model fit from the `--history` dumps for this benchmark.
+fn plan_choice(
+    kind: BenchKind,
+    args: &Args,
+    history: &[(String, Vec<trend::TrendPoint>)],
+) -> PlanChoice {
+    if args.plan == "adaptive" {
+        PlanChoice::Adaptive(trend::fit_cost_model(history, kind.name()))
+    } else {
+        PlanChoice::Striped
+    }
+}
+
+/// The per-row shard count: `--shards` when given, else four shards per
+/// worker in distributed mode so the steal scheduler has batches to move.
+fn effective_shards(args: &Args) -> usize {
+    if args.shards <= 1 && !args.workers.is_empty() {
+        4 * args.workers.len()
+    } else {
+        args.shards
+    }
+}
+
+fn sweep(
+    kind: BenchKind,
+    args: &Args,
+    mut pool: Option<&mut CheckerPool>,
+    history: &[(String, Vec<trend::TrendPoint>)],
+) -> Result<Vec<Row>, String> {
     println!("\n=== Fig. {} — {} (Tp vs Ms) ===", kind.figure(), kind.name());
     println!(
         "{:>4} {:>6} {:>12} {:>12} {:>12} {:>12}",
@@ -254,9 +384,20 @@ fn sweep(kind: BenchKind, args: &Args, mut pool: Option<&mut CheckerPool>) -> Ve
         SweepOptions { timeout: args.timeout, run_monolithic: args.run_ms, threads: args.threads };
     let mut rows = Vec::new();
     for k in ks(args) {
-        let row = if args.shards > 1 {
+        let row = if !args.workers.is_empty() {
+            run_row_distributed(
+                kind,
+                k,
+                &options,
+                effective_shards(args),
+                &args.workers,
+                &plan_choice(kind, args, history),
+                &DistOptions::default(),
+            )
+            .map_err(|e| format!("{} k={k}: {e}", kind.name()))?
+        } else if args.shards > 1 {
             let exe = std::env::current_exe().expect("own executable path");
-            run_row_sharded(kind, k, &options, args.shards, &exe)
+            run_row_sharded(kind, k, &options, args.shards, &exe, &plan_choice(kind, args, history))
         } else if let Some(pool) = pool.as_deref_mut() {
             // the persistent pool carries solver sessions across rows
             run_row_pooled(kind, k, &options, pool)
@@ -270,11 +411,22 @@ fn sweep(kind: BenchKind, args: &Args, mut pool: Option<&mut CheckerPool>) -> Ve
             row.tp.display(),
             format!("{:.3}s", row.tp_median.as_secs_f64()),
             format!("{:.3}s", row.tp_p99.as_secs_f64()),
-            row.ms.map_or("-".to_owned(), |m| m.display()),
+            row.ms.as_ref().map_or("-".to_owned(), |m| m.display()),
         );
+        if let Some(balance) = &row.balance {
+            println!(
+                "     [{} plan] shard imbalance {:.2} (max/mean wall), steal batches {}, \
+                 stolen shards {}, reassigned {}",
+                balance.plan,
+                balance.imbalance(),
+                balance.steal_batches,
+                balance.stolen_shards,
+                balance.reassigned,
+            );
+        }
         rows.push(row);
     }
-    rows
+    Ok(rows)
 }
 
 /// One fig14 row in its machine-readable form.
@@ -311,6 +463,32 @@ fn row_json(kind: BenchKind, row: &Row, shards: usize) -> timepiece_sched::Json 
             ("hit_rate", Json::Num(t.hit_rate())),
         ])
     });
+    // per-class wall-time rollups: the samples `repro trend` fits adaptive
+    // cost models from
+    let classes = Json::Arr(
+        row.classes
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("class", Json::str(c.class.as_str())),
+                    ("nodes", Json::from(c.nodes)),
+                    ("total_secs", Json::Num(c.total_secs)),
+                ])
+            })
+            .collect(),
+    );
+    // shard balance for sharded/distributed rows: per-shard wall times, the
+    // max/mean ratio, and the steal/reassignment counters
+    let balance = row.balance.as_ref().map_or(Json::Null, |b| {
+        Json::obj([
+            ("plan", Json::str(b.plan.as_str())),
+            ("shard_secs", Json::Arr(b.shard_secs.iter().map(|&s| Json::Num(s)).collect())),
+            ("imbalance", Json::Num(b.imbalance())),
+            ("steal_batches", Json::from(b.steal_batches)),
+            ("stolen_shards", Json::from(b.stolen_shards)),
+            ("reassigned", Json::from(b.reassigned)),
+        ])
+    });
     Json::obj([
         ("bench", Json::str(kind.name())),
         ("figure", Json::str(kind.figure())),
@@ -320,15 +498,18 @@ fn row_json(kind: BenchKind, row: &Row, shards: usize) -> timepiece_sched::Json 
         ("ms", row.ms.as_ref().map_or(Json::Null, engine)),
         ("arena", arena),
         ("term_cache", terms),
+        ("classes", classes),
+        ("balance", balance),
     ])
 }
 
-fn fig1(args: &Args) {
+fn fig1(args: &Args) -> Result<(), String> {
     // Fig. 1: connectivity with external route announcements — the Hijack
     // policy is the evaluation's benchmark with exactly that shape.
     println!("=== Fig. 1 — modular vs monolithic verification time ===");
     println!("(SpHijack: fattree connectivity with symbolic external announcements)");
-    sweep(BenchKind::parse("SpHijack").expect("registered"), args, None);
+    let history = load_history(&args.history)?;
+    sweep(BenchKind::parse("SpHijack").expect("registered"), args, None, &history).map(|_| ())
 }
 
 fn fig3() {
@@ -548,29 +729,31 @@ fn write_trace(path: &str) {
 
 fn fig14(args: &Args) -> Result<(), String> {
     let kinds = select_kinds(&args.bench)?;
+    let history = load_history(&args.history)?;
     if args.trace.is_some() {
         timepiece_trace::enable();
     }
     // one persistent checker pool for the whole sweep: rows of every size
     // (and every scenario sharing an IR signature) reuse solver sessions
-    let mut pool = (args.shards <= 1).then(|| {
+    let mut pool = (args.shards <= 1 && args.workers.is_empty()).then(|| {
         CheckerPool::with_default_parallelism(CheckOptions {
             timeout: Some(args.timeout),
             threads: args.threads,
             ..CheckOptions::default()
         })
     });
+    let shards = effective_shards(args);
     let mut rows = Vec::new();
     for kind in kinds {
-        for row in sweep(kind, args, pool.as_mut()) {
-            rows.push(row_json(kind, &row, args.shards));
+        for row in sweep(kind, args, pool.as_mut(), &history)? {
+            rows.push(row_json(kind, &row, shards));
         }
     }
     if let Some(path) = &args.json {
         use timepiece_sched::Json;
         let doc = Json::obj([
             ("timeout_secs", Json::Num(args.timeout.as_secs_f64())),
-            ("shards", Json::from(args.shards)),
+            ("shards", Json::from(shards)),
             ("rows", Json::Arr(rows)),
         ]);
         std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -578,6 +761,11 @@ fn fig14(args: &Args) -> Result<(), String> {
     }
     if let Some(path) = &args.trace {
         write_trace(path);
+    }
+    if args.halt_workers && !args.workers.is_empty() {
+        for warning in halt_workers(&args.workers) {
+            eprintln!("halt: {warning}");
+        }
     }
     Ok(())
 }
@@ -733,6 +921,11 @@ fn trend_cmd(paths: &[String]) -> Result<(), String> {
     }
     println!("=== bench trajectories over {} dump(s) ===", dumps.len());
     print!("{}", trend::render(&labels, &dumps));
+    // only sharded/distributed history carries per-shard wall times
+    if let Some(table) = trend::render_balance(&labels, &dumps) {
+        println!();
+        print!("{table}");
+    }
     Ok(())
 }
 
@@ -861,8 +1054,100 @@ fn shard_worker(args: &Args) -> Result<(), String> {
     }
     let options =
         SweepOptions { timeout: args.timeout, run_monolithic: false, threads: args.threads };
-    let report = run_shard(bench, k, shard, args.shards, &options);
+    let report = match &args.nodes {
+        // explicit node list from the coordinator: check exactly these
+        // nodes and record the plan spec that produced them, so the report
+        // replays deterministically
+        Some(list) => {
+            let inst = fattree_instance(bench, k);
+            let topology = inst.network.topology();
+            let mut nodes = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                let v = topology
+                    .node_by_name(name)
+                    .ok_or_else(|| format!("--nodes: unknown node {name:?}"))?;
+                nodes.push(v);
+            }
+            let spec = match &args.plan_spec {
+                Some(raw) => {
+                    let value = timepiece_sched::Json::parse(raw)
+                        .map_err(|e| format!("--plan-spec: {e}"))?;
+                    PlanSpec::from_json(&value).map_err(|e| format!("--plan-spec: {e}"))?
+                }
+                None => PlanSpec::striped(),
+            };
+            run_shard_nodes(bench, k, shard, args.shards, spec, &nodes, &options)
+        }
+        // legacy protocol: recompute the striped plan locally
+        None => run_shard(bench, k, shard, args.shards, &options),
+    };
     println!("{}", report.to_json());
+    Ok(())
+}
+
+/// The `repro worker` subcommand: serve shard checks over TCP until a
+/// coordinator sends `halt`. `--die-after N` arms the documented dead-worker
+/// fault: the process drops the connection after N checks and exits nonzero,
+/// so the reassignment drill in CI looks like a crashed host.
+fn worker_cmd(args: &Args) -> Result<(), String> {
+    let listen = args.listen.clone().unwrap_or_else(|| "127.0.0.1:7272".to_owned());
+    let listener =
+        std::net::TcpListener::bind(&listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("local address: {e}"))?;
+    // scripts wait for this line before pointing a coordinator here
+    println!("repro worker listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let options = WorkerOptions { max_sessions: None, die_after: args.die_after };
+    match run_worker(listener, &options).map_err(|e| format!("worker: {e}"))? {
+        WorkerExit::Died => {
+            eprintln!("worker: --die-after fault fired, exiting uncleanly");
+            std::process::exit(17);
+        }
+        WorkerExit::Halted | WorkerExit::SessionLimit => Ok(()),
+    }
+}
+
+/// The `repro plan` subcommand: print the striped and adaptive shard plans
+/// for one instance — per-shard node lists, predicted per-shard seconds and
+/// the predicted max/mean imbalance — without checking anything.
+fn plan_cmd(args: &Args) -> Result<(), String> {
+    let kind = daemon_bench(args)?;
+    let k = args.k.unwrap_or(4);
+    let shards = if args.shards > 1 { args.shards } else { 4 };
+    let history = load_history(&args.history)?;
+    let model = trend::fit_cost_model(&history, kind.name());
+    let inst = fattree_instance(kind, k);
+    let topology = inst.network.topology();
+    println!(
+        "=== shard plans — {} k={k}: {} nodes over {shards} shards ===",
+        kind.name(),
+        topology.node_count()
+    );
+    if model.is_uniform() {
+        println!("cost model: uniform (no class samples in --history; LPT balances sizes)");
+    } else {
+        let costs: Vec<String> =
+            model.classes().map(|(class, secs)| format!("{class}={secs:.3}s/node")).collect();
+        println!("cost model: {} (fit from: {})", costs.join(", "), model.sources().join(", "));
+    }
+    for (label, choice) in
+        [("striped", PlanChoice::Striped), ("adaptive", PlanChoice::Adaptive(model.clone()))]
+    {
+        let (plan, _spec, predicted) = plan_row(topology, shards, &choice);
+        println!(
+            "\n--- {label} plan (predicted imbalance {:.2}) ---",
+            timepiece_sched::cost::imbalance(&predicted)
+        );
+        for (shard, secs) in predicted.iter().enumerate() {
+            let names: Vec<&str> = plan.nodes_of(shard).iter().map(|&v| topology.name(v)).collect();
+            println!(
+                "  shard {shard}: {} nodes, predicted {secs:.3}s: {}",
+                names.len(),
+                names.join(", ")
+            );
+        }
+    }
     Ok(())
 }
 
@@ -998,10 +1283,7 @@ fn main() {
         Err(msg) => usage_error(&msg),
     };
     let result = match cmd {
-        "fig1" => {
-            fig1(&args);
-            Ok(())
-        }
+        "fig1" => fig1(&args),
         "fig3" => {
             fig3();
             Ok(())
@@ -1037,6 +1319,8 @@ fn main() {
         "serve" => serve_cmd(&args),
         "ask" => ask_cmd(&args),
         "soak" => soak_cmd(&args),
+        "plan" => plan_cmd(&args),
+        "worker" => worker_cmd(&args),
         "shard-worker" => shard_worker(&args),
         "all" => {
             fig3();
@@ -1045,8 +1329,7 @@ fn main() {
             table1();
             table2();
             table3();
-            fig1(&args);
-            fig14(&args).map(|()| wan(&args))
+            fig1(&args).and_then(|()| fig14(&args)).map(|()| wan(&args))
         }
         other => usage_error(&format!("unknown subcommand {other:?}")),
     };

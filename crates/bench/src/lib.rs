@@ -9,15 +9,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dist;
 pub mod loc;
 pub mod runner;
 pub mod shard;
 pub mod soak;
 pub mod trend;
 
-pub use runner::{
-    fattree_instance, run_row, run_row_pooled, BenchKind, EngineResult, InferSetup, Row, Scenario,
-    SweepOptions,
+pub use dist::{
+    halt_workers, run_row_distributed, run_worker, DistError, DistOptions, WorkerExit,
+    WorkerOptions,
 };
-pub use shard::{run_row_sharded, run_shard, ShardReport};
+pub use runner::{
+    class_samples, fattree_instance, run_row, run_row_pooled, BenchKind, ClassSample, EngineResult,
+    InferSetup, Row, RowBalance, Scenario, SweepOptions,
+};
+pub use shard::{
+    merge_reports, plan_row, run_row_sharded, run_shard, run_shard_nodes, MergeError, PlanChoice,
+    PlanSpec, ShardReport,
+};
 pub use soak::{run_soak, SoakOptions, SoakResult};

@@ -3,23 +3,29 @@
 //! The `Ap*` (symbolic-destination) sweeps are the expensive rows of
 //! Fig. 14, and their per-node conditions are independent — so beyond the
 //! in-process work-stealing pool, whole *shards* of the node set can move to
-//! separate worker processes (each with its own Z3 heap and cache locality).
+//! separate worker processes (each with its own Z3 heap and cache locality)
+//! or, via [`crate::dist`], to worker processes on other hosts.
 //!
-//! The protocol is deliberately stateless:
+//! The protocol:
 //!
-//! 1. the coordinator picks `(bench, k, shards)` and spawns one
-//!    `repro shard-worker` subprocess per shard index;
-//! 2. each worker rebuilds the *same* instance and the same deterministic
-//!    [`ShardPlan`] (nodes grouped by `Topology::node_class`, striped across
-//!    shards), checks its shard via `ModularChecker::check_nodes`, and
-//!    prints one JSON [`ShardReport`] on stdout;
-//! 3. the coordinator parses the reports, *proves coverage* — the assigned
-//!    sets must partition the full node set, and every assigned node must
-//!    carry a check duration — and merges them into one sweep [`Row`].
+//! 1. the coordinator picks `(bench, k, shards)`, computes a [`ShardPlan`]
+//!    — striped by class, or cost-adaptive when a fitted
+//!    [`timepiece_sched::CostModel`] is available — and spawns one
+//!    `repro shard-worker` subprocess per shard with its *explicit* node
+//!    list and a [`PlanSpec`] describing how the plan was made;
+//! 2. each worker rebuilds the *same* instance by registry name, checks
+//!    exactly the nodes it was handed via `ModularChecker::check_nodes`,
+//!    and prints one JSON [`ShardReport`] on stdout — the report records
+//!    the plan and the assigned node list, so any shard of any run can be
+//!    replayed deterministically from its report alone;
+//! 3. the coordinator ingests the reports through [`merge_reports`], which
+//!    *proves coverage* — the assigned sets must partition the full node
+//!    set, every assigned node must carry a check duration, and duplicate
+//!    or mismatched reports produce a typed [`MergeError`] naming the
+//!    offending worker — and merges them into one sweep [`Row`].
 //!
-//! Nothing but the shard index crosses the process boundary on the way in,
-//! so a mismatched plan shows up as a hard coverage failure, not a silently
-//! skipped node.
+//! A mismatched plan therefore shows up as a hard, attributed ingestion
+//! error, never as a silently skipped node.
 
 use std::fmt;
 use std::path::Path;
@@ -28,17 +34,131 @@ use std::time::{Duration, Instant};
 
 use timepiece_core::check::{CheckOptions, CheckReport, FailureReason, ModularChecker};
 use timepiece_core::stats::TimingStats;
+use timepiece_sched::cost::{cost_striped, imbalance, plan_adaptive, CostModel};
 use timepiece_sched::{Json, ShardPlan};
-use timepiece_topology::Topology;
+use timepiece_topology::{NodeId, Topology};
 
 use crate::runner::{
-    fattree_instance, monolithic_result, BenchKind, EngineResult, Row, SweepOptions,
+    class_samples, fattree_instance, monolithic_result, BenchKind, EngineResult, Row, RowBalance,
+    SweepOptions,
 };
 
-/// The deterministic shard plan every participant recomputes: nodes grouped
-/// by their stable class stem and striped round-robin across shards, so each
-/// shard receives the same mix of cheap (edge) and expensive (aggregation)
-/// nodes.
+/// The version of the shard-report / distributed-worker protocol. Bumped on
+/// any incompatible change to the report shape or the wire frames; peers
+/// reject mismatches with a typed error instead of misparsing.
+pub const PROTOCOL_VERSION: usize = 1;
+
+/// How a coordinator turned the node set into shards. Travels inside every
+/// [`ShardReport`] so a merged row records which planner produced it and a
+/// replay can attribute imbalance to the plan that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSpec {
+    /// `striped` (class round-robin) or `adaptive` (cost-model LPT).
+    pub kind: String,
+    /// The per-class costs the adaptive planner used (empty for striped
+    /// plans and for the uniform no-history fallback).
+    pub class_costs: Vec<(String, f64)>,
+    /// Labels of the trend dumps the cost model was fit on.
+    pub sources: Vec<String>,
+}
+
+impl PlanSpec {
+    /// The spec of a class-striped plan.
+    pub fn striped() -> PlanSpec {
+        PlanSpec { kind: "striped".to_owned(), class_costs: Vec::new(), sources: Vec::new() }
+    }
+
+    /// The spec of a cost-adaptive plan driven by `model`.
+    pub fn adaptive(model: &CostModel) -> PlanSpec {
+        PlanSpec {
+            kind: "adaptive".to_owned(),
+            class_costs: model.classes().map(|(c, s)| (c.to_owned(), s)).collect(),
+            sources: model.sources().to_vec(),
+        }
+    }
+
+    /// The spec as a JSON document (also the `--plan-spec` argument form).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str(&self.kind)),
+            (
+                "class_costs",
+                Json::arr(
+                    self.class_costs
+                        .iter()
+                        .map(|(class, secs)| Json::arr([Json::str(class), Json::Num(*secs)])),
+                ),
+            ),
+            ("sources", Json::arr(self.sources.iter().map(Json::str))),
+        ])
+    }
+
+    /// Parses a spec back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardProtocolError`] naming the first missing or mistyped field.
+    pub fn from_json(value: &Json) -> Result<PlanSpec, ShardProtocolError> {
+        let err = |what: &str| ShardProtocolError(format!("plan {what}"));
+        let kind = value.get("kind").and_then(Json::as_str).ok_or_else(|| err("kind"))?.to_owned();
+        let class_costs = value
+            .get("class_costs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("class_costs"))?
+            .iter()
+            .map(|pair| match pair.as_arr() {
+                Some([class, secs]) => Ok((
+                    class.as_str().ok_or_else(|| err("class name"))?.to_owned(),
+                    secs.as_f64().ok_or_else(|| err("class cost"))?,
+                )),
+                _ => Err(err("class_costs entry")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let sources = value
+            .get("sources")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("sources"))?
+            .iter()
+            .map(|s| s.as_str().map(str::to_owned).ok_or_else(|| err("sources entry")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PlanSpec { kind, class_costs, sources })
+    }
+}
+
+/// Which planner a sharded row should use.
+#[derive(Debug, Clone)]
+pub enum PlanChoice {
+    /// Class round-robin striping — the static baseline.
+    Striped,
+    /// Cost-model LPT bin packing (a uniform model balances sizes).
+    Adaptive(CostModel),
+}
+
+/// Computes the row's shard plan under `choice`, together with the spec
+/// recorded in every report and the planner's predicted per-shard seconds
+/// (uniform-cost predictions for striped plans).
+pub fn plan_row(
+    topology: &Topology,
+    shards: usize,
+    choice: &PlanChoice,
+) -> (ShardPlan, PlanSpec, Vec<f64>) {
+    let class = |v: NodeId| topology.node_class(v).to_owned();
+    match choice {
+        PlanChoice::Striped => {
+            let costed = cost_striped(topology.nodes(), shards, class, &CostModel::uniform());
+            (costed.plan, PlanSpec::striped(), costed.predicted)
+        }
+        PlanChoice::Adaptive(model) => {
+            let costed = plan_adaptive(topology.nodes(), shards, class, model);
+            (costed.plan, PlanSpec::adaptive(model), costed.predicted)
+        }
+    }
+}
+
+/// The deterministic striped plan every participant can recompute: nodes
+/// grouped by their stable class stem and striped round-robin across
+/// shards. This is the legacy (pre-adaptive) plan, still used by workers
+/// invoked without an explicit node list.
 pub fn plan(topology: &Topology, shards: usize) -> ShardPlan {
     ShardPlan::by_class(topology.nodes(), shards, |v| topology.node_class(v).to_owned())
 }
@@ -57,6 +177,8 @@ pub struct ShardFailure {
 /// What one shard worker verified, as reported over the process boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardReport {
+    /// Protocol version the worker spoke ([`PROTOCOL_VERSION`]).
+    pub version: usize,
     /// Benchmark name (e.g. `ApReach`).
     pub bench: String,
     /// Fattree parameter.
@@ -65,6 +187,8 @@ pub struct ShardReport {
     pub shard: usize,
     /// Total shard count of the plan.
     pub shards: usize,
+    /// How the plan that produced this shard was made.
+    pub plan: PlanSpec,
     /// Names of the nodes the plan assigned to this shard.
     pub assigned: Vec<String>,
     /// Per-node check durations in seconds, one per assigned node.
@@ -94,20 +218,24 @@ impl std::error::Error for ShardProtocolError {}
 impl ShardReport {
     /// Assembles a report from a completed shard check; `wall_secs` is the
     /// check's own wall time.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire frame field-for-field
     pub fn from_check(
         kind: BenchKind,
         k: usize,
         shard: usize,
         shards: usize,
+        plan: PlanSpec,
         topology: &Topology,
-        assigned: &[timepiece_topology::NodeId],
+        assigned: &[NodeId],
         report: &CheckReport,
     ) -> ShardReport {
         ShardReport {
+            version: PROTOCOL_VERSION,
             bench: kind.name().to_owned(),
             k,
             shard,
             shards,
+            plan,
             assigned: assigned.iter().map(|&v| topology.name(v).to_owned()).collect(),
             durations: report
                 .node_durations()
@@ -134,10 +262,12 @@ impl ShardReport {
     /// The report as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("version", Json::from(self.version)),
             ("bench", Json::str(&self.bench)),
             ("k", Json::from(self.k)),
             ("shard", Json::from(self.shard)),
             ("shards", Json::from(self.shards)),
+            ("plan", self.plan.to_json()),
             ("assigned", Json::arr(self.assigned.iter().map(Json::str))),
             (
                 "durations",
@@ -162,7 +292,10 @@ impl ShardReport {
         ])
     }
 
-    /// Parses a report back from its JSON form.
+    /// Parses a report back from its JSON form. Reports from peers predating
+    /// the versioned protocol (no `version` / `plan` fields) parse as
+    /// version 0 with a striped plan, so the coordinator's version check can
+    /// name the mismatch instead of a field error masking it.
     ///
     /// # Errors
     ///
@@ -223,10 +356,18 @@ impl ShardReport {
             })
             .collect::<Result<Vec<_>, ShardProtocolError>>()?;
         Ok(ShardReport {
+            version: match value.get("version") {
+                None => 0,
+                Some(v) => v.as_usize().ok_or_else(|| err("version"))?,
+            },
             bench: str_field("bench")?,
             k: usize_field("k")?,
             shard: usize_field("shard")?,
             shards: usize_field("shards")?,
+            plan: match value.get("plan") {
+                None | Some(Json::Null) => PlanSpec::striped(),
+                Some(v) => PlanSpec::from_json(v)?,
+            },
             assigned,
             durations,
             failures,
@@ -246,8 +387,288 @@ impl ShardReport {
     }
 }
 
-/// The worker side: rebuild the instance, recompute the plan, check exactly
-/// this shard's nodes, and report.
+/// Why a set of shard reports could not be merged into a row. Every variant
+/// names the worker that produced the offending report, so a broken peer in
+/// a multi-host sweep is attributable from the error alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// A report frame did not parse (malformed or truncated JSON).
+    Protocol {
+        /// The worker whose output failed to parse.
+        worker: String,
+        /// The parse failure.
+        detail: String,
+    },
+    /// A report spoke a different protocol version.
+    VersionMismatch {
+        /// The worker that sent the report.
+        worker: String,
+        /// The coordinator's version.
+        expected: usize,
+        /// The report's version.
+        got: usize,
+    },
+    /// A report was for the wrong `(bench, k)` or total shard count.
+    WrongInstance {
+        /// The worker that sent the report.
+        worker: String,
+        /// `bench k=K shards=N` the coordinator expected.
+        expected: String,
+        /// What the report claimed.
+        got: String,
+    },
+    /// A report's plan kind differs from the plan the coordinator computed.
+    PlanMismatch {
+        /// The worker that sent the report.
+        worker: String,
+        /// The coordinator's plan kind.
+        expected: String,
+        /// The report's plan kind.
+        got: String,
+    },
+    /// Two reports claimed the same shard index.
+    DuplicateShard {
+        /// The worker whose report collided.
+        worker: String,
+        /// The worker that already reported this shard.
+        earlier: String,
+        /// The contested shard index.
+        shard: usize,
+    },
+    /// A report's shard index exceeds the plan.
+    ShardOutOfRange {
+        /// The worker that sent the report.
+        worker: String,
+        /// The offending index.
+        shard: usize,
+        /// The plan's shard count.
+        shards: usize,
+    },
+    /// A shard is missing entirely (its worker died and nobody re-ran it).
+    MissingShards {
+        /// The unreported shard indices.
+        shards: Vec<usize>,
+    },
+    /// The union of assigned sets does not partition the node set.
+    Coverage {
+        /// What went wrong (doubly assigned / missing / foreign nodes).
+        detail: String,
+    },
+    /// A worker reported assigned nodes it never checked.
+    SkippedNodes {
+        /// The worker that skipped work.
+        worker: String,
+        /// Its shard index.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Protocol { worker, detail } => {
+                write!(f, "worker {worker}: unreadable shard report: {detail}")
+            }
+            MergeError::VersionMismatch { worker, expected, got } => {
+                write!(f, "worker {worker}: protocol version {got}, coordinator speaks {expected}")
+            }
+            MergeError::WrongInstance { worker, expected, got } => {
+                write!(
+                    f,
+                    "worker {worker}: checked the wrong instance: expected {expected}, got {got}"
+                )
+            }
+            MergeError::PlanMismatch { worker, expected, got } => {
+                write!(f, "worker {worker}: plan kind {got:?} does not match the coordinator's {expected:?}")
+            }
+            MergeError::DuplicateShard { worker, earlier, shard } => {
+                write!(f, "worker {worker}: shard {shard} already reported by worker {earlier}")
+            }
+            MergeError::ShardOutOfRange { worker, shard, shards } => {
+                write!(f, "worker {worker}: shard index {shard} out of range ({shards} shards)")
+            }
+            MergeError::MissingShards { shards } => {
+                write!(f, "no worker reported shard(s) {shards:?}")
+            }
+            MergeError::Coverage { detail } => write!(f, "coverage violation: {detail}"),
+            MergeError::SkippedNodes { worker, shard } => {
+                write!(f, "worker {worker}: shard {shard} skipped assigned nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// The verified union of a row's shard reports, ready to become a [`Row`].
+#[derive(Debug, Clone)]
+pub struct MergedShards {
+    /// Every node's check duration, across all shards.
+    pub durations: Vec<(String, f64)>,
+    /// Worker wall seconds per shard index.
+    pub shard_secs: Vec<f64>,
+    /// Did any shard report an `unknown` (timeout) failure?
+    pub timed_out: bool,
+    /// Did every shard verify?
+    pub verified: bool,
+    /// Names of nodes with at least one failed condition, sorted and
+    /// deduplicated across shards (empty when `verified`).
+    pub failing: Vec<String>,
+}
+
+/// Validates and merges labelled shard reports — `(worker label, report)`
+/// pairs — against the coordinator's expectations.
+///
+/// # Errors
+///
+/// A [`MergeError`] naming the offending worker when a report is for the
+/// wrong instance/version/plan, a shard is duplicated, missing or out of
+/// range, the assigned sets fail to partition `topology`'s node set, or a
+/// worker skipped assigned nodes.
+pub fn merge_reports(
+    kind: BenchKind,
+    k: usize,
+    shards: usize,
+    plan_kind: &str,
+    topology: &Topology,
+    reports: &[(String, ShardReport)],
+) -> Result<MergedShards, MergeError> {
+    let mut seen: Vec<Option<&str>> = vec![None; shards];
+    for (worker, report) in reports {
+        if report.version != PROTOCOL_VERSION {
+            return Err(MergeError::VersionMismatch {
+                worker: worker.clone(),
+                expected: PROTOCOL_VERSION,
+                got: report.version,
+            });
+        }
+        if (report.bench.as_str(), report.k, report.shards) != (kind.name(), k, shards) {
+            return Err(MergeError::WrongInstance {
+                worker: worker.clone(),
+                expected: format!("{} k={k} shards={shards}", kind.name()),
+                got: format!("{} k={} shards={}", report.bench, report.k, report.shards),
+            });
+        }
+        if report.plan.kind != plan_kind {
+            return Err(MergeError::PlanMismatch {
+                worker: worker.clone(),
+                expected: plan_kind.to_owned(),
+                got: report.plan.kind.clone(),
+            });
+        }
+        if report.shard >= shards {
+            return Err(MergeError::ShardOutOfRange {
+                worker: worker.clone(),
+                shard: report.shard,
+                shards,
+            });
+        }
+        if let Some(earlier) = seen[report.shard] {
+            return Err(MergeError::DuplicateShard {
+                worker: worker.clone(),
+                earlier: earlier.to_owned(),
+                shard: report.shard,
+            });
+        }
+        seen[report.shard] = Some(worker);
+    }
+    let missing: Vec<usize> =
+        seen.iter().enumerate().filter(|(_, w)| w.is_none()).map(|(s, _)| s).collect();
+    if !missing.is_empty() {
+        return Err(MergeError::MissingShards { shards: missing });
+    }
+
+    // coverage: the assigned sets partition the node set…
+    let mut assigned: Vec<&str> =
+        reports.iter().flat_map(|(_, r)| r.assigned.iter().map(String::as_str)).collect();
+    let total_assigned = assigned.len();
+    assigned.sort_unstable();
+    assigned.dedup();
+    let mut all: Vec<&str> = topology.nodes().map(|v| topology.name(v)).collect();
+    all.sort_unstable();
+    if total_assigned != assigned.len() {
+        return Err(MergeError::Coverage {
+            detail: "a node was assigned to two shards".to_owned(),
+        });
+    }
+    if assigned != all {
+        return Err(MergeError::Coverage {
+            detail: "the shards' assigned sets do not cover every node exactly once".to_owned(),
+        });
+    }
+    // …and every assigned node was actually checked: the checked multiset
+    // must equal the assignment, so a worker reporting a duplicate duration
+    // alongside a skipped node cannot pass on cardinality alone
+    for (worker, report) in reports {
+        let mut checked: Vec<&str> =
+            report.durations.iter().map(|(name, _)| name.as_str()).collect();
+        checked.sort_unstable();
+        let mut expected: Vec<&str> = report.assigned.iter().map(String::as_str).collect();
+        expected.sort_unstable();
+        if checked != expected {
+            return Err(MergeError::SkippedNodes { worker: worker.clone(), shard: report.shard });
+        }
+    }
+
+    let mut shard_secs = vec![0.0; shards];
+    for (_, report) in reports {
+        shard_secs[report.shard] = report.wall_secs;
+    }
+    let mut failing: Vec<String> =
+        reports.iter().flat_map(|(_, r)| r.failures.iter().map(|f| f.node.clone())).collect();
+    failing.sort_unstable();
+    failing.dedup();
+    Ok(MergedShards {
+        durations: reports.iter().flat_map(|(_, r)| r.durations.iter().cloned()).collect(),
+        shard_secs,
+        timed_out: reports.iter().flat_map(|(_, r)| &r.failures).any(|f| f.kind == "unknown"),
+        verified: reports.iter().all(|(_, r)| r.failures.is_empty()),
+        failing,
+    })
+}
+
+/// The worker side for an explicit node set: rebuild the instance, check
+/// exactly `nodes`, and report. This is both the forked worker's path (the
+/// coordinator hands it the plan's node list) and the deterministic replay
+/// path (`repro shard-worker --nodes ...` with the `assigned` list of any
+/// recorded [`ShardReport`]).
+pub fn run_shard_nodes(
+    kind: BenchKind,
+    k: usize,
+    shard: usize,
+    shards: usize,
+    plan_spec: PlanSpec,
+    nodes: &[NodeId],
+    options: &SweepOptions,
+) -> ShardReport {
+    let inst = fattree_instance(kind, k);
+    let checker = ModularChecker::new(CheckOptions {
+        timeout: Some(options.timeout),
+        threads: options.threads,
+        ..CheckOptions::default()
+    });
+    let report = checker
+        .check_nodes(&inst.network, &inst.interface, &inst.property, nodes)
+        .expect("benchmark instances encode");
+    let mut report = ShardReport::from_check(
+        kind,
+        k,
+        shard,
+        shards,
+        plan_spec,
+        inst.network.topology(),
+        nodes,
+        &report,
+    );
+    if timepiece_trace::enabled() {
+        report.trace = Some(timepiece_trace::take());
+    }
+    report
+}
+
+/// The legacy worker side: recompute the deterministic *striped* plan and
+/// check this shard of it. Kept for workers invoked without an explicit
+/// node list (`repro shard-worker` without `--nodes`).
 pub fn run_shard(
     kind: BenchKind,
     k: usize,
@@ -258,27 +679,13 @@ pub fn run_shard(
     let inst = fattree_instance(kind, k);
     let plan = plan(inst.network.topology(), shards);
     assert!(shard < plan.shard_count(), "shard index {shard} out of range ({shards} shards)");
-    let nodes = plan.nodes_of(shard);
-    let checker = ModularChecker::new(CheckOptions {
-        timeout: Some(options.timeout),
-        threads: options.threads,
-        ..CheckOptions::default()
-    });
-    let report = checker
-        .check_nodes(&inst.network, &inst.interface, &inst.property, nodes)
-        .expect("benchmark instances encode");
-    let mut report =
-        ShardReport::from_check(kind, k, shard, shards, inst.network.topology(), nodes, &report);
-    if timepiece_trace::enabled() {
-        report.trace = Some(timepiece_trace::take());
-    }
-    report
+    let nodes = plan.nodes_of(shard).to_vec();
+    run_shard_nodes(kind, k, shard, shards, PlanSpec::striped(), &nodes, options)
 }
 
-/// The coordinator side: fork one `shard-worker` subprocess per shard, merge
-/// their reports into one sweep [`Row`], and *verify full coverage* — the
-/// shards' assigned sets must partition the node set and every assigned node
-/// must have been checked.
+/// The coordinator side: fork one `shard-worker` subprocess per shard of
+/// the chosen plan, merge their reports into one sweep [`Row`], and *verify
+/// full coverage* through [`merge_reports`].
 ///
 /// `worker_exe` is the binary to spawn (the `repro` binary spawns itself).
 /// The monolithic baseline, when enabled, runs in-process: it cannot shard.
@@ -291,20 +698,24 @@ pub fn run_shard(
 ///
 /// # Panics
 ///
-/// Panics when a worker exits nonzero, emits an unparsable report, or the
-/// merged reports fail the coverage check — a sharding bug must never pass
-/// silently as a smaller verification.
+/// Panics when a worker exits nonzero or the merged reports fail
+/// validation — the [`MergeError`] (naming the offending worker) is the
+/// panic message; a sharding bug must never pass silently as a smaller
+/// verification.
 pub fn run_row_sharded(
     kind: BenchKind,
     k: usize,
     options: &SweepOptions,
     shards: usize,
     worker_exe: &Path,
+    choice: &PlanChoice,
 ) -> Row {
     assert!(shards >= 1, "need at least one shard");
     let arena_before = timepiece_expr::arena::stats();
     let inst = fattree_instance(kind, k);
     let topology = inst.network.topology();
+    let (plan, spec, _predicted) = plan_row(topology, shards, choice);
+    let spec_arg = spec.to_json().to_string();
 
     // a coordinator panic (worker failure, bad report, coverage violation)
     // must not orphan the sibling workers mid-solve: guards kill any child
@@ -329,12 +740,15 @@ pub fn run_row_sharded(
     let start = Instant::now();
     let mut children: Vec<KillOnDrop> = (0..shards)
         .map(|shard| {
+            let nodes: Vec<&str> = plan.nodes_of(shard).iter().map(|&v| topology.name(v)).collect();
             let mut cmd = Command::new(worker_exe);
             cmd.arg("shard-worker")
                 .args(["--bench", kind.name()])
                 .args(["--k", &k.to_string()])
                 .args(["--shard", &shard.to_string()])
                 .args(["--shards", &shards.to_string()])
+                .args(["--nodes", &nodes.join(",")])
+                .args(["--plan-spec", &spec_arg])
                 // millisecond precision: whole seconds would truncate a
                 // sub-second budget to an effectively zero solver timeout
                 .args(["--timeout-millis", &options.timeout.as_millis().to_string()])
@@ -350,62 +764,36 @@ pub fn run_row_sharded(
             ))
         })
         .collect();
-    let reports: Vec<ShardReport> = children
+    let reports: Vec<(String, ShardReport)> = children
         .iter_mut()
         .enumerate()
         .map(|(shard, guard)| {
+            let worker = format!("fork{shard}");
             let child = guard.0.take().expect("child not yet reaped");
             let out = child.wait_with_output().expect("waiting for shard worker");
             assert!(out.status.success(), "shard worker {shard} failed: {}", out.status);
             let text = String::from_utf8(out.stdout).expect("shard report is UTF-8");
-            let json = Json::parse(&text)
-                .unwrap_or_else(|e| panic!("shard worker {shard} emitted bad JSON: {e}"));
-            let mut report = ShardReport::from_json(&json)
-                .unwrap_or_else(|e| panic!("shard worker {shard}: {e}"));
-            assert_eq!(report.shard, shard, "shard worker reported the wrong index");
-            assert_eq!(
-                (report.bench.as_str(), report.k, report.shards),
-                (kind.name(), k, shards),
-                "shard worker checked the wrong instance"
-            );
+            let json = Json::parse(&text).unwrap_or_else(|e| {
+                panic!("{}", MergeError::Protocol { worker: worker.clone(), detail: e.to_string() })
+            });
+            let mut report = ShardReport::from_json(&json).unwrap_or_else(|e| {
+                panic!("{}", MergeError::Protocol { worker: worker.clone(), detail: e.to_string() })
+            });
             if let Some(trace) = report.trace.take() {
                 timepiece_trace::ingest(format!("shard{shard}"), trace);
             }
-            report
+            (worker, report)
         })
         .collect();
     let wall = start.elapsed();
 
-    // coverage: the assigned sets partition the node set…
-    let mut assigned: Vec<&str> =
-        reports.iter().flat_map(|r| r.assigned.iter().map(String::as_str)).collect();
-    let total_assigned = assigned.len();
-    assigned.sort_unstable();
-    assigned.dedup();
-    let mut all: Vec<&str> = topology.nodes().map(|v| topology.name(v)).collect();
-    all.sort_unstable();
-    assert_eq!(total_assigned, assigned.len(), "a node was assigned to two shards");
-    assert_eq!(assigned, all, "shards must cover every node exactly once");
-    // …and every assigned node was actually checked: the checked multiset
-    // must equal the assignment, so a worker reporting a duplicate duration
-    // alongside a skipped node cannot pass on cardinality alone
-    for report in &reports {
-        let mut checked: Vec<&str> =
-            report.durations.iter().map(|(name, _)| name.as_str()).collect();
-        checked.sort_unstable();
-        let mut expected: Vec<&str> = report.assigned.iter().map(String::as_str).collect();
-        expected.sort_unstable();
-        assert_eq!(checked, expected, "shard {} skipped assigned nodes", report.shard);
-    }
+    let merged = merge_reports(kind, k, shards, &spec.kind, topology, &reports)
+        .unwrap_or_else(|e| panic!("{e}"));
 
-    let durations: Vec<Duration> = reports
-        .iter()
-        .flat_map(|r| r.durations.iter().map(|&(_, secs)| Duration::from_secs_f64(secs)))
-        .collect();
+    let durations: Vec<Duration> =
+        merged.durations.iter().map(|&(_, secs)| Duration::from_secs_f64(secs)).collect();
     let stats = TimingStats::from_durations(&durations);
-    let timed_out = reports.iter().flat_map(|r| &r.failures).any(|f| f.kind == "unknown");
-    let verified = reports.iter().all(|r| r.failures.is_empty());
-    let tp = EngineResult::classify(verified, timed_out, wall);
+    let tp = EngineResult::classify(merged.verified, merged.timed_out, wall);
     let ms = monolithic_result(&inst, options);
     Row {
         k,
@@ -418,12 +806,47 @@ pub fn run_row_sharded(
         // arena and encoder caches, and those die with the worker
         arena: timepiece_expr::arena::stats().delta_since(&arena_before),
         terms: None,
+        classes: class_samples(topology, &merged.durations),
+        balance: Some(RowBalance {
+            plan: spec.kind.clone(),
+            shard_secs: merged.shard_secs,
+            steal_batches: 0,
+            stolen_shards: 0,
+            reassigned: 0,
+        }),
+        failing: merged.failing,
     }
+}
+
+/// `max / mean` over measured shard wall seconds — re-exported view of
+/// [`timepiece_sched::cost::imbalance`] for report consumers.
+pub fn shard_imbalance(shard_secs: &[f64]) -> f64 {
+    imbalance(shard_secs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_report(shard: usize, shards: usize) -> ShardReport {
+        ShardReport {
+            version: PROTOCOL_VERSION,
+            bench: "ApReach".to_owned(),
+            k: 4,
+            shard,
+            shards,
+            plan: PlanSpec::striped(),
+            assigned: vec!["core-0".to_owned(), "edge-1-0".to_owned()],
+            durations: vec![("core-0".to_owned(), 0.25), ("edge-1-0".to_owned(), 0.125)],
+            failures: vec![ShardFailure {
+                node: "edge-1-0".to_owned(),
+                vc: "inductive".to_owned(),
+                kind: "counterexample".to_owned(),
+            }],
+            wall_secs: 0.5,
+            trace: None,
+        }
+    }
 
     #[test]
     fn plans_are_deterministic_and_cover_the_fattree() {
@@ -439,22 +862,27 @@ mod tests {
     }
 
     #[test]
+    fn plan_row_adaptive_covers_and_records_the_model() {
+        let inst = fattree_instance(BenchKind::parse("SpReach").unwrap(), 4);
+        let g = inst.network.topology();
+        let model = CostModel::fit(
+            [("core".to_owned(), 2.0), ("agg".to_owned(), 1.0), ("edge".to_owned(), 0.5)],
+            ["h1".to_owned()],
+        );
+        let (plan, spec, predicted) = plan_row(g, 3, &PlanChoice::Adaptive(model));
+        assert!(plan.covers(g.nodes()));
+        assert_eq!(spec.kind, "adaptive");
+        assert_eq!(spec.sources, ["h1".to_owned()]);
+        assert_eq!(spec.class_costs.len(), 3);
+        assert_eq!(predicted.len(), 3);
+        // round-trip the spec as it travels to workers
+        let parsed = PlanSpec::from_json(&Json::parse(&spec.to_json().to_string()).unwrap());
+        assert_eq!(parsed.unwrap(), spec);
+    }
+
+    #[test]
     fn shard_report_roundtrips_through_json() {
-        let report = ShardReport {
-            bench: "ApReach".to_owned(),
-            k: 4,
-            shard: 1,
-            shards: 3,
-            assigned: vec!["core-0".to_owned(), "edge-1-0".to_owned()],
-            durations: vec![("core-0".to_owned(), 0.25), ("edge-1-0".to_owned(), 0.125)],
-            failures: vec![ShardFailure {
-                node: "edge-1-0".to_owned(),
-                vc: "inductive".to_owned(),
-                kind: "counterexample".to_owned(),
-            }],
-            wall_secs: 0.5,
-            trace: None,
-        };
+        let report = sample_report(1, 3);
         let parsed = ShardReport::from_json(&Json::parse(&report.to_json().to_string()).unwrap());
         assert_eq!(parsed.unwrap(), report);
     }
@@ -463,10 +891,12 @@ mod tests {
     fn shard_report_carries_its_trace_through_json() {
         use timepiece_trace::{Phase, SpanKind, SpanRecord, ThreadInfo, Trace};
         let report = ShardReport {
+            version: PROTOCOL_VERSION,
             bench: "SpReach".to_owned(),
             k: 4,
             shard: 0,
             shards: 2,
+            plan: PlanSpec::striped(),
             assigned: vec!["core-0".to_owned()],
             durations: vec![("core-0".to_owned(), 0.25)],
             failures: vec![],
@@ -500,6 +930,18 @@ mod tests {
     }
 
     #[test]
+    fn preversion_reports_parse_as_version_zero() {
+        let mut report = sample_report(0, 1);
+        report.trace = None;
+        let Json::Obj(pairs) = report.to_json() else { panic!("report is an object") };
+        let stripped =
+            Json::Obj(pairs.into_iter().filter(|(k, _)| k != "version" && k != "plan").collect());
+        let parsed = ShardReport::from_json(&stripped).unwrap();
+        assert_eq!(parsed.version, 0);
+        assert_eq!(parsed.plan, PlanSpec::striped());
+    }
+
+    #[test]
     fn worker_checks_exactly_its_shard() {
         let report = run_shard(
             BenchKind::parse("SpReach").unwrap(),
@@ -513,7 +955,145 @@ mod tests {
         assert_eq!(report.assigned.len(), expected.nodes_of(0).len());
         assert_eq!(report.durations.len(), report.assigned.len());
         assert!(report.failures.is_empty(), "SpReach k=4 verifies");
+        assert_eq!(report.version, PROTOCOL_VERSION);
+        assert_eq!(report.plan, PlanSpec::striped());
         // the two shards of a 20-node fattree split 10/10
         assert_eq!(report.assigned.len(), 10);
+    }
+
+    /// The ingestion-hardening suite: every broken report shape must produce
+    /// a typed [`MergeError`] naming the offending worker — never a panic.
+    mod ingestion {
+        use super::*;
+
+        fn kind() -> BenchKind {
+            BenchKind::parse("SpReach").unwrap()
+        }
+
+        fn topology() -> Topology {
+            fattree_instance(kind(), 4).network.topology().clone()
+        }
+
+        /// Two honest striped-shard reports covering SpReach k=4.
+        fn good_pair() -> Vec<(String, ShardReport)> {
+            let options = SweepOptions { run_monolithic: false, ..SweepOptions::default() };
+            (0..2).map(|s| (format!("w{s}"), run_shard(kind(), 4, s, 2, &options))).collect()
+        }
+
+        #[test]
+        fn honest_reports_merge() {
+            let reports = good_pair();
+            let merged = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap();
+            assert!(merged.verified && !merged.timed_out);
+            assert_eq!(merged.durations.len(), 20);
+            assert_eq!(merged.shard_secs.len(), 2);
+            assert!(merged.shard_secs.iter().all(|&s| s > 0.0));
+        }
+
+        #[test]
+        fn truncated_frames_are_typed_protocol_errors() {
+            // a report cut off mid-stream parses to a JSON error; ingestion
+            // wraps it as a Protocol error naming the worker
+            let full = sample_report(0, 1).to_json().to_string();
+            let truncated = &full[..full.len() / 2];
+            let parse_err = Json::parse(truncated).unwrap_err();
+            let err = MergeError::Protocol {
+                worker: "tcp:9001".to_owned(),
+                detail: parse_err.to_string(),
+            };
+            assert!(err.to_string().contains("tcp:9001"), "{err}");
+            assert!(err.to_string().contains("unreadable"), "{err}");
+        }
+
+        #[test]
+        fn wrong_shard_count_names_the_worker() {
+            let mut reports = good_pair();
+            reports[1].1.shards = 3;
+            let err = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap_err();
+            assert!(
+                matches!(&err, MergeError::WrongInstance { worker, .. } if worker == "w1"),
+                "{err}"
+            );
+            assert!(err.to_string().contains("w1"), "{err}");
+        }
+
+        #[test]
+        fn duplicate_shard_index_names_both_workers() {
+            let mut reports = good_pair();
+            reports[1].1.shard = 0;
+            reports[1].1.assigned = reports[0].1.assigned.clone();
+            reports[1].1.durations = reports[0].1.durations.clone();
+            let err = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap_err();
+            assert_eq!(
+                err,
+                MergeError::DuplicateShard {
+                    worker: "w1".to_owned(),
+                    earlier: "w0".to_owned(),
+                    shard: 0
+                },
+                "{err}"
+            );
+        }
+
+        #[test]
+        fn version_and_plan_mismatches_are_typed() {
+            let mut reports = good_pair();
+            reports[0].1.version = PROTOCOL_VERSION + 1;
+            let err = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap_err();
+            assert!(
+                matches!(&err, MergeError::VersionMismatch { worker, .. } if worker == "w0"),
+                "{err}"
+            );
+
+            let mut reports = good_pair();
+            reports[1].1.plan.kind = "adaptive".to_owned();
+            let err = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap_err();
+            assert!(
+                matches!(&err, MergeError::PlanMismatch { worker, .. } if worker == "w1"),
+                "{err}"
+            );
+        }
+
+        #[test]
+        fn missing_out_of_range_and_skipped_shards_are_typed() {
+            let reports = good_pair();
+            let err =
+                merge_reports(kind(), 4, 2, "striped", &topology(), &reports[..1]).unwrap_err();
+            assert_eq!(err, MergeError::MissingShards { shards: vec![1] }, "{err}");
+
+            let mut reports = good_pair();
+            reports[1].1.shard = 7;
+            let err = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap_err();
+            assert!(
+                matches!(&err, MergeError::ShardOutOfRange { worker, shard: 7, .. } if worker == "w1"),
+                "{err}"
+            );
+
+            let mut reports = good_pair();
+            reports[0].1.durations.pop();
+            let err = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap_err();
+            assert!(
+                matches!(&err, MergeError::SkippedNodes { worker, shard: 0 } if worker == "w0"),
+                "{err}"
+            );
+        }
+
+        #[test]
+        fn coverage_violations_are_typed() {
+            let mut reports = good_pair();
+            // a node assigned (and "checked") by both shards
+            let stolen = reports[0].1.assigned[0].clone();
+            reports[1].1.assigned.push(stolen.clone());
+            reports[1].1.durations.push((stolen, 0.01));
+            let err = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap_err();
+            assert!(matches!(&err, MergeError::Coverage { .. }), "{err}");
+
+            let mut reports = good_pair();
+            // a node silently dropped from the plan
+            reports[1].1.assigned.pop();
+            reports[1].1.durations.pop();
+            let err = merge_reports(kind(), 4, 2, "striped", &topology(), &reports).unwrap_err();
+            assert!(matches!(&err, MergeError::Coverage { .. }), "{err}");
+        }
     }
 }

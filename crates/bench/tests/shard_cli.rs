@@ -62,6 +62,53 @@ fn sharded_fig14_merges_reports_and_writes_json_rows() {
 }
 
 #[test]
+fn shard_worker_replays_an_explicit_node_list() {
+    // the deterministic-replay contract: any shard reruns from its report's
+    // recorded plan spec and assigned node list alone
+    let spec =
+        r#"{"kind":"adaptive","class_costs":[["core",8.0],["edge",1.0]],"sources":["older-dump"]}"#;
+    let nodes = "core-0,edge-0-0,edge-1-1";
+    let out = repro()
+        .args(["shard-worker", "--bench", "SpReach", "--k", "4", "--shard", "0", "--shards", "3"])
+        .args(["--nodes", nodes, "--plan-spec", spec])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let report = ShardReport::from_json(&Json::parse(&text).expect("valid JSON")).unwrap();
+    assert_eq!(report.assigned, ["core-0", "edge-0-0", "edge-1-1"]);
+    assert_eq!(report.durations.len(), 3, "exactly the explicit nodes are checked");
+    assert_eq!(report.plan.kind, "adaptive");
+    assert_eq!(report.plan.class_costs, [("core".to_owned(), 8.0), ("edge".to_owned(), 1.0)]);
+    assert_eq!(report.plan.sources, ["older-dump"]);
+    assert!(report.failures.is_empty(), "SpReach k=4 verifies");
+
+    let out = repro()
+        .args(["shard-worker", "--bench", "SpReach", "--k", "4", "--shard", "0", "--shards", "3"])
+        .args(["--nodes", "core-0,no-such-node"])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success(), "unknown node names must be a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-node"), "stderr: {stderr}");
+}
+
+#[test]
+fn plan_subcommand_prints_both_planners() {
+    let out = repro()
+        .args(["plan", "--bench", "SpReach", "--k", "4", "--shards", "2"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("20 nodes over 2 shards"), "{text}");
+    assert!(text.contains("cost model: uniform"), "{text}");
+    assert!(text.contains("--- striped plan"), "{text}");
+    assert!(text.contains("--- adaptive plan"), "{text}");
+    assert!(text.contains("core-0"), "plans list nodes by name: {text}");
+}
+
+#[test]
 fn shard_worker_rejects_bad_arguments() {
     let out = repro()
         .args(["shard-worker", "--bench", "SpReach", "--k", "4", "--shard", "5", "--shards", "2"])

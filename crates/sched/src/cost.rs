@@ -1,0 +1,297 @@
+//! Per-node-class cost models and cost-adaptive shard planning.
+//!
+//! [`ShardPlan::by_class`] stripes every symmetry class round-robin across
+//! shards, which equalizes the class *mix* but not the predicted *work*:
+//! when class sizes do not divide the shard count, one shard ends up with
+//! an extra node of the most expensive class and the whole sweep waits on
+//! it. A [`CostModel`] carries measured (or assumed) per-class check costs
+//! — typically fit from accumulated `repro fig14 --json` dumps — and
+//! [`plan_adaptive`] bin-packs nodes into shards by predicted cost using
+//! the classic LPT (longest processing time first) greedy rule.
+//!
+//! Only *relative* class costs matter to the packing, so a model fit at a
+//! different fattree size than the one being planned is still useful: the
+//! core/aggregation/edge cost ratios are what steer the plan.
+//!
+//! Everything here is deterministic: the same nodes, shard count, class
+//! keys and model always produce the same [`CostedPlan`], so a plan can be
+//! recomputed (or recorded and replayed) by any participant.
+
+use std::collections::BTreeMap;
+
+use timepiece_topology::NodeId;
+
+use crate::shard::ShardPlan;
+
+/// Predicted per-node check cost, keyed by symmetry class.
+///
+/// Classes the model has no sample for fall back to the mean of the known
+/// classes (or `1.0` when the model is [uniform](CostModel::uniform)), so
+/// an unknown class is treated as average work rather than free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    class_costs: BTreeMap<String, f64>,
+    /// Labels of the measurement sets the model was fit on (dump file
+    /// stems); empty for the uniform fallback.
+    sources: Vec<String>,
+}
+
+impl CostModel {
+    /// The no-history fallback: every class costs the same, so LPT packing
+    /// degenerates to balancing shard *sizes*.
+    pub fn uniform() -> CostModel {
+        CostModel { class_costs: BTreeMap::new(), sources: Vec::new() }
+    }
+
+    /// Fits a model from `(class, seconds)` samples by averaging the
+    /// samples of each class. Non-finite or non-positive samples are
+    /// ignored; with no usable sample the model is uniform.
+    pub fn fit(
+        samples: impl IntoIterator<Item = (String, f64)>,
+        sources: impl IntoIterator<Item = String>,
+    ) -> CostModel {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for (class, secs) in samples {
+            if secs.is_finite() && secs > 0.0 {
+                let slot = sums.entry(class).or_insert((0.0, 0));
+                slot.0 += secs;
+                slot.1 += 1;
+            }
+        }
+        let class_costs: BTreeMap<String, f64> =
+            sums.into_iter().map(|(class, (sum, n))| (class, sum / n as f64)).collect();
+        let sources =
+            if class_costs.is_empty() { Vec::new() } else { sources.into_iter().collect() };
+        CostModel { class_costs, sources }
+    }
+
+    /// Is this the no-history uniform model?
+    pub fn is_uniform(&self) -> bool {
+        self.class_costs.is_empty()
+    }
+
+    /// Predicted seconds for one node of `class`.
+    pub fn cost_of(&self, class: &str) -> f64 {
+        if let Some(&cost) = self.class_costs.get(class) {
+            return cost;
+        }
+        if self.class_costs.is_empty() {
+            return 1.0;
+        }
+        self.class_costs.values().sum::<f64>() / self.class_costs.len() as f64
+    }
+
+    /// The fitted `(class, seconds)` pairs, in class order.
+    pub fn classes(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.class_costs.iter().map(|(class, &cost)| (class.as_str(), cost))
+    }
+
+    /// Labels of the measurement sets the model was fit on.
+    pub fn sources(&self) -> &[String] {
+        &self.sources
+    }
+}
+
+/// A shard plan together with the per-shard cost the model predicted for
+/// it — what `repro plan` prints and imbalance debugging compares against
+/// measured shard wall times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostedPlan {
+    /// The node partition.
+    pub plan: ShardPlan,
+    /// Predicted seconds per shard, indexed like the plan's shards.
+    pub predicted: Vec<f64>,
+}
+
+impl CostedPlan {
+    /// `max / mean` of the predicted shard costs — the plan's predicted
+    /// imbalance (1.0 is perfect). Empty shards count toward the mean:
+    /// leaving a shard idle *is* imbalance.
+    pub fn predicted_imbalance(&self) -> f64 {
+        imbalance(&self.predicted)
+    }
+}
+
+/// `max / mean` over per-shard quantities (predicted costs or measured
+/// wall seconds); `1.0` for empty or all-zero inputs.
+pub fn imbalance(per_shard: &[f64]) -> f64 {
+    if per_shard.is_empty() {
+        return 1.0;
+    }
+    let max = per_shard.iter().copied().fold(0.0_f64, f64::max);
+    let mean = per_shard.iter().sum::<f64>() / per_shard.len() as f64;
+    if mean <= 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+/// Plans `shards` shards over `nodes` by LPT bin packing on the model's
+/// predicted costs: nodes are sorted by descending predicted cost (ties
+/// broken by node id, so the plan is deterministic) and each is placed on
+/// the currently cheapest shard (ties broken by shard index).
+///
+/// With a [uniform](CostModel::uniform) model this balances shard sizes;
+/// with a fitted model it balances predicted seconds.
+pub fn plan_adaptive<K: AsRef<str>>(
+    nodes: impl IntoIterator<Item = NodeId>,
+    shards: usize,
+    class_of: impl Fn(NodeId) -> K,
+    model: &CostModel,
+) -> CostedPlan {
+    let shards = shards.max(1);
+    let mut costed: Vec<(NodeId, f64)> = {
+        let mut nodes: Vec<NodeId> = nodes.into_iter().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.into_iter().map(|v| (v, model.cost_of(class_of(v).as_ref()))).collect()
+    };
+    // LPT: heaviest first; the node-id tiebreak keeps the order total
+    costed.sort_by(|(u, a), (v, b)| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal).then(u.cmp(v))
+    });
+    let mut bins: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+    let mut loads = vec![0.0_f64; shards];
+    for (v, cost) in costed {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| {
+                a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal).then(i.cmp(j))
+            })
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        bins[lightest].push(v);
+        loads[lightest] += cost;
+    }
+    // deterministic within-shard check order, independent of packing order
+    for bin in &mut bins {
+        bin.sort_unstable();
+    }
+    CostedPlan { plan: ShardPlan::from_shards(bins), predicted: loads }
+}
+
+/// The striped baseline plan with the model's cost predictions attached,
+/// so `repro plan` can print the predicted imbalance of both strategies
+/// side by side.
+pub fn cost_striped<K: Ord + AsRef<str>>(
+    nodes: impl IntoIterator<Item = NodeId>,
+    shards: usize,
+    class_of: impl Fn(NodeId) -> K,
+    model: &CostModel,
+) -> CostedPlan {
+    let plan = ShardPlan::by_class(nodes, shards, &class_of);
+    let predicted = (0..plan.shard_count())
+        .map(|s| plan.nodes_of(s).iter().map(|&v| model.cost_of(class_of(v).as_ref())).sum())
+        .collect();
+    CostedPlan { plan, predicted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId::new).collect()
+    }
+
+    /// 0..4 are "core" (expensive), 4..12 are "edge" (cheap).
+    fn class(v: NodeId) -> &'static str {
+        if v.index() < 4 {
+            "core"
+        } else {
+            "edge"
+        }
+    }
+
+    fn model() -> CostModel {
+        CostModel::fit(
+            [("core".to_owned(), 4.0), ("core".to_owned(), 2.0), ("edge".to_owned(), 1.0)],
+            ["dump-a".to_owned()],
+        )
+    }
+
+    #[test]
+    fn fit_averages_per_class_and_ignores_garbage() {
+        let m = model();
+        assert_eq!(m.cost_of("core"), 3.0);
+        assert_eq!(m.cost_of("edge"), 1.0);
+        // unknown classes get the mean of the known ones, not zero
+        assert_eq!(m.cost_of("agg"), 2.0);
+        assert!(!m.is_uniform());
+        assert_eq!(m.sources(), ["dump-a".to_owned()]);
+        let junk = CostModel::fit(
+            [("core".to_owned(), f64::NAN), ("core".to_owned(), -1.0), ("x".to_owned(), 0.0)],
+            ["dump-b".to_owned()],
+        );
+        assert!(junk.is_uniform());
+        assert_eq!(junk.cost_of("core"), 1.0);
+        assert!(junk.sources().is_empty(), "an unusable fit records no sources");
+    }
+
+    #[test]
+    fn adaptive_plan_balances_predicted_cost_not_size() {
+        // 4 cores at cost 3 + 8 edges at cost 1 = 20 total over 2 shards:
+        // LPT lands exactly 10/10 predicted
+        let costed = plan_adaptive(ids(0..12), 2, class, &model());
+        assert!(costed.plan.covers(ids(0..12)));
+        assert_eq!(costed.predicted.iter().sum::<f64>(), 20.0);
+        assert_eq!(costed.predicted, vec![10.0, 10.0]);
+        assert!((costed.predicted_imbalance() - 1.0).abs() < 1e-9);
+
+        // 3 cores at cost 3 + 3 edges at cost 1 over 2 shards: perfect cost
+        // balance (6/6) requires unequal sizes (2 vs 4) — the trade striping
+        // cannot make
+        let lopsided = |v: NodeId| if v.index() < 3 { "core" } else { "edge" };
+        let m = CostModel::fit(
+            [("core".to_owned(), 3.0), ("edge".to_owned(), 1.0)],
+            ["dump-a".to_owned()],
+        );
+        let costed = plan_adaptive(ids(0..6), 2, lopsided, &m);
+        assert_eq!(costed.predicted, vec![6.0, 6.0]);
+        let sizes: Vec<usize> = (0..2).map(|s| costed.plan.nodes_of(s).len()).collect();
+        assert_ne!(sizes[0], sizes[1], "cost balance trades away size balance: {sizes:?}");
+    }
+
+    #[test]
+    fn adaptive_plan_is_deterministic_and_order_independent() {
+        let mut reversed = ids(0..12);
+        reversed.reverse();
+        let a = plan_adaptive(ids(0..12), 3, class, &model());
+        let b = plan_adaptive(reversed, 3, class, &model());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_model_degenerates_to_size_balancing() {
+        let costed = plan_adaptive(ids(0..10), 3, class, &CostModel::uniform());
+        let sizes: Vec<usize> = (0..3).map(|s| costed.plan.nodes_of(s).len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1, "{sizes:?}");
+        assert!(costed.plan.covers(ids(0..10)));
+    }
+
+    #[test]
+    fn striped_costing_prices_the_by_class_plan() {
+        let costed = cost_striped(ids(0..12), 2, class, &model());
+        assert_eq!(costed.plan, ShardPlan::by_class(ids(0..12), 2, class));
+        assert_eq!(costed.predicted.iter().sum::<f64>(), 20.0);
+    }
+
+    #[test]
+    fn imbalance_handles_edge_cases() {
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0.0, 0.0]), 1.0);
+        assert_eq!(imbalance(&[2.0, 2.0]), 1.0);
+        assert_eq!(imbalance(&[3.0, 1.0]), 1.5);
+        // an idle shard is imbalance, not a smaller denominator
+        assert_eq!(imbalance(&[2.0, 0.0]), 2.0);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_still_covers() {
+        let costed = plan_adaptive(ids(0..2), 5, class, &model());
+        assert_eq!(costed.plan.shard_count(), 5);
+        assert!(costed.plan.covers(ids(0..2)));
+    }
+}

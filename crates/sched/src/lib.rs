@@ -17,7 +17,10 @@
 //! * **Across processes** — [`ShardPlan`]: a deterministic partition of the
 //!   node set by symmetry class, recomputed identically by a coordinator
 //!   and its worker subprocesses, plus the [`Json`] value type their shard
-//!   reports travel in.
+//!   reports travel in. The [`cost`] module upgrades striped plans to
+//!   cost-adaptive ones: a per-class [`CostModel`] (fit from measured
+//!   sweep history) drives LPT bin packing so every shard carries the same
+//!   *predicted seconds*, not just the same node count.
 //!
 //! The scheduler is deliberately independent of SMT types: tasks are any
 //! `Send` values, per-worker state is any type, and cancellation hooks are
@@ -50,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cancel;
+pub mod cost;
 pub mod pool;
 pub mod queue;
 pub mod shard;
@@ -61,6 +65,7 @@ pub mod shard;
 pub use timepiece_trace::json;
 
 pub use cancel::CancelToken;
+pub use cost::{plan_adaptive, CostModel, CostedPlan};
 pub use json::{Json, JsonError};
 pub use pool::{run, SchedOutcome, SchedStats};
 pub use queue::StealQueue;

@@ -49,13 +49,17 @@ pub enum Phase {
     /// One protocol request handled by the `timepieced` daemon (its self
     /// time is the request overhead beyond the node checks nested inside).
     Request,
+    /// Cross-host coordination: a distributed shard's round trip on the
+    /// coordinator side (send `check`, await heartbeats and the report).
+    /// Its self time beyond the worker's own spans is wire + remote queue.
+    Wire,
     /// Everything else (scope events, cancellations, harness work).
     Other,
 }
 
 impl Phase {
     /// Every phase, in profile-table order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Encode,
         Phase::Solve,
         Phase::Idle,
@@ -64,6 +68,7 @@ impl Phase {
         Phase::Round,
         Phase::Sim,
         Phase::Request,
+        Phase::Wire,
         Phase::Other,
     ];
 
@@ -78,6 +83,7 @@ impl Phase {
             Phase::Round => "round",
             Phase::Sim => "sim",
             Phase::Request => "request",
+            Phase::Wire => "wire",
             Phase::Other => "other",
         }
     }
