@@ -35,6 +35,7 @@ pub mod decision;
 pub mod laws;
 pub mod network;
 pub mod policy;
+pub mod policy_text;
 pub mod shortest_path;
 pub mod traits;
 pub mod widest_path;

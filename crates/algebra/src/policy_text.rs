@@ -1,0 +1,612 @@
+//! A canonical text form for the policy IR.
+//!
+//! The scenario compiler (`timepiece-scenario`) stores policies in TOML as
+//! clause strings; this module gives every policy-IR constituent a compact
+//! [`fmt::Display`] rendering and a [`std::str::FromStr`] parser that round
+//! trip exactly:
+//!
+//! * guards — `true`, `sym(x)`, `has-tag(comms, down)`, `int-eq(len, 0)`,
+//!   `bv-eq(med, 5)`, `field-eq-var(destination, dest)`, combined with
+//!   `!`, `&`, `|` and parentheses (`!` binds tightest, then `&`, then `|`);
+//! * rewrite ops — `inc(len, 1)`, `set-bv(med, 5)`, `set-bool(tag, true)`,
+//!   `set-enum(origin, egp)`, `add-tag(comms, down)`,
+//!   `remove-tag(comms, down)`;
+//! * merge keys — `lower(ad)`, `higher(lp)`,
+//!   `rank(origin; igp, egp, unknown)`, `first(<guard>)`;
+//! * clauses — `when <guard> => drop` or `when <guard> => <op>; <op>`.
+//!
+//! Parse errors are plain strings naming the offending token; the scenario
+//! compiler wraps them with file positions.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::policy::{ClauseAction, MergeKey, PolicyClause, RewriteOp, RouteGuard};
+
+// ---------------------------------------------------------------------------
+// Display
+// ---------------------------------------------------------------------------
+
+/// Guard precedence levels for parenthesis-free printing.
+fn guard_prec(g: &RouteGuard) -> u8 {
+    match g {
+        RouteGuard::Or(_, _) => 0,
+        RouteGuard::And(_, _) => 1,
+        _ => 2,
+    }
+}
+
+fn fmt_guard(g: &RouteGuard, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let prec = guard_prec(g);
+    if prec < min_prec {
+        write!(f, "(")?;
+    }
+    match g {
+        RouteGuard::True => write!(f, "true")?,
+        RouteGuard::SymBool(name) => write!(f, "sym({name})")?,
+        RouteGuard::HasTag { field, tag } => write!(f, "has-tag({field}, {tag})")?,
+        RouteGuard::IntEq { field, value } => write!(f, "int-eq({field}, {value})")?,
+        RouteGuard::BvEq { field, value } => write!(f, "bv-eq({field}, {value})")?,
+        RouteGuard::FieldEqVar { field, var } => write!(f, "field-eq-var({field}, {var})")?,
+        RouteGuard::Not(inner) => {
+            write!(f, "!")?;
+            fmt_guard(inner, 2, f)?;
+        }
+        RouteGuard::And(a, b) => {
+            fmt_guard(a, 1, f)?;
+            write!(f, " & ")?;
+            fmt_guard(b, 2, f)?;
+        }
+        RouteGuard::Or(a, b) => {
+            fmt_guard(a, 0, f)?;
+            write!(f, " | ")?;
+            fmt_guard(b, 1, f)?;
+        }
+    }
+    if prec < min_prec {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for RouteGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_guard(self, 0, f)
+    }
+}
+
+impl fmt::Display for RewriteOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteOp::IncInt { field, by } => write!(f, "inc({field}, {by})"),
+            RewriteOp::SetBv { field, value } => write!(f, "set-bv({field}, {value})"),
+            RewriteOp::SetBool { field, value } => write!(f, "set-bool({field}, {value})"),
+            RewriteOp::SetEnum { field, variant } => write!(f, "set-enum({field}, {variant})"),
+            RewriteOp::AddTag { field, tag } => write!(f, "add-tag({field}, {tag})"),
+            RewriteOp::RemoveTag { field, tag } => write!(f, "remove-tag({field}, {tag})"),
+        }
+    }
+}
+
+impl fmt::Display for MergeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeKey::GuardFirst(guard) => write!(f, "first({guard})"),
+            MergeKey::Lower(field) => write!(f, "lower({field})"),
+            MergeKey::Higher(field) => write!(f, "higher({field})"),
+            MergeKey::RankEnum(field, order) => write!(f, "rank({field}; {})", order.join(", ")),
+        }
+    }
+}
+
+impl fmt::Display for PolicyClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "when {} => ", self.guard)?;
+        match &self.action {
+            ClauseAction::Drop => write!(f, "drop"),
+            ClauseAction::Rewrite(ops) => {
+                let rendered: Vec<String> = ops.iter().map(|op| op.to_string()).collect();
+                write!(f, "{}", rendered.join("; "))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i128),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s:?}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Semi => write!(f, "';'"),
+            Tok::Bang => write!(f, "'!'"),
+            Tok::Amp => write!(f, "'&'"),
+            Tok::Pipe => write!(f, "'|'"),
+            Tok::Arrow => write!(f, "'=>'"),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            '!' => {
+                toks.push(Tok::Bang);
+                i += 1;
+            }
+            '&' => {
+                toks.push(Tok::Amp);
+                i += 1;
+            }
+            '|' => {
+                toks.push(Tok::Pipe);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err("'=' must be part of '=>'".to_owned());
+                }
+            }
+            '-' if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                toks.push(Tok::Num(text.parse().map_err(|_| format!("bad number {text:?}"))?));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                toks.push(Tok::Num(text.parse().map_err(|_| format!("bad number {text:?}"))?));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '-' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(input[start..i].to_owned()));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, String> {
+        Ok(Parser { toks: lex(input)?, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), String> {
+        match self.next() {
+            Some(t) if t == *want => Ok(()),
+            Some(t) => Err(format!("expected {want}, got {t}")),
+            None => Err(format!("expected {want}, got end of input")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(format!("expected {what}, got {t}")),
+            None => Err(format!("expected {what}, got end of input")),
+        }
+    }
+
+    fn num(&mut self, what: &str) -> Result<i128, String> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(n),
+            Some(t) => Err(format!("expected {what}, got {t}")),
+            None => Err(format!("expected {what}, got end of input")),
+        }
+    }
+
+    fn done(&self) -> Result<(), String> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(format!("trailing input starting at {t}")),
+        }
+    }
+
+    /// `or := and ('|' and)*`
+    fn guard(&mut self) -> Result<RouteGuard, String> {
+        let mut g = self.guard_and()?;
+        while self.peek() == Some(&Tok::Pipe) {
+            self.next();
+            g = g.or(self.guard_and()?);
+        }
+        Ok(g)
+    }
+
+    /// `and := atom ('&' atom)*`
+    fn guard_and(&mut self) -> Result<RouteGuard, String> {
+        let mut g = self.guard_atom()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.next();
+            g = g.and(self.guard_atom()?);
+        }
+        Ok(g)
+    }
+
+    /// `atom := '!' atom | '(' or ')' | true | sym(..) | has-tag(..) | ...`
+    fn guard_atom(&mut self) -> Result<RouteGuard, String> {
+        match self.next() {
+            Some(Tok::Bang) => Ok(self.guard_atom()?.not()),
+            Some(Tok::LParen) => {
+                let g = self.guard()?;
+                self.expect(&Tok::RParen)?;
+                Ok(g)
+            }
+            Some(Tok::Ident(head)) => match head.as_str() {
+                "true" => Ok(RouteGuard::True),
+                "sym" => {
+                    self.expect(&Tok::LParen)?;
+                    let name = self.ident("a symbolic name")?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(RouteGuard::SymBool(name))
+                }
+                "has-tag" => {
+                    let (field, tag) = self.field_ident_pair("a tag")?;
+                    Ok(RouteGuard::HasTag { field, tag })
+                }
+                "int-eq" => {
+                    let (field, value) = self.field_num_pair("an integer")?;
+                    Ok(RouteGuard::IntEq {
+                        field,
+                        value: i64::try_from(value).map_err(|_| "int-eq value out of range")?,
+                    })
+                }
+                "bv-eq" => {
+                    let (field, value) = self.field_num_pair("a bitvector value")?;
+                    Ok(RouteGuard::BvEq {
+                        field,
+                        value: u64::try_from(value).map_err(|_| "bv-eq value out of range")?,
+                    })
+                }
+                "field-eq-var" => {
+                    let (field, var) = self.field_ident_pair("a variable name")?;
+                    Ok(RouteGuard::FieldEqVar { field, var })
+                }
+                other => Err(format!("unknown guard {other:?}")),
+            },
+            Some(t) => Err(format!("expected a guard, got {t}")),
+            None => Err("expected a guard, got end of input".to_owned()),
+        }
+    }
+
+    fn field_ident_pair(&mut self, what: &str) -> Result<(String, String), String> {
+        self.expect(&Tok::LParen)?;
+        let field = self.ident("a field name")?;
+        self.expect(&Tok::Comma)?;
+        let second = self.ident(what)?;
+        self.expect(&Tok::RParen)?;
+        Ok((field, second))
+    }
+
+    fn field_num_pair(&mut self, what: &str) -> Result<(String, i128), String> {
+        self.expect(&Tok::LParen)?;
+        let field = self.ident("a field name")?;
+        self.expect(&Tok::Comma)?;
+        let value = self.num(what)?;
+        self.expect(&Tok::RParen)?;
+        Ok((field, value))
+    }
+
+    fn rewrite_op(&mut self) -> Result<RewriteOp, String> {
+        let head = self.ident("a rewrite op")?;
+        match head.as_str() {
+            "inc" => {
+                let (field, by) = self.field_num_pair("an increment")?;
+                Ok(RewriteOp::IncInt {
+                    field,
+                    by: i64::try_from(by).map_err(|_| "inc value out of range")?,
+                })
+            }
+            "set-bv" => {
+                let (field, value) = self.field_num_pair("a bitvector value")?;
+                Ok(RewriteOp::SetBv {
+                    field,
+                    value: u64::try_from(value).map_err(|_| "set-bv value out of range")?,
+                })
+            }
+            "set-bool" => {
+                let (field, value) = self.field_ident_pair("true or false")?;
+                let value = match value.as_str() {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("set-bool expects true or false, got {other:?}")),
+                };
+                Ok(RewriteOp::SetBool { field, value })
+            }
+            "set-enum" => {
+                let (field, variant) = self.field_ident_pair("an enum variant")?;
+                Ok(RewriteOp::SetEnum { field, variant })
+            }
+            "add-tag" => {
+                let (field, tag) = self.field_ident_pair("a tag")?;
+                Ok(RewriteOp::AddTag { field, tag })
+            }
+            "remove-tag" => {
+                let (field, tag) = self.field_ident_pair("a tag")?;
+                Ok(RewriteOp::RemoveTag { field, tag })
+            }
+            other => Err(format!("unknown rewrite op {other:?}")),
+        }
+    }
+
+    fn merge_key(&mut self) -> Result<MergeKey, String> {
+        let head = self.ident("a merge key")?;
+        match head.as_str() {
+            "lower" => {
+                self.expect(&Tok::LParen)?;
+                let field = self.ident("a field name")?;
+                self.expect(&Tok::RParen)?;
+                Ok(MergeKey::Lower(field))
+            }
+            "higher" => {
+                self.expect(&Tok::LParen)?;
+                let field = self.ident("a field name")?;
+                self.expect(&Tok::RParen)?;
+                Ok(MergeKey::Higher(field))
+            }
+            "rank" => {
+                self.expect(&Tok::LParen)?;
+                let field = self.ident("a field name")?;
+                self.expect(&Tok::Semi)?;
+                let mut order = vec![self.ident("an enum variant")?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.next();
+                    order.push(self.ident("an enum variant")?);
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(MergeKey::RankEnum(field, order))
+            }
+            "first" => {
+                self.expect(&Tok::LParen)?;
+                let guard = self.guard()?;
+                self.expect(&Tok::RParen)?;
+                Ok(MergeKey::GuardFirst(guard))
+            }
+            other => Err(format!("unknown merge key {other:?}")),
+        }
+    }
+
+    fn clause(&mut self) -> Result<PolicyClause, String> {
+        match self.next() {
+            Some(Tok::Ident(kw)) if kw == "when" => {}
+            Some(t) => return Err(format!("a clause starts with 'when', got {t}")),
+            None => return Err("a clause starts with 'when', got end of input".to_owned()),
+        }
+        let guard = self.guard()?;
+        self.expect(&Tok::Arrow)?;
+        if matches!(self.peek(), Some(Tok::Ident(kw)) if kw == "drop") {
+            self.next();
+            return Ok(PolicyClause { guard, action: ClauseAction::Drop });
+        }
+        let mut ops = vec![self.rewrite_op()?];
+        while self.peek() == Some(&Tok::Semi) {
+            self.next();
+            ops.push(self.rewrite_op()?);
+        }
+        Ok(PolicyClause { guard, action: ClauseAction::Rewrite(ops) })
+    }
+}
+
+impl FromStr for RouteGuard {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RouteGuard, String> {
+        let mut p = Parser::new(s)?;
+        let g = p.guard()?;
+        p.done()?;
+        Ok(g)
+    }
+}
+
+impl FromStr for RewriteOp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RewriteOp, String> {
+        let mut p = Parser::new(s)?;
+        let op = p.rewrite_op()?;
+        p.done()?;
+        Ok(op)
+    }
+}
+
+impl FromStr for MergeKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<MergeKey, String> {
+        let mut p = Parser::new(s)?;
+        let key = p.merge_key()?;
+        p.done()?;
+        Ok(key)
+    }
+}
+
+impl FromStr for PolicyClause {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PolicyClause, String> {
+        let mut p = Parser::new(s)?;
+        let clause = p.clause()?;
+        p.done()?;
+        Ok(clause)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RoutePolicy;
+
+    fn roundtrip_guard(g: RouteGuard) {
+        let text = g.to_string();
+        let back: RouteGuard = text.parse().unwrap_or_else(|e| panic!("parsing {text:?}: {e}"));
+        assert_eq!(back, g, "{text}");
+    }
+
+    #[test]
+    fn guards_roundtrip() {
+        let a = RouteGuard::IntEq { field: "len".into(), value: 0 };
+        let b = RouteGuard::HasTag { field: "comms".into(), tag: "down".into() };
+        let c = RouteGuard::SymBool("fail-edge-0-0-agg-0-0".into());
+        let d = RouteGuard::BvEq { field: "med".into(), value: 5 };
+        let e = RouteGuard::FieldEqVar { field: "destination".into(), var: "dest".into() };
+        roundtrip_guard(RouteGuard::True);
+        roundtrip_guard(a.clone());
+        roundtrip_guard(a.clone().not());
+        roundtrip_guard(a.clone().and(b.clone()).or(c.clone()));
+        roundtrip_guard(a.clone().or(b.clone()).and(c.clone()));
+        roundtrip_guard(a.clone().or(b.clone().and(c.clone())).not());
+        roundtrip_guard(d.and(e).or(a.not()));
+    }
+
+    #[test]
+    fn negative_int_eq_roundtrips() {
+        roundtrip_guard(RouteGuard::IntEq { field: "len".into(), value: -3 });
+    }
+
+    #[test]
+    fn precedence_parses_as_printed() {
+        // `a | b & c` is `a | (b & c)`
+        let g: RouteGuard = "int-eq(len, 1) | int-eq(len, 2) & int-eq(len, 3)".parse().unwrap();
+        assert!(matches!(g, RouteGuard::Or(_, _)));
+        // explicit parens override
+        let g: RouteGuard = "(int-eq(len, 1) | int-eq(len, 2)) & int-eq(len, 3)".parse().unwrap();
+        assert!(matches!(g, RouteGuard::And(_, _)));
+    }
+
+    #[test]
+    fn rewrite_ops_roundtrip() {
+        for op in [
+            RewriteOp::IncInt { field: "len".into(), by: 1 },
+            RewriteOp::SetBv { field: "med".into(), value: 3 },
+            RewriteOp::SetBool { field: "tag".into(), value: true },
+            RewriteOp::SetEnum { field: "origin".into(), variant: "egp".into() },
+            RewriteOp::AddTag { field: "comms".into(), tag: "down".into() },
+            RewriteOp::RemoveTag { field: "comms".into(), tag: "bte".into() },
+        ] {
+            let text = op.to_string();
+            assert_eq!(text.parse::<RewriteOp>().unwrap(), op, "{text}");
+        }
+    }
+
+    #[test]
+    fn merge_keys_roundtrip() {
+        for key in [
+            MergeKey::Lower("ad".into()),
+            MergeKey::Higher("lp".into()),
+            MergeKey::RankEnum("origin".into(), vec!["igp".into(), "egp".into()]),
+            MergeKey::GuardFirst(RouteGuard::HasTag { field: "comms".into(), tag: "down".into() }),
+        ] {
+            let text = key.to_string();
+            assert_eq!(text.parse::<MergeKey>().unwrap(), key, "{text}");
+        }
+    }
+
+    #[test]
+    fn clauses_roundtrip() {
+        let policy = RoutePolicy::new()
+            .when(
+                RouteGuard::IntEq { field: "len".into(), value: 0 },
+                ClauseAction::Rewrite(vec![
+                    RewriteOp::SetBv { field: "med".into(), value: 2 },
+                    RewriteOp::AddTag { field: "comms".into(), tag: "down".into() },
+                ]),
+            )
+            .drop_if(RouteGuard::HasTag { field: "comms".into(), tag: "bte".into() })
+            .increment("len");
+        for clause in policy.clauses() {
+            let text = clause.to_string();
+            assert_eq!(&text.parse::<PolicyClause>().unwrap(), clause, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_problem() {
+        assert!("when".parse::<PolicyClause>().unwrap_err().contains("guard"));
+        assert!("nope(len)".parse::<MergeKey>().unwrap_err().contains("unknown merge key"));
+        assert!("inc(len, x)".parse::<RewriteOp>().unwrap_err().contains("expected an increment"));
+        assert!("int-eq(len, 1) extra"
+            .parse::<RouteGuard>()
+            .unwrap_err()
+            .contains("trailing input"));
+    }
+}

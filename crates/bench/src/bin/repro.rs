@@ -5,7 +5,8 @@
 //! repro fig1      [--max-k N] [--timeout-secs S] [--threads T]
 //! repro fig3
 //! repro fig13
-//! repro fig14     [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
+//! repro fig14     [--bench NAME|all] [--scenario-file PATH]
+//!                 [--max-k N | --ks 4,6,8] [--timeout-secs S]
 //!                 [--no-ms] [--shards N] [--json PATH] [--trace PATH]
 //!                 [--workers HOST:PORT,...] [--plan striped|adaptive]
 //!                 [--history DUMP.json,...] [--halt-workers]
@@ -18,20 +19,28 @@
 //! repro arena     [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
 //! repro profile   [--bench NAME|all] [--max-k N | --ks 4,6,8] [--timeout-secs S]
 //! repro trend     DUMP.json [DUMP.json ...]   (oldest first)
-//! repro serve     [--bench NAME] [--k K] [--port P] [--timeout-secs S] [--threads T]
+//! repro serve     [--bench NAME | --scenario-file PATH] [--k K] [--port P]
+//!                 [--timeout-secs S] [--threads T]
 //! repro ask       [--port P] [--request JSON]
 //! repro soak      [--bench NAME] [--ks 4,6,8] [--clients N] [--deltas M] [--json PATH]
 //! repro plan      [--bench NAME] [--k K] [--shards N] [--history DUMP.json,...]
 //! repro worker    [--listen HOST:PORT] [--die-after N]
 //! repro shard-worker --bench NAME --k K --shard I --shards N
 //!                 [--nodes a,b,...] [--plan-spec JSON]  (internal)
+//! repro fuzz      [--cases N] [--seed S] [--out DIR] [--steps N]
+//! repro check     --scenario-file PATH [--steps N] [--timeout-secs S]
+//! repro export    --bench NAME [--k K] [--out PATH]
 //! repro all
 //! ```
 //!
-//! Benchmarks come from the scenario registry (`timepiece-bench::Scenario`):
-//! the paper's eight Fig. 14 sweeps plus the post-paper MED, IGP/EGP and
-//! link-failure scenarios — all present in `fig14`, `--json` dumps and
-//! sharding alike. Defaults keep the sweeps laptop-sized (k ≤ 12, 60 s
+//! Benchmarks come from the scenario registry (`timepiece-bench::\
+//! ScenarioSpec`): the paper's eight Fig. 14 sweeps plus the post-paper MED,
+//! IGP/EGP and link-failure scenarios — all present in `fig14`, `--json`
+//! dumps and sharding alike. `--scenario-file PATH` compiles a declarative
+//! TOML scenario (see `examples/scenarios/`) into the same registry, so file
+//! scenarios flow through sweeps, subprocess sharding, the daemon and
+//! `repro check` unchanged; `repro export` prints any registry scenario in
+//! that format. Defaults keep the sweeps laptop-sized (k ≤ 12, 60 s
 //! budget); raise `--max-k`/`--timeout-secs` to push toward the paper's
 //! k = 40 / 2 h runs. With `--shards N` the modular engine forks `N` worker
 //! subprocesses per row, merges their shard reports, and asserts full node
@@ -82,13 +91,13 @@ use timepiece_nets::ghost;
 use timepiece_nets::wan::WanBench;
 use timepiece_topology::FatTree;
 
-const USAGE: &str = "usage: repro <subcommand> [flags]
+const USAGE_HEAD: &str = "usage: repro <subcommand> [flags]
 
 subcommands:
   fig1       modular vs monolithic sweep on SpHijack
   fig3       running example simulation table
   fig13      example 4-fattree with Vf down-edge tagging
-  fig14      the eight fattree benchmark sweeps
+  fig14      the eight fattree benchmark sweeps (or a --scenario-file)
   table1     ghost-state property encodings
   table2     lines of code per benchmark definition
   table3     eBGP route fields modelled in SMT
@@ -104,42 +113,12 @@ subcommands:
   plan       print the striped and adaptive shard plans without running anything
   worker     serve shard checks over TCP until a coordinator sends halt
   shard-worker  (internal) check one shard of one instance, print JSON report
+  fuzz       differential-fuzz the three policy evaluators, shrink failures
+  check      replay one --scenario-file through every evaluator and the checker
+  export     print a registry scenario as a scenario file (edit and recompile)
   all        everything above (except infer, arena, trend and the daemon)
 
-flags:
-  --max-k N          largest fattree parameter to sweep (default 12; infer: 8)
-  --ks A,B,C         sweep exactly these fattree parameters (overrides --max-k)
-  --timeout-secs S   per-engine solver budget in seconds (default 60)
-  --timeout-millis M per-engine solver budget in milliseconds (shard protocol)
-  --threads T        worker threads for the modular checker (default: all cores)
-  --bench NAME       restrict fig14 to matching benchmarks / infer to reach|len
-  --no-ms            skip the monolithic baseline in sweeps
-  --no-roles         infer without fattree role generalization
-  --peers N          external peer count for the wan subcommand (default 253)
-  --shards N         fork N shard-worker processes per modular sweep row
-                     (with --workers: shards per row, default 4x worker count;
-                      plan: shards to plan, default 4)
-  --workers LIST     (fig14) dispatch shards over TCP to these comma-separated
-                     `repro worker` host:port addresses instead of forking
-  --plan P           (fig14, plan) shard plan: striped (default) or adaptive
-  --history LIST     (fig14, plan) comma-separated fig14 --json dumps the
-                     adaptive cost model is fit from (none: uniform costs)
-  --halt-workers     (fig14) send halt to every --workers address afterwards
-  --listen ADDR      (worker) TCP address to bind (default 127.0.0.1:7272)
-  --die-after N      (worker) fault injection: silently drop the connection
-                     after N check frames and exit nonzero
-  --nodes LIST       (shard-worker) comma-separated node names to check,
-                     overriding the locally recomputed striped plan
-  --plan-spec JSON   (shard-worker) plan spec to record in the shard report
-  --json PATH        also write fig14 rows as machine-readable JSON to PATH
-  --trace PATH       write a Chrome trace-event JSON of the run (fig14, infer)
-  --k K              (serve, shard-worker) fattree parameter of the instance
-  --shard I          (shard-worker) which shard of the plan to check
-  --trace-spans      (shard-worker) collect spans and embed them in the report
-  --port P           (serve, ask) daemon TCP port on 127.0.0.1 (default 7171)
-  --request JSON     (ask) raw request frame to send (default: status)
-  --clients N        (soak) concurrent client threads (default 4)
-  --deltas M         (soak) deltas each client streams (default 8)";
+flags:";
 
 struct Args {
     max_k: Option<usize>,
@@ -168,149 +147,380 @@ struct Args {
     request: Option<String>,
     clients: usize,
     deltas: usize,
+    scenario_file: Option<String>,
+    cases: u32,
+    seed: u64,
+    out: Option<String>,
+    steps: usize,
 }
 
-/// The next flag value, or a usage error naming the flag and what it wants.
-fn next_value(
-    it: &mut std::slice::Iter<'_, String>,
-    flag: &str,
-    what: &str,
-) -> Result<String, String> {
-    it.next().cloned().ok_or_else(|| format!("{flag} requires a value ({what})"))
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            max_k: None,
+            ks: None,
+            timeout: Duration::from_secs(60),
+            threads: None,
+            bench: "all".to_owned(),
+            run_ms: true,
+            use_roles: true,
+            peers: 253,
+            shards: 1,
+            workers: Vec::new(),
+            plan: "striped".to_owned(),
+            history: Vec::new(),
+            halt_workers: false,
+            listen: None,
+            die_after: None,
+            nodes: None,
+            plan_spec: None,
+            json: None,
+            trace: None,
+            k: None,
+            shard: None,
+            trace_spans: false,
+            port: 7171,
+            request: None,
+            clients: 4,
+            deltas: 8,
+            scenario_file: None,
+            cases: 100,
+            seed: 0,
+            out: None,
+            steps: 32,
+        }
+    }
 }
 
-/// The next flag value parsed as `T`, or a usage error.
-fn parse_value<T: std::str::FromStr>(
-    it: &mut std::slice::Iter<'_, String>,
-    flag: &str,
-    what: &str,
-) -> Result<T, String> {
-    let raw = next_value(it, flag, what)?;
+/// Parses `raw` as `T`, naming the flag and expected shape on failure.
+fn typed<T: std::str::FromStr>(flag: &str, raw: &str, what: &str) -> Result<T, String> {
     raw.parse().map_err(|_| format!("{flag}: cannot parse {raw:?} as {what}"))
 }
 
+/// One entry of the declarative flag table: name, metavar (empty for bare
+/// switches), help text, and a typed setter. The table *is* the parser and
+/// the usage text — adding a flag is adding one entry.
+struct FlagSpec {
+    name: &'static str,
+    metavar: &'static str,
+    help: &'static str,
+    set: fn(&mut Args, &str, &str) -> Result<(), String>,
+}
+
+static FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--max-k",
+        metavar: "N",
+        help: "largest fattree parameter to sweep (default 12; infer: 8)",
+        set: |a, f, v| typed(f, v, "integer k").map(|k| a.max_k = Some(k)),
+    },
+    FlagSpec {
+        name: "--ks",
+        metavar: "A,B,C",
+        help: "sweep exactly these fattree parameters (overrides --max-k)",
+        set: |a, f, v| {
+            let ks = v
+                .split(',')
+                .map(|part| typed::<usize>(f, part.trim(), "an integer k"))
+                .collect::<Result<Vec<_>, _>>()?;
+            if ks.is_empty() {
+                return Err(format!("{f} requires at least one k"));
+            }
+            if let Some(bad) = ks.iter().find(|&&k| k < 2 || k % 2 != 0) {
+                return Err(format!("{f}: fattree parameter k must be even and >= 2, got {bad}"));
+            }
+            a.ks = Some(ks);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--timeout-secs",
+        metavar: "S",
+        help: "per-engine solver budget in seconds (default 60)",
+        set: |a, f, v| typed(f, v, "seconds").map(|s| a.timeout = Duration::from_secs(s)),
+    },
+    FlagSpec {
+        name: "--timeout-millis",
+        metavar: "M",
+        help: "per-engine solver budget in milliseconds (shard protocol)",
+        set: |a, f, v| typed(f, v, "milliseconds").map(|m| a.timeout = Duration::from_millis(m)),
+    },
+    FlagSpec {
+        name: "--threads",
+        metavar: "T",
+        help: "worker threads for the modular checker (default: all cores)",
+        set: |a, f, v| typed(f, v, "thread count").map(|t| a.threads = Some(t)),
+    },
+    FlagSpec {
+        name: "--bench",
+        metavar: "NAME",
+        help: "restrict fig14 to matching benchmarks / infer to reach|len\n(export: which scenario to print)",
+        set: |a, _, v| {
+            a.bench = v.to_owned();
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--scenario-file",
+        metavar: "PATH",
+        help: "compile PATH and register it as a scenario (fig14, serve,\ncheck, shard-worker); fig14 then sweeps it unless --bench widens",
+        set: |a, _, v| {
+            a.scenario_file = Some(v.to_owned());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--no-ms",
+        metavar: "",
+        help: "skip the monolithic baseline in sweeps",
+        set: |a, _, _| {
+            a.run_ms = false;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--no-roles",
+        metavar: "",
+        help: "infer without fattree role generalization",
+        set: |a, _, _| {
+            a.use_roles = false;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--peers",
+        metavar: "N",
+        help: "external peer count for the wan subcommand (default 253)",
+        set: |a, f, v| typed(f, v, "peer count").map(|n| a.peers = n),
+    },
+    FlagSpec {
+        name: "--shards",
+        metavar: "N",
+        help: "fork N shard-worker processes per modular sweep row\n(with --workers: shards per row, default 4x worker count;\n plan: shards to plan, default 4)",
+        set: |a, f, v| {
+            a.shards = typed(f, v, "shard count")?;
+            if a.shards == 0 {
+                return Err(format!("{f} requires at least one shard"));
+            }
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--workers",
+        metavar: "LIST",
+        help: "(fig14) dispatch shards over TCP to these comma-separated\n`repro worker` host:port addresses instead of forking",
+        set: |a, f, v| {
+            a.workers =
+                v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+            if a.workers.is_empty() {
+                return Err(format!("{f} requires at least one worker address"));
+            }
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--plan",
+        metavar: "P",
+        help: "(fig14, plan) shard plan: striped (default) or adaptive",
+        set: |a, f, v| {
+            if v != "striped" && v != "adaptive" {
+                return Err(format!("{f}: expected striped or adaptive, got {v:?}"));
+            }
+            a.plan = v.to_owned();
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--history",
+        metavar: "LIST",
+        help: "(fig14, plan) comma-separated fig14 --json dumps the\nadaptive cost model is fit from (none: uniform costs)",
+        set: |a, _, v| {
+            a.history =
+                v.split(',').map(str::trim).filter(|p| !p.is_empty()).map(String::from).collect();
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--halt-workers",
+        metavar: "",
+        help: "(fig14) send halt to every --workers address afterwards",
+        set: |a, _, _| {
+            a.halt_workers = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--listen",
+        metavar: "ADDR",
+        help: "(worker) TCP address to bind (default 127.0.0.1:7272)",
+        set: |a, _, v| {
+            a.listen = Some(v.to_owned());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--die-after",
+        metavar: "N",
+        help: "(worker) fault injection: silently drop the connection\nafter N check frames and exit nonzero",
+        set: |a, f, v| typed(f, v, "check count").map(|n| a.die_after = Some(n)),
+    },
+    FlagSpec {
+        name: "--nodes",
+        metavar: "LIST",
+        help: "(shard-worker) comma-separated node names to check,\noverriding the locally recomputed striped plan",
+        set: |a, _, v| {
+            a.nodes = Some(v.to_owned());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--plan-spec",
+        metavar: "JSON",
+        help: "(shard-worker) plan spec to record in the shard report",
+        set: |a, _, v| {
+            a.plan_spec = Some(v.to_owned());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--json",
+        metavar: "PATH",
+        help: "also write fig14 rows as machine-readable JSON to PATH",
+        set: |a, _, v| {
+            a.json = Some(v.to_owned());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--trace",
+        metavar: "PATH",
+        help: "write a Chrome trace-event JSON of the run (fig14, infer)",
+        set: |a, _, v| {
+            a.trace = Some(v.to_owned());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--k",
+        metavar: "K",
+        help: "(serve, export, shard-worker) fattree parameter of the instance",
+        set: |a, f, v| typed(f, v, "integer k").map(|k| a.k = Some(k)),
+    },
+    FlagSpec {
+        name: "--shard",
+        metavar: "I",
+        help: "(shard-worker) which shard of the plan to check",
+        set: |a, f, v| typed(f, v, "shard index").map(|s| a.shard = Some(s)),
+    },
+    FlagSpec {
+        name: "--trace-spans",
+        metavar: "",
+        help: "(shard-worker) collect spans and embed them in the report",
+        set: |a, _, _| {
+            a.trace_spans = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--port",
+        metavar: "P",
+        help: "(serve, ask) daemon TCP port on 127.0.0.1 (default 7171)",
+        set: |a, f, v| typed(f, v, "TCP port").map(|p| a.port = p),
+    },
+    FlagSpec {
+        name: "--request",
+        metavar: "JSON",
+        help: "(ask) raw request frame to send (default: status)",
+        set: |a, _, v| {
+            a.request = Some(v.to_owned());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--clients",
+        metavar: "N",
+        help: "(soak) concurrent client threads (default 4)",
+        set: |a, f, v| {
+            a.clients = typed(f, v, "client count")?;
+            if a.clients == 0 {
+                return Err(format!("{f} requires at least one client"));
+            }
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--deltas",
+        metavar: "M",
+        help: "(soak) deltas each client streams (default 8)",
+        set: |a, f, v| typed(f, v, "deltas per client").map(|d| a.deltas = d),
+    },
+    FlagSpec {
+        name: "--cases",
+        metavar: "N",
+        help: "(fuzz) random cases to run (default 100)",
+        set: |a, f, v| typed(f, v, "case count").map(|c| a.cases = c),
+    },
+    FlagSpec {
+        name: "--seed",
+        metavar: "S",
+        help: "(fuzz) RNG seed; the same seed replays the same cases",
+        set: |a, f, v| typed(f, v, "integer seed").map(|s| a.seed = s),
+    },
+    FlagSpec {
+        name: "--out",
+        metavar: "PATH",
+        help: "(fuzz) directory for minimal failing scenarios (default .)\n(export) file to write instead of stdout",
+        set: |a, _, v| {
+            a.out = Some(v.to_owned());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--steps",
+        metavar: "N",
+        help: "(check, fuzz) simulation step bound (default 32)",
+        set: |a, f, v| typed(f, v, "step count").map(|s| a.steps = s),
+    },
+];
+
+/// The usage text: the subcommand table plus a flags section generated from
+/// [`FLAGS`], so the two can never drift apart.
+fn usage() -> String {
+    let mut out = String::from(USAGE_HEAD);
+    out.push('\n');
+    for flag in FLAGS {
+        let lhs = if flag.metavar.is_empty() {
+            flag.name.to_owned()
+        } else {
+            format!("{} {}", flag.name, flag.metavar)
+        };
+        for (i, line) in flag.help.lines().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("  {lhs:<18} {line}\n"));
+            } else {
+                out.push_str(&format!("  {:<18} {line}\n", ""));
+            }
+        }
+    }
+    out.pop();
+    out
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args {
-        max_k: None,
-        ks: None,
-        timeout: Duration::from_secs(60),
-        threads: None,
-        bench: "all".to_owned(),
-        run_ms: true,
-        use_roles: true,
-        peers: 253,
-        shards: 1,
-        workers: Vec::new(),
-        plan: "striped".to_owned(),
-        history: Vec::new(),
-        halt_workers: false,
-        listen: None,
-        die_after: None,
-        nodes: None,
-        plan_spec: None,
-        json: None,
-        trace: None,
-        k: None,
-        shard: None,
-        trace_spans: false,
-        port: 7171,
-        request: None,
-        clients: 4,
-        deltas: 8,
-    };
+    let mut args = Args::default();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--max-k" => args.max_k = Some(parse_value(&mut it, flag, "integer k")?),
-            "--ks" => {
-                let raw = next_value(&mut it, flag, "comma-separated k list")?;
-                let ks = raw
-                    .split(',')
-                    .map(|part| {
-                        part.trim()
-                            .parse::<usize>()
-                            .map_err(|_| format!("{flag}: cannot parse {part:?} as an integer k"))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                if ks.is_empty() {
-                    return Err(format!("{flag} requires at least one k"));
-                }
-                if let Some(bad) = ks.iter().find(|&&k| k < 2 || k % 2 != 0) {
-                    return Err(format!(
-                        "{flag}: fattree parameter k must be even and >= 2, got {bad}"
-                    ));
-                }
-                args.ks = Some(ks);
-            }
-            "--timeout-secs" => {
-                args.timeout = Duration::from_secs(parse_value(&mut it, flag, "seconds")?)
-            }
-            "--timeout-millis" => {
-                args.timeout = Duration::from_millis(parse_value(&mut it, flag, "milliseconds")?)
-            }
-            "--threads" => args.threads = Some(parse_value(&mut it, flag, "thread count")?),
-            "--bench" => args.bench = next_value(&mut it, flag, "benchmark name")?,
-            "--no-ms" => args.run_ms = false,
-            "--no-roles" => args.use_roles = false,
-            "--peers" => args.peers = parse_value(&mut it, flag, "peer count")?,
-            "--shards" => {
-                args.shards = parse_value(&mut it, flag, "shard count")?;
-                if args.shards == 0 {
-                    return Err(format!("{flag} requires at least one shard"));
-                }
-            }
-            "--workers" => {
-                let raw = next_value(&mut it, flag, "comma-separated host:port list")?;
-                args.workers = raw
-                    .split(',')
-                    .map(str::trim)
-                    .filter(|a| !a.is_empty())
-                    .map(String::from)
-                    .collect();
-                if args.workers.is_empty() {
-                    return Err(format!("{flag} requires at least one worker address"));
-                }
-            }
-            "--plan" => {
-                args.plan = next_value(&mut it, flag, "striped or adaptive")?;
-                if args.plan != "striped" && args.plan != "adaptive" {
-                    return Err(format!(
-                        "{flag}: expected striped or adaptive, got {:?}",
-                        args.plan
-                    ));
-                }
-            }
-            "--history" => {
-                let raw = next_value(&mut it, flag, "comma-separated dump paths")?;
-                args.history = raw
-                    .split(',')
-                    .map(str::trim)
-                    .filter(|p| !p.is_empty())
-                    .map(String::from)
-                    .collect();
-            }
-            "--halt-workers" => args.halt_workers = true,
-            "--listen" => args.listen = Some(next_value(&mut it, flag, "host:port address")?),
-            "--die-after" => args.die_after = Some(parse_value(&mut it, flag, "check count")?),
-            "--nodes" => {
-                args.nodes = Some(next_value(&mut it, flag, "comma-separated node names")?)
-            }
-            "--plan-spec" => args.plan_spec = Some(next_value(&mut it, flag, "plan spec JSON")?),
-            "--json" => args.json = Some(next_value(&mut it, flag, "output path")?),
-            "--trace" => args.trace = Some(next_value(&mut it, flag, "output path")?),
-            "--k" => args.k = Some(parse_value(&mut it, flag, "integer k")?),
-            "--shard" => args.shard = Some(parse_value(&mut it, flag, "shard index")?),
-            "--trace-spans" => args.trace_spans = true,
-            "--port" => args.port = parse_value(&mut it, flag, "TCP port")?,
-            "--request" => args.request = Some(next_value(&mut it, flag, "JSON frame")?),
-            "--clients" => {
-                args.clients = parse_value(&mut it, flag, "client count")?;
-                if args.clients == 0 {
-                    return Err(format!("{flag} requires at least one client"));
-                }
-            }
-            "--deltas" => args.deltas = parse_value(&mut it, flag, "deltas per client")?,
-            other => return Err(format!("unknown flag {other:?}")),
+        let spec = FLAGS
+            .iter()
+            .find(|s| s.name == flag.as_str())
+            .ok_or_else(|| format!("unknown flag {flag:?}"))?;
+        if spec.metavar.is_empty() {
+            (spec.set)(&mut args, spec.name, "")?;
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("{} requires a value ({})", spec.name, spec.metavar))?;
+            (spec.set)(&mut args, spec.name, value)?;
         }
     }
     Ok(args)
@@ -383,8 +593,22 @@ fn sweep(
     let options =
         SweepOptions { timeout: args.timeout, run_monolithic: args.run_ms, threads: args.threads };
     let mut rows = Vec::new();
-    for k in ks(args) {
+    // compiled (file) scenarios have one fixed topology: one row at their
+    // native size, whatever the requested grid
+    let row_ks = match kind.native_k() {
+        Some(native) => vec![native],
+        None => ks(args),
+    };
+    for k in row_ks {
         let row = if !args.workers.is_empty() {
+            if kind.scenario_file().is_some() {
+                return Err(format!(
+                    "{}: file scenarios cannot be dispatched to TCP workers (the remote \
+                     `repro worker` has no copy of the file); use --shards for local \
+                     subprocess sharding instead",
+                    kind.name()
+                ));
+            }
             run_row_distributed(
                 kind,
                 k,
@@ -728,7 +952,13 @@ fn write_trace(path: &str) {
 }
 
 fn fig14(args: &Args) -> Result<(), String> {
-    let kinds = select_kinds(&args.bench)?;
+    let file_kind = load_scenario_file(args)?;
+    let kinds = match file_kind {
+        // a file scenario with an unrestricted --bench means "sweep the
+        // file"; an explicit --bench can still widen or re-select
+        Some(kind) if args.bench == "all" => vec![kind],
+        _ => select_kinds(&args.bench)?,
+    };
     let history = load_history(&args.history)?;
     if args.trace.is_some() {
         timepiece_trace::enable();
@@ -896,9 +1126,26 @@ fn profile_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// An unknown-benchmark error that names what *is* registered.
+/// An unknown-benchmark error that names what *is* registered — and how to
+/// bring a new scenario into the registry.
 fn unknown_bench(given: &str) -> String {
-    format!("unknown benchmark {given:?}; registered benchmarks: {}", BenchKind::names().join(", "))
+    format!(
+        "unknown benchmark {given:?}; registered benchmarks: {} \
+         (or load a file scenario with --scenario-file PATH)",
+        BenchKind::names().join(", ")
+    )
+}
+
+/// Compiles and registers `--scenario-file` (when given), returning its
+/// registry handle. Every subcommand that takes the flag funnels through
+/// here, so diagnostics render identically everywhere.
+fn load_scenario_file(args: &Args) -> Result<Option<BenchKind>, String> {
+    match &args.scenario_file {
+        None => Ok(None),
+        Some(path) => timepiece_bench::register_scenario_file(path)
+            .map(Some)
+            .map_err(|e| format!("--scenario-file {path}: {e}")),
+    }
 }
 
 /// Prints per-benchmark wall-time trajectories over accumulated `--json`
@@ -931,8 +1178,14 @@ fn trend_cmd(paths: &[String]) -> Result<(), String> {
 
 /// The benchmark `serve`/`soak` run when `--bench` is unrestricted: soaking
 /// all thirteen scenarios is a sweep, not a service, so the daemon commands
-/// default to the canonical reachability one.
+/// default to the canonical reachability one — or to the `--scenario-file`
+/// when one is loaded.
 fn daemon_bench(args: &Args) -> Result<BenchKind, String> {
+    if let Some(kind) = load_scenario_file(args)? {
+        if args.bench == "all" {
+            return Ok(kind);
+        }
+    }
     let name = if args.bench == "all" { "SpReach" } else { args.bench.as_str() };
     BenchKind::parse(name).ok_or_else(|| format!("--bench: {}", unknown_bench(name)))
 }
@@ -941,7 +1194,7 @@ fn daemon_bench(args: &Args) -> Result<BenchKind, String> {
 /// instance and serve until `shutdown` or SIGTERM drains it.
 fn serve_cmd(args: &Args) -> Result<(), String> {
     let kind = daemon_bench(args)?;
-    let k = args.k.unwrap_or(4);
+    let k = kind.native_k().or(args.k).unwrap_or(4);
     let label = format!("{} k={k}", kind.name());
     eprintln!("compiling {label} and running the warm-up check...");
     let options = CheckOptions {
@@ -1045,6 +1298,9 @@ fn shard_worker(args: &Args) -> Result<(), String> {
         // embed the drained trace in the report
         timepiece_trace::enable();
     }
+    // a coordinator sharding a file scenario ships the path; recompile it
+    // into this process's registry before resolving --bench
+    load_scenario_file(args)?;
     let bench = BenchKind::parse(&args.bench)
         .ok_or_else(|| format!("--bench: {}", unknown_bench(&args.bench)))?;
     let k = args.k.ok_or("shard-worker requires --k")?;
@@ -1263,8 +1519,114 @@ fn infer(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `repro fuzz` subcommand: random scenarios through the three policy
+/// evaluators, failures shrunk and written to disk as replayable scenario
+/// files. Exits nonzero on any disagreement.
+fn fuzz_cmd(args: &Args) -> Result<(), String> {
+    let options = timepiece_scenario::FuzzOptions {
+        cases: args.cases,
+        seed: args.seed,
+        sabotage: None,
+        out_dir: Some(args.out.clone().unwrap_or_else(|| ".".to_owned())),
+        max_steps: args.steps,
+        z3_checks: 2,
+    };
+    println!("=== repro fuzz — differential fuzzing of the policy evaluators ===");
+    println!(
+        "({} cases, seed {}; fast-path vs interpreted full traces, plus Z3 spot checks",
+        options.cases, options.seed
+    );
+    println!(" equating compiled policy/merge terms with direct execution)");
+    let report = timepiece_scenario::run_fuzz(&options);
+    if report.clean() {
+        println!("all {} cases agree across the three evaluators", report.cases);
+        return Ok(());
+    }
+    for failure in &report.failures {
+        println!("case {}: {}", failure.case_index, failure.description);
+        if let Some(path) = &failure.path {
+            println!("  minimal scenario: {path} (replay: repro check --scenario-file {path})");
+        }
+    }
+    Err(format!(
+        "{} of {} cases found evaluator disagreements",
+        report.failures.len(),
+        report.cases
+    ))
+}
+
+/// The `repro check` subcommand: compile one scenario file, run the
+/// differential evaluator check on its network, then the modular checker on
+/// its property. The replay path for `repro fuzz` failures.
+fn check_cmd(args: &Args) -> Result<(), String> {
+    let path = args.scenario_file.as_deref().ok_or("check requires --scenario-file PATH")?;
+    let compiled = timepiece_scenario::compile_file(path).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "=== repro check — {} ({} nodes, figure {}) ===",
+        compiled.name,
+        compiled.network.topology().node_count(),
+        compiled.figure
+    );
+    let env = compiled.closing_env();
+    let problems =
+        timepiece_scenario::fuzz::diff_network(&compiled.network, &env, args.steps, None, 2);
+    for p in &problems {
+        println!("discrepancy: {p}");
+    }
+    if problems.is_empty() {
+        println!("evaluators agree on the {}-step trace", args.steps);
+    }
+    let inst = compiled.instance();
+    let checker = ModularChecker::new(CheckOptions {
+        timeout: Some(args.timeout),
+        threads: args.threads,
+        ..CheckOptions::default()
+    });
+    let report = checker
+        .check(&inst.network, &inst.interface, &inst.property)
+        .map_err(|e| format!("encoding failed: {e}"))?;
+    if report.is_verified() {
+        println!("modular verification: verified ({:.2}s)", report.wall().as_secs_f64());
+    } else {
+        println!("modular verification: FAILED at:");
+        for f in report.failures() {
+            println!("  {} ({:?})", f.node_name, f.vc);
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} evaluator discrepancies on {path}", problems.len()))
+    }
+}
+
+/// The `repro export` subcommand: print a registry scenario as a scenario
+/// file — the starting point for customizing a benchmark without writing
+/// Rust.
+fn export_cmd(args: &Args) -> Result<(), String> {
+    if args.bench == "all" {
+        return Err(format!(
+            "export needs one --bench NAME; registered benchmarks: {}",
+            BenchKind::names().join(", ")
+        ));
+    }
+    let kind = BenchKind::parse(&args.bench)
+        .ok_or_else(|| format!("--bench: {}", unknown_bench(&args.bench)))?;
+    let k = kind.native_k().or(args.k).unwrap_or(4);
+    let inst = fattree_instance(kind, k);
+    let text = timepiece_scenario::export_instance(kind.name(), kind.figure(), &inst, k)?;
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn usage_error(msg: &str) -> ! {
-    eprintln!("error: {msg}\n\n{USAGE}");
+    eprintln!("error: {msg}\n\n{}", usage());
     std::process::exit(2);
 }
 
@@ -1322,6 +1684,9 @@ fn main() {
         "plan" => plan_cmd(&args),
         "worker" => worker_cmd(&args),
         "shard-worker" => shard_worker(&args),
+        "fuzz" => fuzz_cmd(&args),
+        "check" => check_cmd(&args),
+        "export" => export_cmd(&args),
         "all" => {
             fig3();
             fig13();

@@ -1,12 +1,16 @@
 //! Sweep runner: one row per (benchmark, k), with both engines.
 //!
-//! Benchmarks live in a declarative [`Scenario`] *registry*: one entry wires
-//! a builder function (and optional inference setup) to a name, and the
-//! scenario then appears everywhere at once — `repro fig14` sweeps, `--json`
-//! row dumps, multi-process sharding (workers rebuild instances by
-//! registry-name lookup) and `repro infer`. Adding a scenario is adding one
-//! [`Scenario`] literal; nothing else matches on benchmark kinds.
+//! Benchmarks live in a data-driven [`ScenarioSpec`] *registry*: one entry
+//! wires an instance source (a Rust builder keyed by fattree size, or a
+//! compiled scenario file) to a name, and the scenario then appears
+//! everywhere at once — `repro fig14` sweeps, `--json` row dumps,
+//! multi-process sharding (workers rebuild instances by registry-name
+//! lookup, or by recompiling the same scenario file) and `repro infer`.
+//! Adding a scenario is one [`register_scenario`] call (or, for the
+//! built-ins, one [`Scenario`] literal in the seed table); nothing else
+//! matches on benchmark kinds.
 
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Duration;
 
 use timepiece_core::check::{CheckOptions, ModularChecker};
@@ -17,6 +21,7 @@ use timepiece_nets::{
     ad::AdBench, fail::FailBench, hijack::HijackBench, len::LenBench, med::MedBench,
     reach::ReachBench, vf::VfBench, BenchInstance, PropertySpec,
 };
+use timepiece_scenario::CompiledScenario;
 use timepiece_smt::TermCacheStats;
 use timepiece_topology::{FatTree, NodeId, Topology};
 
@@ -34,7 +39,119 @@ pub struct InferSetup {
     pub dest: NodeId,
 }
 
-/// One registered benchmark scenario.
+/// Where a registered scenario's instances come from.
+#[derive(Debug, Clone)]
+pub enum InstanceSource {
+    /// A Rust builder, parameterized by fattree size `k`.
+    Builder(fn(usize) -> BenchInstance),
+    /// A compiled scenario file: one fixed topology, so sweeps run it at
+    /// exactly its native size.
+    Compiled(Arc<CompiledScenario>),
+}
+
+/// One registered benchmark scenario (the data-driven registry entry).
+///
+/// Built-ins are seeded from [`Scenario`] literals; scenario files are
+/// registered at runtime through [`register_scenario_file`]. Construct
+/// custom entries with [`ScenarioSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    name: String,
+    figure: String,
+    source: InstanceSource,
+    infer: Option<fn(usize) -> InferSetup>,
+    scenario_file: Option<String>,
+}
+
+impl ScenarioSpec {
+    /// Starts building a spec with the two mandatory fields.
+    pub fn builder(name: impl Into<String>, figure: impl Into<String>) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
+            name: name.into(),
+            figure: figure.into(),
+            source: None,
+            infer: None,
+            scenario_file: None,
+        }
+    }
+
+    /// The scenario's display name (`SpReach`, `ApMed`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which paper figure panel it reproduces (or a tag: `med`, `fail`,
+    /// `file`, …).
+    pub fn figure(&self) -> &str {
+        &self.figure
+    }
+
+    /// Where instances come from.
+    pub fn source(&self) -> &InstanceSource {
+        &self.source
+    }
+
+    /// The scenario file this spec was compiled from, when it was.
+    pub fn scenario_file(&self) -> Option<&str> {
+        self.scenario_file.as_deref()
+    }
+}
+
+/// Builder for [`ScenarioSpec`].
+#[derive(Debug)]
+pub struct ScenarioSpecBuilder {
+    name: String,
+    figure: String,
+    source: Option<InstanceSource>,
+    infer: Option<fn(usize) -> InferSetup>,
+    scenario_file: Option<String>,
+}
+
+impl ScenarioSpecBuilder {
+    /// Instances come from a Rust builder keyed by fattree size.
+    pub fn instance_fn(mut self, f: fn(usize) -> BenchInstance) -> Self {
+        self.source = Some(InstanceSource::Builder(f));
+        self
+    }
+
+    /// Instances come from a compiled scenario.
+    pub fn compiled(mut self, c: CompiledScenario) -> Self {
+        self.source = Some(InstanceSource::Compiled(Arc::new(c)));
+        self
+    }
+
+    /// Records the source file (lets sharded subprocess workers recompile
+    /// the same scenario).
+    pub fn scenario_file(mut self, path: impl Into<String>) -> Self {
+        self.scenario_file = Some(path.into());
+        self
+    }
+
+    /// Declares `repro infer` support.
+    pub fn infer_fn(mut self, f: fn(usize) -> InferSetup) -> Self {
+        self.infer = Some(f);
+        self
+    }
+
+    /// Finishes the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instance source was declared — a spec without one is a
+    /// programming error, not a runtime condition.
+    pub fn build(self) -> ScenarioSpec {
+        ScenarioSpec {
+            source: self.source.expect("a ScenarioSpec needs an instance source"),
+            name: self.name,
+            figure: self.figure,
+            infer: self.infer,
+            scenario_file: self.scenario_file,
+        }
+    }
+}
+
+/// A built-in registry entry: the compact literal form the seed table uses.
+/// Converts losslessly into a [`ScenarioSpec`].
 #[derive(Debug)]
 pub struct Scenario {
     /// The scenario's display name (`SpReach`, `ApMed`, …).
@@ -46,6 +163,18 @@ pub struct Scenario {
     pub build: fn(usize) -> BenchInstance,
     /// Builds the inference setup, for scenarios `repro infer` supports.
     pub infer: Option<fn(usize) -> InferSetup>,
+}
+
+impl From<&Scenario> for ScenarioSpec {
+    fn from(s: &Scenario) -> ScenarioSpec {
+        ScenarioSpec {
+            name: s.name.to_owned(),
+            figure: s.figure.to_owned(),
+            source: InstanceSource::Builder(s.build),
+            infer: s.infer,
+            scenario_file: None,
+        }
+    }
 }
 
 /// The inference setup of a fixed-destination fattree bench — one
@@ -65,9 +194,9 @@ macro_rules! fixed_dest_infer {
     };
 }
 
-/// The scenario registry: the paper's eight Fig. 14 benchmarks followed by
+/// The seed registry: the paper's eight Fig. 14 benchmarks followed by
 /// the post-paper scenarios (MED planes, IGP/EGP distance, link failures).
-static REGISTRY: &[Scenario] = &[
+static SEED: &[Scenario] = &[
     Scenario {
         name: "SpReach",
         figure: "14a",
@@ -138,9 +267,49 @@ static REGISTRY: &[Scenario] = &[
     },
 ];
 
+/// The live registry: seed entries plus anything registered at runtime.
+///
+/// Entries are leaked to `&'static` so [`BenchKind`] stays `Copy` and its
+/// accessors keep returning `&'static str` — registration is rare (a few
+/// scenario files per process at most), so the leak is bounded and
+/// deliberate.
+fn registry() -> &'static RwLock<Vec<&'static ScenarioSpec>> {
+    static REGISTRY: OnceLock<RwLock<Vec<&'static ScenarioSpec>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        RwLock::new(SEED.iter().map(|s| &*Box::leak(Box::new(ScenarioSpec::from(s)))).collect())
+    })
+}
+
+/// Registers a scenario, returning its handle. A spec whose name matches an
+/// existing entry (case-insensitively) replaces it; otherwise it is
+/// appended after the built-ins.
+pub fn register_scenario(spec: ScenarioSpec) -> BenchKind {
+    let leaked: &'static ScenarioSpec = Box::leak(Box::new(spec));
+    let mut reg = registry().write().expect("registry lock");
+    match reg.iter_mut().find(|s| s.name().eq_ignore_ascii_case(leaked.name())) {
+        Some(slot) => *slot = leaked,
+        None => reg.push(leaked),
+    }
+    BenchKind(leaked)
+}
+
+/// Compiles a scenario file and registers it under its declared name.
+///
+/// # Errors
+///
+/// Propagates the compiler's span-carrying diagnostics, rendered to text.
+pub fn register_scenario_file(path: &str) -> Result<BenchKind, String> {
+    let compiled = timepiece_scenario::compile_file(path).map_err(|e| e.to_string())?;
+    let spec = ScenarioSpec::builder(compiled.name.clone(), compiled.figure.clone())
+        .compiled(compiled)
+        .scenario_file(path)
+        .build();
+    Ok(register_scenario(spec))
+}
+
 /// A handle to one registered scenario.
 #[derive(Debug, Clone, Copy)]
-pub struct BenchKind(&'static Scenario);
+pub struct BenchKind(&'static ScenarioSpec);
 
 impl PartialEq for BenchKind {
     fn eq(&self, other: &BenchKind) -> bool {
@@ -152,24 +321,35 @@ impl Eq for BenchKind {}
 
 impl BenchKind {
     /// Every registered scenario, in registry order (the paper's figure
-    /// order first).
+    /// order first, then runtime registrations).
     pub fn all() -> impl Iterator<Item = BenchKind> {
-        REGISTRY.iter().map(BenchKind)
+        registry()
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|s| BenchKind(s))
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     /// The registered scenario names, in order.
     pub fn names() -> Vec<&'static str> {
-        REGISTRY.iter().map(|s| s.name).collect()
+        registry().read().expect("registry lock").iter().map(|s| s.name.as_str()).collect()
     }
 
     /// The scenario's display name.
     pub fn name(&self) -> &'static str {
-        self.0.name
+        self.0.name.as_str()
     }
 
     /// Which Fig. 14 panel (or post-paper tag) this scenario reproduces.
     pub fn figure(&self) -> &'static str {
-        self.0.figure
+        self.0.figure.as_str()
+    }
+
+    /// The underlying registry entry.
+    pub fn spec(&self) -> &'static ScenarioSpec {
+        self.0
     }
 
     /// Looks a scenario up by name, case-insensitively.
@@ -186,11 +366,33 @@ impl BenchKind {
     pub fn infer_setup(&self, k: usize) -> Option<InferSetup> {
         self.0.infer.map(|f| f(k))
     }
+
+    /// The fixed size of a compiled (file) scenario: sweeps run it at
+    /// exactly this `k` instead of the requested range. `None` for
+    /// builder-backed scenarios, which scale with `k`.
+    pub fn native_k(&self) -> Option<usize> {
+        match &self.0.source {
+            InstanceSource::Builder(_) => None,
+            InstanceSource::Compiled(c) => Some(c.k),
+        }
+    }
+
+    /// The scenario file backing this entry, when there is one (lets
+    /// subprocess shard workers recompile it).
+    pub fn scenario_file(&self) -> Option<&'static str> {
+        self.0.scenario_file.as_deref()
+    }
 }
 
 /// Builds the benchmark instance for a scenario at fattree size `k`.
+///
+/// Compiled (file) scenarios have one fixed topology; they ignore the
+/// requested `k` and return their native instance.
 pub fn fattree_instance(kind: BenchKind, k: usize) -> BenchInstance {
-    (kind.0.build)(k)
+    match &kind.0.source {
+        InstanceSource::Builder(f) => f(k),
+        InstanceSource::Compiled(c) => c.instance(),
+    }
 }
 
 /// The outcome of one engine on one instance.

@@ -753,6 +753,11 @@ pub fn run_row_sharded(
                 // sub-second budget to an effectively zero solver timeout
                 .args(["--timeout-millis", &options.timeout.as_millis().to_string()])
                 .args(["--threads", &worker_threads.to_string()]);
+            if let Some(path) = kind.scenario_file() {
+                // file scenarios are not in the worker's seed registry; it
+                // recompiles the same file before resolving --bench
+                cmd.args(["--scenario-file", path]);
+            }
             if timepiece_trace::enabled() {
                 // the worker collects its own spans and ships them back in
                 // the report; the coordinator merges them as its track

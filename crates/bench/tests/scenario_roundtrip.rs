@@ -1,0 +1,46 @@
+//! Every registry scenario must survive export → recompile with an identical
+//! verdict map: the scenario text format is only useful if it is a faithful
+//! second syntax for the benchmarks, not an approximation of them.
+
+use timepiece_bench::{fattree_instance, BenchKind};
+use timepiece_core::check::{CheckOptions, ModularChecker};
+use timepiece_core::CheckReport;
+use timepiece_nets::BenchInstance;
+
+/// The verdict map: overall result plus the sorted failing node names, which
+/// is what `repro fig14` surfaces to users.
+fn verdicts(inst: &BenchInstance) -> (bool, Vec<String>) {
+    let checker = ModularChecker::new(CheckOptions::default());
+    let report: CheckReport = checker
+        .check(&inst.network, &inst.interface, &inst.property)
+        .expect("encoding should not fail");
+    let mut failing: Vec<String> = report.failures().iter().map(|f| f.node_name.clone()).collect();
+    failing.sort();
+    failing.dedup();
+    (report.is_verified(), failing)
+}
+
+#[test]
+fn every_registry_scenario_round_trips_at_k4() {
+    let kinds: Vec<BenchKind> = BenchKind::all().collect();
+    assert!(kinds.len() >= 13, "registry lost scenarios: {}", kinds.len());
+    for kind in kinds {
+        let k = kind.native_k().unwrap_or(4);
+        let original = fattree_instance(kind, k);
+        let text = timepiece_scenario::export_instance(kind.name(), kind.figure(), &original, k)
+            .unwrap_or_else(|e| panic!("{} does not export: {e}", kind.name()));
+        let compiled = timepiece_scenario::compile_str(&text)
+            .unwrap_or_else(|e| panic!("{} does not recompile: {e}", kind.name()));
+        assert_eq!(compiled.name, kind.name(), "scenario name survives the trip");
+        let recompiled = compiled.instance();
+        assert_eq!(
+            original.network.topology().node_count(),
+            recompiled.network.topology().node_count(),
+            "{}: node count changed across the round trip",
+            kind.name()
+        );
+        let before = verdicts(&original);
+        let after = verdicts(&recompiled);
+        assert_eq!(before, after, "{}: verdict map changed across export → recompile", kind.name());
+    }
+}

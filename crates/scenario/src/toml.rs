@@ -1,0 +1,496 @@
+//! A span-tracking parser for the TOML subset scenario files use.
+//!
+//! Supported: `[table.path]` headers, `[[array.of.tables]]` headers,
+//! `key = value` bindings with bare (`[A-Za-z0-9_-]+`) or quoted keys, and
+//! values that are basic strings, integers, booleans, or (possibly
+//! multi-line, possibly nested) arrays. `#` starts a comment. Everything
+//! parsed carries a [`Span`] so later passes can report *where* a scenario
+//! is wrong, not just that it is.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// A value paired with the position it was parsed at.
+#[derive(Debug, Clone)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub value: T,
+    /// Where it started in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs a value with a span.
+    pub fn new(value: T, span: Span) -> Spanned<T> {
+        Spanned { value, span }
+    }
+}
+
+/// A parsed TOML value.
+#[derive(Debug, Clone)]
+pub enum TomlValue {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array (elements keep their own spans).
+    Array(Vec<Spanned<TomlValue>>),
+    /// A (sub-)table.
+    Table(Table),
+}
+
+impl TomlValue {
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "a string",
+            TomlValue::Int(_) => "an integer",
+            TomlValue::Bool(_) => "a boolean",
+            TomlValue::Array(_) => "an array",
+            TomlValue::Table(_) => "a table",
+        }
+    }
+}
+
+/// An ordered table of key/value bindings.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Where the table was introduced (its header, or the document start).
+    pub span: Span,
+    /// The bindings, in source order.
+    pub entries: Vec<(Spanned<String>, Spanned<TomlValue>)>,
+}
+
+impl Table {
+    fn new(span: Span) -> Table {
+        Table { span, entries: Vec::new() }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Spanned<TomlValue>> {
+        self.entries.iter().find(|(k, _)| k.value == key).map(|(_, v)| v)
+    }
+
+    /// The keys of this table, in source order.
+    pub fn keys(&self) -> impl Iterator<Item = &Spanned<String>> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+/// A parse error with its position.
+#[derive(Debug, Clone)]
+pub struct TomlError {
+    /// Where the error is.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, message: impl Into<String>) -> TomlError {
+        TomlError { span: self.span(), message: message.into() }
+    }
+
+    /// Skips spaces/tabs and comments; newlines too when `newlines` is set.
+    fn skip_trivia(&mut self, newlines: bool) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.bump();
+                }
+                Some(b'\n') if newlines => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Consumes to end of line, requiring only trivia remains on it.
+    fn expect_eol(&mut self) -> Result<(), TomlError> {
+        self.skip_trivia(false);
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.err(format!("expected end of line, found {:?}", char::from(b)))),
+        }
+    }
+
+    fn bare_key(&mut self) -> Result<String, TomlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            let found =
+                self.peek().map_or("end of input".to_owned(), |b| format!("{:?}", char::from(b)));
+            return Err(self.err(format!("expected a key, found {found}")));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn string(&mut self) -> Result<String, TomlError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    other => {
+                        let found = other
+                            .map_or("end of input".to_owned(), |b| format!("{:?}", char::from(b)));
+                        return Err(self.err(format!("unsupported escape {found}")));
+                    }
+                },
+                Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b) => out.push(char::from(b)),
+            }
+        }
+    }
+
+    fn key(&mut self) -> Result<Spanned<String>, TomlError> {
+        let span = self.span();
+        let key = if self.peek() == Some(b'"') { self.string()? } else { self.bare_key()? };
+        Ok(Spanned::new(key, span))
+    }
+
+    /// A dotted key path, as in `[a.b.c]`.
+    fn key_path(&mut self) -> Result<Vec<Spanned<String>>, TomlError> {
+        let mut path = vec![self.key()?];
+        while self.peek() == Some(b'.') {
+            self.bump();
+            path.push(self.key()?);
+        }
+        Ok(path)
+    }
+
+    fn value(&mut self) -> Result<Spanned<TomlValue>, TomlError> {
+        self.skip_trivia(false);
+        let span = self.span();
+        match self.peek() {
+            None => Err(self.err("expected a value, found end of input")),
+            Some(b'"') => Ok(Spanned::new(TomlValue::Str(self.string()?), span)),
+            Some(b'[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia(true);
+                    if self.peek() == Some(b']') {
+                        self.bump();
+                        return Ok(Spanned::new(TomlValue::Array(items), span));
+                    }
+                    items.push(self.value()?);
+                    self.skip_trivia(true);
+                    match self.peek() {
+                        Some(b',') => {
+                            self.bump();
+                        }
+                        Some(b']') => {}
+                        _ => return Err(self.err("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                if b == b'-' {
+                    self.bump();
+                }
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| TomlError { span, message: format!("bad integer {text:?}") })?;
+                Ok(Spanned::new(TomlValue::Int(n), span))
+            }
+            Some(_) => {
+                let word = self.bare_key()?;
+                match word.as_str() {
+                    "true" => Ok(Spanned::new(TomlValue::Bool(true), span)),
+                    "false" => Ok(Spanned::new(TomlValue::Bool(false), span)),
+                    other => Err(TomlError {
+                        span,
+                        message: format!("expected a value, found {other:?}"),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Walks `root` down `path`, creating tables as needed; for a path segment
+/// holding an array of tables, descends into its *last* element (TOML's
+/// `[[..]]` semantics).
+fn navigate<'t>(root: &'t mut Table, path: &[Spanned<String>]) -> Result<&'t mut Table, TomlError> {
+    let mut cur = root;
+    for seg in path {
+        let idx = match cur.entries.iter().position(|(k, _)| k.value == seg.value) {
+            Some(i) => i,
+            None => {
+                cur.entries.push((
+                    seg.clone(),
+                    Spanned::new(TomlValue::Table(Table::new(seg.span)), seg.span),
+                ));
+                cur.entries.len() - 1
+            }
+        };
+        cur = match &mut cur.entries[idx].1.value {
+            TomlValue::Table(t) => t,
+            TomlValue::Array(items) => match items.last_mut() {
+                Some(Spanned { value: TomlValue::Table(t), .. }) => t,
+                _ => {
+                    return Err(TomlError {
+                        span: seg.span,
+                        message: format!("{:?} is not a table", seg.value),
+                    })
+                }
+            },
+            _ => {
+                return Err(TomlError {
+                    span: seg.span,
+                    message: format!("{:?} is not a table", seg.value),
+                })
+            }
+        };
+    }
+    Ok(cur)
+}
+
+/// Parses a TOML document into its root [`Table`].
+///
+/// # Errors
+///
+/// Returns the first [`TomlError`] (with position) on malformed input.
+pub fn parse(src: &str) -> Result<Table, TomlError> {
+    let mut root = Table::new(Span { line: 1, col: 1 });
+    let mut cursor = Cursor::new(src);
+    // the table the next `key = value` lines land in
+    let mut current: Vec<Spanned<String>> = Vec::new();
+    loop {
+        cursor.skip_trivia(true);
+        let Some(b) = cursor.peek() else { break };
+        if b == b'[' {
+            let header_span = cursor.span();
+            cursor.bump();
+            let is_array = cursor.peek() == Some(b'[');
+            if is_array {
+                cursor.bump();
+            }
+            cursor.skip_trivia(false);
+            let path = cursor.key_path()?;
+            cursor.skip_trivia(false);
+            for _ in 0..if is_array { 2 } else { 1 } {
+                if cursor.peek() == Some(b']') {
+                    cursor.bump();
+                } else {
+                    return Err(cursor.err("expected ']' to close the table header"));
+                }
+            }
+            cursor.expect_eol()?;
+            if is_array {
+                let (last, parent_path) = path.split_last().expect("key_path is nonempty");
+                let parent = navigate(&mut root, parent_path)?;
+                match parent.entries.iter_mut().find(|(k, _)| k.value == last.value) {
+                    None => parent.entries.push((
+                        last.clone(),
+                        Spanned::new(
+                            TomlValue::Array(vec![Spanned::new(
+                                TomlValue::Table(Table::new(header_span)),
+                                header_span,
+                            )]),
+                            header_span,
+                        ),
+                    )),
+                    Some((_, Spanned { value: TomlValue::Array(items), .. })) => items
+                        .push(Spanned::new(TomlValue::Table(Table::new(header_span)), header_span)),
+                    Some(_) => {
+                        return Err(TomlError {
+                            span: header_span,
+                            message: format!("{:?} is not an array of tables", last.value),
+                        })
+                    }
+                }
+            } else {
+                // creates the table (or errors if the path hits a scalar);
+                // re-opening an existing table is allowed
+                navigate(&mut root, &path)?;
+            }
+            current = path;
+        } else {
+            let key = cursor.key()?;
+            cursor.skip_trivia(false);
+            if cursor.peek() == Some(b'=') {
+                cursor.bump();
+            } else {
+                return Err(cursor.err("expected '=' after the key"));
+            }
+            let value = cursor.value()?;
+            cursor.expect_eol()?;
+            let table = navigate(&mut root, &current)?;
+            if table.get(&key.value).is_some() {
+                return Err(TomlError {
+                    span: key.span,
+                    message: format!("duplicate key {:?}", key.value),
+                });
+            }
+            table.entries.push((key, value));
+        }
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = parse(
+            r#"
+# a scenario
+[scenario]
+name = "SpReach"   # inline comment
+k = 4
+modular = true
+
+[topology]
+nodes = ["a", "b"]
+edges = [
+    ["a", "b"],
+]
+
+[[policy.edge]]
+from = "a"
+to = "b"
+
+[[policy.edge]]
+from = "b"
+to = "a"
+"#,
+        )
+        .unwrap();
+        let scenario = match &doc.get("scenario").unwrap().value {
+            TomlValue::Table(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(
+            matches!(&scenario.get("name").unwrap().value, TomlValue::Str(s) if s == "SpReach")
+        );
+        assert!(matches!(scenario.get("k").unwrap().value, TomlValue::Int(4)));
+        assert!(matches!(scenario.get("modular").unwrap().value, TomlValue::Bool(true)));
+        let policy = match &doc.get("policy").unwrap().value {
+            TomlValue::Table(t) => t,
+            other => panic!("{other:?}"),
+        };
+        let edges = match &policy.get("edge").unwrap().value {
+            TomlValue::Array(items) => items,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn spans_point_at_the_problem() {
+        let err = parse("[scenario]\nname = @\n").unwrap_err();
+        assert_eq!((err.span.line, err.span.col), (2, 8));
+        assert!(err.to_string().starts_with("line 2, col 8:"), "{err}");
+
+        let err = parse("a = 1\na = 2\n").unwrap_err();
+        assert_eq!((err.span.line, err.span.col), (2, 1));
+        assert!(err.message.contains("duplicate"), "{err}");
+
+        let err = parse("x = \"unclosed\n").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn quoted_keys_and_nested_arrays() {
+        let doc = parse("[init.node]\n\"edge-0-0\" = \"(some x)\"\n").unwrap();
+        let init = match &doc.get("init").unwrap().value {
+            TomlValue::Table(t) => t,
+            other => panic!("{other:?}"),
+        };
+        let node = match &init.get("node").unwrap().value {
+            TomlValue::Table(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(node.get("edge-0-0").is_some());
+    }
+}
